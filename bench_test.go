@@ -1,0 +1,226 @@
+package stableleader_test
+
+// Benchmarks regenerating every figure of the paper's evaluation
+// (Section 6). Each benchmark iteration simulates a shortened cell of the
+// corresponding experiment (the CLI `leaderbench` runs the full-length
+// versions) and reports the paper's metrics through b.ReportMetric:
+//
+//	Tr-s            average leader recovery time (seconds)
+//	mistakes/h      unjustified demotions per hour (λu)
+//	leaderless-ppm  leader unavailability, parts per million (1-Pleader)
+//	KB/s/node       wire traffic per workstation
+//	cpu-%           modelled CPU share per workstation
+//
+// Run with:
+//
+//	go test -bench=. -benchmem
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	stableleader "stableleader"
+	"stableleader/qos"
+	"stableleader/sim"
+)
+
+// benchDuration is the simulated time per benchmark iteration: long enough
+// for several workstation crashes (MTBF 600s per the paper), short enough
+// to keep -bench runs snappy.
+const benchDuration = 10 * time.Minute
+
+// runCell executes one scenario per iteration, varying the seed, and
+// reports aggregate metrics.
+func runCell(b *testing.B, sc sim.Scenario) {
+	b.Helper()
+	var trSum, trN, mistakes, leaderless, kbps, cpu float64
+	var hours float64
+	for i := 0; i < b.N; i++ {
+		sc.Seed = int64(i + 1)
+		sc.Duration = benchDuration
+		res, err := sim.Run(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		m := res.Metrics
+		trSum += m.TrMean.Seconds() * float64(m.TrSamples)
+		trN += float64(m.TrSamples)
+		hours += m.Duration.Hours()
+		mistakes += float64(m.Demotions)
+		leaderless += (1 - m.Pleader) * m.Duration.Hours()
+		kbps += res.KBPerSec
+		cpu += res.CPUPercent
+	}
+	if trN > 0 {
+		b.ReportMetric(trSum/trN, "Tr-s")
+	}
+	if hours > 0 {
+		b.ReportMetric(mistakes/hours, "mistakes/h")
+		b.ReportMetric(1e6*leaderless/hours, "leaderless-ppm")
+	}
+	b.ReportMetric(kbps/float64(b.N), "KB/s/node")
+	b.ReportMetric(cpu/float64(b.N), "cpu-%")
+}
+
+// paperScenario is the common Section 6.1 setup.
+func paperScenario(algo stableleader.Algorithm, link sim.LinkModel) sim.Scenario {
+	return sim.Scenario{
+		N:             12,
+		Algorithm:     algo,
+		Link:          link,
+		ProcessFaults: &sim.Faults{MTBF: 600 * time.Second, MTTR: 5 * time.Second},
+	}
+}
+
+// lossyNets is the Figure 3-5 x-axis.
+var lossyNets = []struct {
+	name string
+	link sim.LinkModel
+}{
+	{"LAN", sim.LinkModel{MeanDelay: 25 * time.Microsecond}},
+	{"10ms-1pc", sim.LinkModel{MeanDelay: 10 * time.Millisecond, Loss: 0.01}},
+	{"100ms-1pc", sim.LinkModel{MeanDelay: 100 * time.Millisecond, Loss: 0.01}},
+	{"10ms-10pc", sim.LinkModel{MeanDelay: 10 * time.Millisecond, Loss: 0.1}},
+	{"100ms-10pc", sim.LinkModel{MeanDelay: 100 * time.Millisecond, Loss: 0.1}},
+}
+
+// BenchmarkFigure3 regenerates Figure 3: S1 (omega-id) across the five
+// lossy networks — recovery time and mistake rate.
+func BenchmarkFigure3(b *testing.B) {
+	for _, net := range lossyNets {
+		b.Run(net.name, func(b *testing.B) {
+			runCell(b, paperScenario(stableleader.OmegaID, net.link))
+		})
+	}
+}
+
+// BenchmarkFigure4 regenerates Figure 4: S1 vs S2 across the lossy
+// networks — S2 must show zero mistakes.
+func BenchmarkFigure4(b *testing.B) {
+	for _, svc := range []struct {
+		name string
+		algo stableleader.Algorithm
+	}{{"S1", stableleader.OmegaID}, {"S2", stableleader.OmegaLC}} {
+		for _, net := range lossyNets {
+			b.Run(svc.name+"/"+net.name, func(b *testing.B) {
+				runCell(b, paperScenario(svc.algo, net.link))
+			})
+		}
+	}
+}
+
+// BenchmarkFigure5 regenerates Figure 5: S2 vs S3 across the lossy
+// networks — the message-efficient S3 matches S2's QoS.
+func BenchmarkFigure5(b *testing.B) {
+	for _, svc := range []struct {
+		name string
+		algo stableleader.Algorithm
+	}{{"S2", stableleader.OmegaLC}, {"S3", stableleader.OmegaL}} {
+		for _, net := range lossyNets {
+			b.Run(svc.name+"/"+net.name, func(b *testing.B) {
+				runCell(b, paperScenario(svc.algo, net.link))
+			})
+		}
+	}
+}
+
+// BenchmarkFigure6 regenerates Figure 6: CPU and bandwidth overhead of S2
+// (quadratic) vs S3 (linear) as the group grows.
+func BenchmarkFigure6(b *testing.B) {
+	nets := []struct {
+		name string
+		link sim.LinkModel
+	}{
+		{"LAN", sim.LinkModel{MeanDelay: 25 * time.Microsecond}},
+		{"100ms-10pc", sim.LinkModel{MeanDelay: 100 * time.Millisecond, Loss: 0.1}},
+	}
+	for _, svc := range []struct {
+		name string
+		algo stableleader.Algorithm
+	}{{"S2", stableleader.OmegaLC}, {"S3", stableleader.OmegaL}} {
+		for _, n := range []int{4, 8, 12} {
+			for _, net := range nets {
+				b.Run(fmt.Sprintf("%s/n=%d/%s", svc.name, n, net.name), func(b *testing.B) {
+					sc := paperScenario(svc.algo, net.link)
+					sc.N = n
+					runCell(b, sc)
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkFigure7 regenerates Figure 7: S2 vs S3 under crash-prone links
+// (the robustness trade-off: S2's forwarding rides out link crashes).
+func BenchmarkFigure7(b *testing.B) {
+	for _, svc := range []struct {
+		name string
+		algo stableleader.Algorithm
+	}{{"S2", stableleader.OmegaLC}, {"S3", stableleader.OmegaL}} {
+		for _, mtbf := range []time.Duration{600 * time.Second, 300 * time.Second, 60 * time.Second} {
+			b.Run(fmt.Sprintf("%s/linkMTBF=%v", svc.name, mtbf), func(b *testing.B) {
+				sc := paperScenario(svc.algo, sim.LinkModel{MeanDelay: 25 * time.Microsecond})
+				sc.LinkFaults = &sim.Faults{MTBF: mtbf, MTTR: 3 * time.Second}
+				runCell(b, sc)
+			})
+		}
+	}
+}
+
+// BenchmarkFigure8 regenerates Figure 8: the effect of the detection bound
+// TdU on recovery time and availability.
+func BenchmarkFigure8(b *testing.B) {
+	for _, svc := range []struct {
+		name string
+		algo stableleader.Algorithm
+	}{{"S2", stableleader.OmegaLC}, {"S3", stableleader.OmegaL}} {
+		for _, td := range []time.Duration{
+			100 * time.Millisecond, 250 * time.Millisecond, 500 * time.Millisecond,
+			750 * time.Millisecond, time.Second,
+		} {
+			b.Run(fmt.Sprintf("%s/TdU=%v", svc.name, td), func(b *testing.B) {
+				sc := paperScenario(svc.algo, sim.LinkModel{MeanDelay: 25 * time.Microsecond})
+				spec := qos.Default()
+				spec.DetectionTime = td
+				sc.QoS = spec
+				runCell(b, sc)
+			})
+		}
+	}
+}
+
+// BenchmarkHeadline regenerates the Section 1 summary numbers on the worst
+// lossy network for all three services.
+func BenchmarkHeadline(b *testing.B) {
+	worst := sim.LinkModel{MeanDelay: 100 * time.Millisecond, Loss: 0.1}
+	for _, svc := range []struct {
+		name string
+		algo stableleader.Algorithm
+	}{{"S1", stableleader.OmegaID}, {"S2", stableleader.OmegaLC}, {"S3", stableleader.OmegaL}} {
+		b.Run(svc.name, func(b *testing.B) {
+			runCell(b, paperScenario(svc.algo, worst))
+		})
+	}
+}
+
+// BenchmarkAblationStartupGrace quantifies the one design decision this
+// implementation adds on top of the paper's algorithms: a freshly started
+// process hides self-leadership claims for one detection time, so it
+// discovers a live incumbent before announcing leadership. Without the
+// grace, every fast recovery opens a split-leadership window (the
+// recovering process claims itself against the group's standing leader),
+// visible as a higher leaderless-ppm under fast crash/recovery cycles.
+func BenchmarkAblationStartupGrace(b *testing.B) {
+	for _, variant := range []struct {
+		name    string
+		disable bool
+	}{{"with-grace", false}, {"without-grace", true}} {
+		b.Run(variant.name, func(b *testing.B) {
+			sc := paperScenario(stableleader.OmegaL, sim.LinkModel{MeanDelay: 25 * time.Microsecond})
+			sc.ProcessFaults = &sim.Faults{MTBF: 2 * time.Minute, MTTR: 400 * time.Millisecond}
+			sc.DisableStartupGrace = variant.disable
+			runCell(b, sc)
+		})
+	}
+}

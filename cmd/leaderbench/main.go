@@ -1,0 +1,61 @@
+// Command leaderbench regenerates the tables and figures of the paper's
+// evaluation (Section 6) inside the deterministic virtual-time simulator.
+//
+// Usage:
+//
+//	leaderbench -figure all                 # every figure, 1 simulated hour per cell
+//	leaderbench -figure 7 -duration 2h      # Figure 7 with longer cells
+//	leaderbench -figure headline -seed 42
+//
+// Each cell simulates the paper's setup: a group of workstations that crash
+// and recover at random, over links that lose, delay, or stop delivering
+// messages. Output is one aligned table per figure, with the paper's
+// expected shape quoted above it; EXPERIMENTS.md records a full
+// paper-vs-measured comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"stableleader/sim"
+)
+
+func main() {
+	var (
+		figure   = flag.String("figure", "all", "figure to regenerate: 3..8, headline, or all")
+		duration = flag.Duration("duration", time.Hour, "simulated measurement time per cell")
+		warmup   = flag.Duration("warmup", 30*time.Second, "simulated warm-up excluded from measurement")
+		seed     = flag.Int64("seed", 1, "base random seed (results are deterministic per seed)")
+		n        = flag.Int("n", 12, "group size for figures that do not sweep it")
+		quiet    = flag.Bool("quiet", false, "suppress per-cell progress lines")
+	)
+	flag.Parse()
+
+	opts := sim.Options{
+		Duration: *duration,
+		Warmup:   *warmup,
+		Seed:     *seed,
+		N:        *n,
+	}
+	if !*quiet {
+		opts.Progress = os.Stderr
+	}
+
+	figures := []string{*figure}
+	if *figure == "all" {
+		figures = sim.Experiments()
+	}
+	start := time.Now()
+	for _, fig := range figures {
+		exp, err := sim.RunExperiment(fig, opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "leaderbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(exp)
+	}
+	fmt.Fprintf(os.Stderr, "leaderbench: done in %v\n", time.Since(start).Round(time.Second))
+}

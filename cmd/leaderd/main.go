@@ -1,0 +1,127 @@
+// Command leaderd runs one real leader election service instance over UDP —
+// the deployment shape of the paper's C daemon. Start one per machine (or
+// per terminal, with distinct ports) and watch the group elect and maintain
+// a stable leader; kill the leader's process and watch the re-election.
+//
+// Example, three terminals on one machine:
+//
+//	leaderd -id a -listen :7401 -peer b=127.0.0.1:7402 -peer c=127.0.0.1:7403 -group demo
+//	leaderd -id b -listen :7402 -peer a=127.0.0.1:7401 -peer c=127.0.0.1:7403 -group demo
+//	leaderd -id c -listen :7403 -peer a=127.0.0.1:7401 -peer b=127.0.0.1:7402 -group demo
+//
+// Flags control the election algorithm (-algo omega-l|omega-lc|omega-id),
+// candidacy (-candidate=false for a passive observer), and the failure
+// detection QoS (-tdu, -tmr, -pa).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	stableleader "stableleader"
+	"stableleader/id"
+	"stableleader/qos"
+	"stableleader/transport"
+)
+
+// peerFlags collects repeated -peer id=host:port flags.
+type peerFlags map[id.Process]string
+
+func (p peerFlags) String() string { return fmt.Sprintf("%v", map[id.Process]string(p)) }
+
+func (p peerFlags) Set(v string) error {
+	name, addr, ok := strings.Cut(v, "=")
+	if !ok || name == "" || addr == "" {
+		return fmt.Errorf("want id=host:port, got %q", v)
+	}
+	p[id.Process(name)] = addr
+	return nil
+}
+
+func main() {
+	peers := peerFlags{}
+	var (
+		self      = flag.String("id", "", "this process's unique id (required)")
+		listen    = flag.String("listen", ":7400", "UDP listen address")
+		group     = flag.String("group", "demo", "group to join")
+		algoName  = flag.String("algo", "omega-l", "election algorithm: omega-l, omega-lc, omega-id")
+		candidate = flag.Bool("candidate", true, "compete for leadership")
+		tdu       = flag.Duration("tdu", time.Second, "QoS: crash detection time bound (TdU)")
+		tmr       = flag.Duration("tmr", 100*24*time.Hour, "QoS: mistake recurrence lower bound (TmrL)")
+		pa        = flag.Float64("pa", 0.99999988, "QoS: query accuracy lower bound (PaL)")
+	)
+	flag.Var(peers, "peer", "peer address as id=host:port (repeatable)")
+	flag.Parse()
+
+	if *self == "" {
+		fmt.Fprintln(os.Stderr, "leaderd: -id is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	algo, err := stableleader.ParseAlgorithm(*algoName)
+	if err != nil {
+		log.Fatalf("leaderd: %v", err)
+	}
+
+	tr, err := transport.NewUDP(*listen, peers)
+	if err != nil {
+		log.Fatalf("leaderd: %v", err)
+	}
+	svc, err := stableleader.New(stableleader.Config{ID: id.Process(*self), Transport: tr})
+	if err != nil {
+		log.Fatalf("leaderd: %v", err)
+	}
+
+	seeds := make([]id.Process, 0, len(peers))
+	for p := range peers {
+		seeds = append(seeds, p)
+	}
+	grp, err := svc.Join(id.Group(*group), stableleader.JoinOptions{
+		Candidate: *candidate,
+		Algorithm: algo,
+		QoS: qos.Spec{
+			DetectionTime:     *tdu,
+			MistakeRecurrence: *tmr,
+			QueryAccuracy:     *pa,
+		},
+		Seeds: seeds,
+	})
+	if err != nil {
+		log.Fatalf("leaderd: join: %v", err)
+	}
+
+	log.Printf("leaderd: %s joined group %q on %s (algo=%s candidate=%v peers=%d)",
+		*self, *group, tr.LocalAddr(), algo, *candidate, len(peers))
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	for {
+		select {
+		case info, ok := <-grp.Changes():
+			if !ok {
+				return
+			}
+			if info.Elected {
+				mark := ""
+				if info.Leader == id.Process(*self) {
+					mark = "  (that's me)"
+				}
+				log.Printf("leader of %q is now %s%s", info.Group, info.Leader, mark)
+			} else {
+				log.Printf("group %q has no leader (election in progress)", info.Group)
+			}
+		case <-sigc:
+			log.Printf("leaderd: leaving group and shutting down")
+			if err := svc.Close(true); err != nil {
+				log.Printf("leaderd: close: %v", err)
+			}
+			return
+		}
+	}
+}

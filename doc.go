@@ -1,0 +1,55 @@
+// Package stableleader is a robust, lightweight, stable leader election
+// service for dynamic systems — a Go implementation of the service of
+// Schiper and Toueg (DSN 2008).
+//
+// Applications use the service to elect and maintain an operational leader
+// for any group of processes, where processes may crash and recover, join
+// and leave groups at any time, and links may lose, delay, or stop
+// delivering messages. If the leader of a group crashes, disconnects or
+// leaves, the service re-elects automatically and notifies the group.
+//
+// # Stability
+//
+// The default election algorithms guarantee leader stability: a functional
+// leader is never demoted just because a "better looking" process (for
+// example one with a smaller identifier) joins or recovers. Stability is
+// achieved with accusation times: each process carries the timestamp of the
+// last time it was validly suspected, leaders are the candidates with the
+// earliest accusation time, and recovering processes re-enter with a fresh
+// (late) accusation time.
+//
+// # Algorithms
+//
+// Three election cores are available per group:
+//
+//   - OmegaL (default): communication-efficient — eventually only the
+//     leader sends heartbeats; cost grows linearly with group size.
+//   - OmegaLC: tolerates links that crash outright (full disconnection) via
+//     two-stage local-leader forwarding, at quadratic message cost.
+//   - OmegaID: the classic "smallest alive id" rule; unstable, provided as
+//     the baseline of the paper's evaluation.
+//
+// # QoS control
+//
+// Failure detection underneath the election is the stochastic detector of
+// Chen et al. with a link quality estimator: applications state a QoS
+// triple (detection time bound, mistake recurrence bound, query accuracy)
+// per group, and the service continuously derives heartbeat rates and
+// timeouts from it and from measured link behaviour. See package
+// stableleader/qos.
+//
+// # Quick start
+//
+//	tr := transport.NewInproc(nil)
+//	svc, _ := stableleader.New(stableleader.Config{ID: "a", Transport: tr.Endpoint("a")})
+//	grp, _ := svc.Join("payments", stableleader.JoinOptions{
+//		Candidate: true,
+//		Seeds:     []id.Process{"b", "c"},
+//	})
+//	for info := range grp.Changes() {
+//		fmt.Println("leader is now", info.Leader)
+//	}
+//
+// The experiments of the paper are reproduced in package stableleader/sim;
+// see DESIGN.md and EXPERIMENTS.md.
+package stableleader

@@ -1,0 +1,60 @@
+// Chaos: the paper's Section 1 headline scenario, live.
+//
+// Twelve workstations compete for leadership while the (simulated) world
+// burns: every workstation crashes every 10 minutes on average, every link
+// drops one message in ten, and delays average 100ms. The run prints the
+// paper's three QoS metrics for each algorithm.
+//
+//	go run ./examples/chaos                 # one simulated hour, seconds of real time
+//	go run ./examples/chaos -duration 6h    # tighter confidence intervals
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	stableleader "stableleader"
+	"stableleader/sim"
+)
+
+func main() {
+	duration := flag.Duration("duration", time.Hour, "simulated time per algorithm")
+	seed := flag.Int64("seed", 2008, "random seed (runs are reproducible)")
+	flag.Parse()
+
+	fmt.Println("Section 1 scenario: 12 workstations, crash every 10min (recover in 5s),")
+	fmt.Println("links lose 1 msg in 10 with 100ms average delay; QoS: detect in 1s,")
+	fmt.Println("≤1 mistake per 100 days, 0.99999988 query accuracy.")
+	fmt.Println()
+
+	for _, algo := range []stableleader.Algorithm{
+		stableleader.OmegaID, stableleader.OmegaLC, stableleader.OmegaL,
+	} {
+		res, err := sim.Run(sim.Scenario{
+			Name:      "chaos",
+			N:         12,
+			Algorithm: algo,
+			Link: sim.LinkModel{
+				MeanDelay: 100 * time.Millisecond,
+				Loss:      0.1,
+			},
+			ProcessFaults: &sim.Faults{MTBF: 600 * time.Second, MTTR: 5 * time.Second},
+			Duration:      *duration,
+			Seed:          *seed,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		m := res.Metrics
+		fmt.Printf("%-9s leader available %7.4f%% of the time | recovery %v (n=%d) | %5.2f unjustified demotions/h | %5.2f KB/s and %5.3f%% CPU per workstation | simulated %v in %v\n",
+			algo, 100*m.Pleader, m.TrMean.Round(time.Millisecond), m.TrSamples,
+			m.MistakesPerHour, res.KBPerSec, res.CPUPercent,
+			res.Scenario.Duration, res.WallTime.Round(time.Millisecond))
+	}
+	fmt.Println()
+	fmt.Println("Matching the paper: omega-lc and omega-l never demote a live leader")
+	fmt.Println("(λu = 0) and keep a leader available ~99.8% of the time; omega-id is")
+	fmt.Println("fast but demotes a healthy leader on every recovery of a smaller id.")
+}

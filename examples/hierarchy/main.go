@@ -1,0 +1,142 @@
+// Hierarchy: the paper's Section 7 sketch of scaling to large networks —
+// hierarchical elections built from plain groups plus candidate flags.
+//
+// Nine processes sit in three regions. Each region elects a regional
+// leader in its own group. Every process also joins a global group, but
+// only as a *listener* (candidate=false); the regional leaders join the
+// global group as candidates. The service then maintains a two-level
+// hierarchy: a leader per region and one global leader among the regional
+// leaders, with non-candidates following passively — exactly the
+// "groups as levels" construction the paper proposes.
+//
+//	go run ./examples/hierarchy
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+	"time"
+
+	stableleader "stableleader"
+	"stableleader/id"
+	"stableleader/qos"
+	"stableleader/transport"
+)
+
+func main() {
+	hub := transport.NewInproc(nil)
+	regions := map[id.Group][]id.Process{
+		"region/eu":   {"eu-1", "eu-2", "eu-3"},
+		"region/us":   {"us-1", "us-2", "us-3"},
+		"region/asia": {"asia-1", "asia-2", "asia-3"},
+	}
+	spec := qos.Spec{
+		DetectionTime:     300 * time.Millisecond,
+		MistakeRecurrence: 24 * time.Hour,
+		QueryAccuracy:     0.99999,
+	}
+
+	var everyone []id.Process
+	for _, ps := range regions {
+		everyone = append(everyone, ps...)
+	}
+	sort.Slice(everyone, func(i, j int) bool { return everyone[i] < everyone[j] })
+
+	services := make(map[id.Process]*stableleader.Service)
+	regional := make(map[id.Process]*stableleader.Group)
+	global := make(map[id.Process]*stableleader.Group)
+
+	for region, members := range regions {
+		for _, name := range members {
+			svc, err := stableleader.New(stableleader.Config{ID: name, Transport: hub.Endpoint(name)})
+			if err != nil {
+				log.Fatal(err)
+			}
+			services[name] = svc
+			rg, err := svc.Join(region, stableleader.JoinOptions{
+				Candidate: true, QoS: spec, Seeds: members,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			regional[name] = rg
+		}
+	}
+
+	// Wait for the regional elections, then promote each regional leader
+	// into the global group as a candidate; everyone else joins the global
+	// group as a passive listener.
+	leaders := map[id.Group]id.Process{}
+	for region, members := range regions {
+		leaders[region] = waitLeader(collect(regional, members))
+	}
+	for name, svc := range services {
+		isRegionalLeader := false
+		for _, l := range leaders {
+			if l == name {
+				isRegionalLeader = true
+			}
+		}
+		gg, err := svc.Join("global", stableleader.JoinOptions{
+			Candidate: isRegionalLeader, QoS: spec, Seeds: everyone,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		global[name] = gg
+	}
+
+	globalLeader := waitLeader(global)
+	fmt.Println("two-level hierarchy established:")
+	for region := range regions {
+		marker := ""
+		if leaders[region] == globalLeader {
+			marker = "  <- global leader"
+		}
+		fmt.Printf("  %-12s leader: %s%s\n", region, leaders[region], marker)
+	}
+	fmt.Printf("  %-12s leader: %s (elected among the 3 regional leaders; 6 passive listeners follow)\n",
+		"global", globalLeader)
+
+	// The election cost at the top level involves only the candidates; the
+	// listeners receive the result without competing — the paper's first
+	// scaling approach.
+	for _, svc := range services {
+		_ = svc.Close(true)
+	}
+}
+
+// collect picks the group handles of the given member names.
+func collect(all map[id.Process]*stableleader.Group, names []id.Process) map[id.Process]*stableleader.Group {
+	out := make(map[id.Process]*stableleader.Group, len(names))
+	for _, n := range names {
+		out[n] = all[n]
+	}
+	return out
+}
+
+// waitLeader polls until all handles agree on an elected leader.
+func waitLeader(groups map[id.Process]*stableleader.Group) id.Process {
+	for {
+		var leader id.Process
+		agreed, first := true, true
+		for _, g := range groups {
+			li, err := g.Leader()
+			if err != nil || !li.Elected {
+				agreed = false
+				break
+			}
+			if first {
+				leader, first = li.Leader, false
+			} else if li.Leader != leader {
+				agreed = false
+				break
+			}
+		}
+		if agreed && !first {
+			return leader
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -1,0 +1,106 @@
+// Quickstart: five processes in one binary elect a stable leader; we then
+// kill the leader and watch the service detect the crash and re-elect.
+//
+//	go run ./examples/quickstart
+//
+// The processes communicate over the in-process transport; swap it for
+// transport.NewUDP to run the identical code across machines (see
+// cmd/leaderd).
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	stableleader "stableleader"
+	"stableleader/id"
+	"stableleader/qos"
+	"stableleader/transport"
+)
+
+func main() {
+	hub := transport.NewInproc(nil)
+	names := []id.Process{"alpha", "bravo", "charlie", "delta", "echo"}
+
+	// A snappy QoS for an interactive demo: detect crashes within 300ms.
+	spec := qos.Spec{
+		DetectionTime:     300 * time.Millisecond,
+		MistakeRecurrence: 24 * time.Hour,
+		QueryAccuracy:     0.99999,
+	}
+
+	services := make(map[id.Process]*stableleader.Service)
+	groups := make(map[id.Process]*stableleader.Group)
+	for _, name := range names {
+		svc, err := stableleader.New(stableleader.Config{ID: name, Transport: hub.Endpoint(name)})
+		if err != nil {
+			log.Fatal(err)
+		}
+		grp, err := svc.Join("demo", stableleader.JoinOptions{
+			Candidate: true,
+			QoS:       spec,
+			Seeds:     names,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		services[name] = svc
+		groups[name] = grp
+	}
+
+	fmt.Println("five processes joined group \"demo\"; waiting for the election...")
+	leader := waitLeader(groups, nil)
+	fmt.Printf("-> leader elected: %s\n\n", leader)
+
+	fmt.Printf("killing %s (no goodbye — a crash)...\n", leader)
+	_ = services[leader].Close(false)
+	dead := leader
+	delete(services, dead)
+	delete(groups, dead)
+
+	start := time.Now()
+	leader = waitLeader(groups, func(p id.Process) bool { return p != dead })
+	fmt.Printf("-> new leader: %s (recovered in %v)\n\n", leader, time.Since(start).Round(time.Millisecond))
+
+	fmt.Printf("now %s leaves gracefully (LEAVE announcement, no detection needed)...\n", leader)
+	_ = groups[leader].Leave()
+	departed := leader
+	delete(groups, departed)
+	_ = services[departed].Close(false)
+	delete(services, departed)
+
+	start = time.Now()
+	leader = waitLeader(groups, func(p id.Process) bool { return p != departed })
+	fmt.Printf("-> new leader: %s (handover in %v)\n", leader, time.Since(start).Round(time.Millisecond))
+
+	for _, svc := range services {
+		_ = svc.Close(true)
+	}
+}
+
+// waitLeader polls until every group handle agrees on one elected leader
+// accepted by ok (nil accepts all).
+func waitLeader(groups map[id.Process]*stableleader.Group, ok func(id.Process) bool) id.Process {
+	for {
+		var leader id.Process
+		agreed, first := true, true
+		for _, g := range groups {
+			li, err := g.Leader()
+			if err != nil || !li.Elected {
+				agreed = false
+				break
+			}
+			if first {
+				leader, first = li.Leader, false
+			} else if li.Leader != leader {
+				agreed = false
+				break
+			}
+		}
+		if agreed && !first && (ok == nil || ok(leader)) {
+			return leader
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

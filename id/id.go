@@ -1,0 +1,17 @@
+// Package id defines the identity types shared by every layer of the leader
+// election service: process identifiers and group identifiers.
+//
+// Identifiers are opaque strings chosen by the application (for example
+// "node-03" or "orders-service"). The service orders processes by identifier
+// only to break exact ties, so the choice of naming scheme does not affect
+// leader stability.
+package id
+
+// Process identifies a single process (one service instance). A process that
+// crashes and recovers keeps its Process id but is distinguished by a fresh
+// incarnation number, carried separately in protocol messages.
+type Process string
+
+// Group identifies a dynamic group of processes among which a leader is
+// elected. A process may belong to any number of groups concurrently.
+type Group string

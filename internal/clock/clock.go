@@ -1,0 +1,23 @@
+// Package clock abstracts time for the protocol stack so that identical
+// code runs against the wall clock in real deployments and against the
+// virtual clock of the discrete-event simulator.
+package clock
+
+import "time"
+
+// Timer is a cancellable pending callback, mirroring time.Timer's Stop
+// contract: Stop reports whether it prevented the callback from firing.
+type Timer interface {
+	Stop() bool
+}
+
+// Clock supplies the current time and one-shot timers. Implementations must
+// deliver AfterFunc callbacks on the owning node's event loop, never
+// concurrently with other callbacks of the same node.
+type Clock interface {
+	// Now returns the current time.
+	Now() time.Time
+	// AfterFunc schedules fn to run once after d. A non-positive d schedules
+	// fn as soon as possible.
+	AfterFunc(d time.Duration, fn func()) Timer
+}

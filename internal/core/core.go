@@ -1,0 +1,309 @@
+// Package core implements the node of the leader election service: the
+// single-threaded state machine of Figure 2 of the paper. One Node runs per
+// process; it multiplexes any number of groups, each owning
+//
+//   - a Group Maintenance instance (membership table + HELLO gossip +
+//     JOIN/LEAVE handling),
+//   - a Failure Detector instance per fellow member (Chen et al. monitors
+//     sharing per-remote link estimators across groups),
+//   - a heartbeat scheduler obeying per-destination RATE requests, and
+//   - one pluggable Leader Election Algorithm.
+//
+// The Node is not safe for concurrent use: hosts (the real-time Service or
+// the simulator) must serialise every entry point — message delivery, timer
+// callbacks and API commands — onto one logical event loop. This mirrors the
+// paper's Command Handler architecture and keeps protocol logic lock-free.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"stableleader/id"
+	"stableleader/internal/clock"
+	"stableleader/internal/election"
+	"stableleader/internal/linkest"
+	"stableleader/internal/wire"
+	"stableleader/qos"
+)
+
+// Runtime is everything a Node needs from its host: a clock, timers, a
+// transmit primitive and a deterministic random stream. Implementations:
+// simnet.NodeRuntime (virtual time) and the real-time Service adapter.
+type Runtime interface {
+	clock.Clock
+	// Send transmits m to process to. Best effort; may drop silently.
+	Send(to id.Process, m wire.Message)
+	// Rand is the node-local random stream (gossip target selection).
+	Rand() *rand.Rand
+}
+
+// Errors returned by the Node API.
+var (
+	ErrAlreadyJoined = errors.New("core: group already joined")
+	ErrNotJoined     = errors.New("core: group not joined")
+	ErrStopped       = errors.New("core: node is stopped")
+)
+
+// LeaderInfo describes one group's leadership as seen by the local node.
+type LeaderInfo struct {
+	// Group is the group this information concerns.
+	Group id.Group
+	// Leader is the elected process; empty when Elected is false.
+	Leader id.Process
+	// Incarnation is the leader's incarnation.
+	Incarnation int64
+	// Elected reports whether a leader is currently known. A false value
+	// means the group looks leaderless from here (e.g. mid-election).
+	Elected bool
+	// At is when this view was adopted locally.
+	At time.Time
+}
+
+// Same reports whether two views name the same leadership state (ignoring
+// adoption time).
+func (l LeaderInfo) Same(o LeaderInfo) bool {
+	return l.Group == o.Group && l.Elected == o.Elected &&
+		l.Leader == o.Leader && l.Incarnation == o.Incarnation
+}
+
+// JoinOptions configures membership in one group, mirroring the paper's
+// join parameters: candidacy, notification mode and failure detection QoS.
+type JoinOptions struct {
+	// Candidate marks this process as willing to lead the group.
+	Candidate bool
+	// Algorithm selects the election core (default election.OmegaL).
+	Algorithm election.Kind
+	// QoS is the failure detection requirement used within this group
+	// (default qos.Default(), the paper's setting).
+	QoS qos.Spec
+	// Seeds are processes contacted with the initial JOIN announcements.
+	// Membership then spreads by gossip, so seeds need not be exhaustive.
+	Seeds []id.Process
+	// OnLeaderChange, if set, is the interrupt-mode notification: it is
+	// invoked on the node's event loop whenever the local leader view
+	// changes. Query mode (Node.Leader) works regardless.
+	OnLeaderChange func(LeaderInfo)
+	// HelloInterval is the group maintenance gossip period (default 1s).
+	HelloInterval time.Duration
+	// GossipFanout is how many members each HELLO round targets (default 3).
+	GossipFanout int
+	// ReconfigureInterval is the FD configurator period (default 1s).
+	ReconfigureInterval time.Duration
+	// DisableStartupGrace removes the window during which a freshly
+	// started process hides self-leadership claims. It exists for ablation
+	// experiments only: without the grace, a leader that crashes and
+	// recovers inside the detection bound transiently re-elects itself
+	// against the group's stale views, inflating the mistake rate.
+	DisableStartupGrace bool
+}
+
+// withDefaults fills unset options.
+func (o JoinOptions) withDefaults() JoinOptions {
+	if o.QoS == (qos.Spec{}) {
+		o.QoS = qos.Default()
+	}
+	if o.HelloInterval <= 0 {
+		o.HelloInterval = time.Second
+	}
+	if o.GossipFanout <= 0 {
+		o.GossipFanout = 3
+	}
+	if o.ReconfigureInterval <= 0 {
+		o.ReconfigureInterval = time.Second
+	}
+	return o
+}
+
+// estEntry is a per-remote link estimator shared across the node's groups
+// (the cost-sharing architecture of Section 4).
+type estEntry struct {
+	est *linkest.Estimator
+	inc int64
+}
+
+// Node is one process's service instance.
+type Node struct {
+	self    id.Process
+	inc     int64
+	rt      Runtime
+	groups  map[id.Group]*groupState
+	est     map[id.Process]*estEntry
+	stopped bool
+}
+
+// NewNode creates a node for process self. The incarnation is the start
+// time in nanoseconds, strictly increasing across restarts of the same
+// process.
+func NewNode(self id.Process, rt Runtime) *Node {
+	return &Node{
+		self:   self,
+		inc:    rt.Now().UnixNano(),
+		rt:     rt,
+		groups: make(map[id.Group]*groupState),
+		est:    make(map[id.Process]*estEntry),
+	}
+}
+
+// Self returns the local process id.
+func (n *Node) Self() id.Process { return n.self }
+
+// Incarnation returns the node's incarnation number.
+func (n *Node) Incarnation() int64 { return n.inc }
+
+// Groups returns the ids of the currently joined groups.
+func (n *Node) Groups() []id.Group {
+	out := make([]id.Group, 0, len(n.groups))
+	for g := range n.groups {
+		out = append(out, g)
+	}
+	return out
+}
+
+// estimatorFor returns the shared estimator for the link from p, resetting
+// it when p restarted with a newer incarnation (sequence numbering and link
+// history restart with the process).
+func (n *Node) estimatorFor(p id.Process, inc int64) *linkest.Estimator {
+	e := n.est[p]
+	if e == nil {
+		e = &estEntry{est: linkest.New(), inc: inc}
+		n.est[p] = e
+	}
+	if inc > e.inc {
+		e.est.Reset()
+		e.inc = inc
+	}
+	return e.est
+}
+
+// Join enters group g with the given options and starts electing a leader.
+func (n *Node) Join(g id.Group, opts JoinOptions) error {
+	if n.stopped {
+		return ErrStopped
+	}
+	if _, ok := n.groups[g]; ok {
+		return fmt.Errorf("%w: %q", ErrAlreadyJoined, g)
+	}
+	if err := opts.withDefaults().QoS.Validate(); err != nil {
+		return err
+	}
+	gs := newGroupState(n, g, opts.withDefaults())
+	n.groups[g] = gs
+	gs.start()
+	return nil
+}
+
+// Leave departs group g gracefully: a LEAVE is announced so the group
+// re-elects immediately if this process was the leader.
+func (n *Node) Leave(g id.Group) error {
+	gs, ok := n.groups[g]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNotJoined, g)
+	}
+	gs.leave()
+	delete(n.groups, g)
+	return nil
+}
+
+// Leader returns the current leader view for group g.
+func (n *Node) Leader(g id.Group) (LeaderInfo, error) {
+	gs, ok := n.groups[g]
+	if !ok {
+		return LeaderInfo{}, fmt.Errorf("%w: %q", ErrNotJoined, g)
+	}
+	return gs.currentInfo(), nil
+}
+
+// MemberStatus is one fellow group member as seen by the local failure
+// detection layer — the query surface of the underlying shared FD service
+// (Section 4 of the paper).
+type MemberStatus struct {
+	// ID and Incarnation identify the member lifetime.
+	ID          id.Process
+	Incarnation int64
+	// Candidate reports whether the member competes for leadership.
+	Candidate bool
+	// Self marks the local process's own row.
+	Self bool
+	// Trusted is the failure detector's current verdict (always true for
+	// the local process). Under OmegaL, silent processes that voluntarily
+	// dropped out of the competition legitimately show as untrusted.
+	Trusted bool
+	// Interval and Timeout are the failure detector parameters (η, δ)
+	// currently configured for the link from this member.
+	Interval time.Duration
+	Timeout  time.Duration
+}
+
+// Status returns the membership and failure detection state of group g,
+// sorted by member id.
+func (n *Node) Status(g id.Group) ([]MemberStatus, error) {
+	gs, ok := n.groups[g]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotJoined, g)
+	}
+	members := gs.table.Active()
+	out := make([]MemberStatus, 0, len(members))
+	for _, m := range members {
+		st := MemberStatus{
+			ID:          m.ID,
+			Incarnation: m.Incarnation,
+			Candidate:   m.Candidate,
+			Self:        m.ID == n.self,
+			Trusted:     m.ID == n.self,
+		}
+		if entry, ok := gs.monitors[m.ID]; ok {
+			st.Trusted = entry.mon.Trusted()
+			p := entry.mon.Params()
+			st.Interval, st.Timeout = p.Interval, p.Timeout
+		}
+		out = append(out, st)
+	}
+	return out, nil
+}
+
+// Stop halts the node abruptly (crash semantics: no LEAVE is sent). Use
+// Leave first for a graceful departure.
+func (n *Node) Stop() {
+	if n.stopped {
+		return
+	}
+	n.stopped = true
+	for g, gs := range n.groups {
+		gs.shutdown()
+		delete(n.groups, g)
+	}
+}
+
+// HandleMessage dispatches one received protocol message. Hosts call it on
+// the node's event loop.
+func (n *Node) HandleMessage(m wire.Message) {
+	if n.stopped || m == nil {
+		return
+	}
+	if m.From() == n.self {
+		// A process never processes its own traffic (possible with
+		// broadcast transports).
+		return
+	}
+	gs, ok := n.groups[m.GroupID()]
+	if !ok {
+		return
+	}
+	switch t := m.(type) {
+	case *wire.Join:
+		gs.handleJoin(t)
+	case *wire.Leave:
+		gs.handleLeave(t)
+	case *wire.Hello:
+		gs.handleHello(t)
+	case *wire.Alive:
+		gs.handleAlive(t)
+	case *wire.Accuse:
+		gs.handleAccuse(t)
+	case *wire.Rate:
+		gs.handleRate(t)
+	}
+}

@@ -1,0 +1,614 @@
+package core
+
+import (
+	"time"
+
+	"stableleader/id"
+	"stableleader/internal/clock"
+	"stableleader/internal/election"
+	"stableleader/internal/fd"
+	"stableleader/internal/group"
+	"stableleader/internal/wire"
+)
+
+// Join announcement schedule: the initial JOIN plus retries beat message
+// loss; afterwards HELLO gossip keeps membership converged.
+const (
+	joinAnnounceCount = 4
+	joinAnnounceEvery = 300 * time.Millisecond
+
+	// minRate/maxRate clamp RATE requests from remote monitors so a
+	// confused or malicious peer cannot drive our send rate to extremes.
+	minRateInterval = time.Millisecond
+	maxRateInterval = 10 * time.Second
+)
+
+// monitorEntry pairs a failure detector monitor with the incarnation it
+// watches.
+type monitorEntry struct {
+	mon *fd.Monitor
+	inc int64
+}
+
+// destState is the per-destination heartbeat schedule.
+type destState struct {
+	timer    clock.Timer
+	interval time.Duration // requested via RATE; 0 means default
+	seq      uint64
+	lastSent time.Time
+}
+
+// groupState is one group's complete machinery on a node. It implements
+// election.Env for its algorithm.
+type groupState struct {
+	n    *Node
+	gid  id.Group
+	opts JoinOptions
+
+	table    *group.Table
+	algo     election.Algorithm
+	monitors map[id.Process]*monitorEntry
+	dests    map[id.Process]*destState
+
+	active   bool
+	lastInfo LeaderInfo
+
+	// membersCache memoises table.Active() between table changes; the
+	// election cores read the membership on every event.
+	membersCache   []group.Member
+	membersVersion uint64
+	membersValid   bool
+
+	helloTimer clock.Timer
+	joinTimer  clock.Timer
+	joinsLeft  int
+
+	stopped bool
+}
+
+var _ election.Env = (*groupState)(nil)
+
+func newGroupState(n *Node, gid id.Group, opts JoinOptions) *groupState {
+	return &groupState{
+		n:        n,
+		gid:      gid,
+		opts:     opts,
+		table:    group.NewTable(),
+		monitors: make(map[id.Process]*monitorEntry),
+		dests:    make(map[id.Process]*destState),
+	}
+}
+
+// start runs the join sequence: seed the table with ourselves, start the
+// election core, announce the join, and begin gossiping.
+func (gs *groupState) start() {
+	gs.table.Upsert(group.Member{
+		ID:          gs.n.self,
+		Incarnation: gs.n.inc,
+		Candidate:   gs.opts.Candidate,
+	})
+	gs.algo = election.New(gs.opts.Algorithm, gs)
+	gs.lastInfo = LeaderInfo{Group: gs.gid, At: gs.n.rt.Now()}
+	gs.algo.Start()
+	gs.syncPeers()
+	gs.joinsLeft = joinAnnounceCount
+	gs.announceJoin()
+	gs.scheduleHello()
+	// The startup grace hides self-claims time-dependently; re-evaluate the
+	// reported leader the moment it expires (plus a hair, so Now() is
+	// strictly past the deadline).
+	gs.n.rt.AfterFunc(gs.StartupGrace()+time.Millisecond, func() {
+		if !gs.stopped {
+			gs.afterEvent()
+		}
+	})
+	gs.afterEvent()
+}
+
+// --- election.Env -----------------------------------------------------
+
+// Self implements election.Env.
+func (gs *groupState) Self() id.Process { return gs.n.self }
+
+// Incarnation implements election.Env.
+func (gs *groupState) Incarnation() int64 { return gs.n.inc }
+
+// Now implements election.Env.
+func (gs *groupState) Now() time.Time { return gs.n.rt.Now() }
+
+// Members implements election.Env.
+func (gs *groupState) Members() []group.Member {
+	if !gs.membersValid || gs.membersVersion != gs.table.Version() {
+		gs.membersCache = gs.table.Active()
+		gs.membersVersion = gs.table.Version()
+		gs.membersValid = true
+	}
+	return gs.membersCache
+}
+
+// SendAccuse implements election.Env.
+func (gs *groupState) SendAccuse(to id.Process, targetInc int64, phase uint32) {
+	gs.n.rt.Send(to, &wire.Accuse{
+		Group:             gs.gid,
+		Sender:            gs.n.self,
+		Incarnation:       gs.n.inc,
+		TargetIncarnation: targetInc,
+		Phase:             phase,
+		At:                gs.n.rt.Now().UnixNano(),
+	})
+}
+
+// StartupGrace implements election.Env: one detection time is long enough
+// for a live incumbent's heartbeat to reach a fresh joiner.
+func (gs *groupState) StartupGrace() time.Duration {
+	if gs.opts.DisableStartupGrace {
+		return 0
+	}
+	return gs.opts.QoS.DetectionTime
+}
+
+// SetActive implements election.Env: it switches ALIVE emission on or off.
+// Activation sends an immediate heartbeat to every destination (election
+// rounds must not wait a full interval).
+func (gs *groupState) SetActive(active bool) {
+	if gs.active == active || gs.stopped {
+		return
+	}
+	gs.active = active
+	for _, dest := range gs.sortedDests() {
+		ds := gs.dests[dest]
+		if active {
+			gs.sendAliveTo(dest, ds)
+			gs.scheduleDest(dest, ds)
+		} else if ds.timer != nil {
+			ds.timer.Stop()
+			ds.timer = nil
+		}
+	}
+}
+
+// sortedDests returns the heartbeat destinations in deterministic order;
+// send order must not depend on map iteration for simulations to be
+// reproducible.
+func (gs *groupState) sortedDests() []id.Process {
+	out := make([]id.Process, 0, len(gs.dests))
+	for p := range gs.dests {
+		out = append(out, p)
+	}
+	sortProcs(out)
+	return out
+}
+
+// --- heartbeats --------------------------------------------------------
+
+// intervalFor is the heartbeat interval toward a destination: what the
+// destination requested via RATE, or TdU/5 until it does.
+func (gs *groupState) intervalFor(ds *destState) time.Duration {
+	if ds.interval > 0 {
+		return ds.interval
+	}
+	return gs.opts.QoS.DetectionTime / 5
+}
+
+// sendAliveTo emits one heartbeat to dest.
+func (gs *groupState) sendAliveTo(dest id.Process, ds *destState) {
+	ds.seq++
+	ds.lastSent = gs.n.rt.Now()
+	m := &wire.Alive{
+		Group:       gs.gid,
+		Sender:      gs.n.self,
+		Incarnation: gs.n.inc,
+		Seq:         ds.seq,
+		SendTime:    gs.n.rt.Now().UnixNano(),
+		Interval:    int64(gs.intervalFor(ds)),
+	}
+	gs.algo.FillAlive(m)
+	gs.n.rt.Send(dest, m)
+}
+
+// scheduleDest arms the next heartbeat toward dest.
+func (gs *groupState) scheduleDest(dest id.Process, ds *destState) {
+	if ds.timer != nil {
+		ds.timer.Stop()
+	}
+	ds.timer = gs.n.rt.AfterFunc(gs.intervalFor(ds), func() {
+		if gs.stopped || !gs.active {
+			return
+		}
+		if _, ok := gs.dests[dest]; !ok {
+			return
+		}
+		gs.sendAliveTo(dest, ds)
+		gs.scheduleDest(dest, ds)
+	})
+}
+
+// --- peer bookkeeping ---------------------------------------------------
+
+// syncPeers reconciles monitors and heartbeat destinations with the current
+// membership: one monitor and one destination per fellow active member.
+// All iteration is in id order so runs are reproducible.
+func (gs *groupState) syncPeers() {
+	members := gs.table.Active() // sorted by id
+	want := make(map[id.Process]group.Member, len(members))
+	for _, m := range members {
+		if m.ID != gs.n.self {
+			want[m.ID] = m
+		}
+	}
+	// Drop peers that left (or whose incarnation was superseded: their
+	// monitor must restart from scratch).
+	for _, p := range sortedProcKeysMonitors(gs.monitors) {
+		entry := gs.monitors[p]
+		m, ok := want[p]
+		if ok && m.Incarnation == entry.inc {
+			continue
+		}
+		entry.mon.Stop()
+		delete(gs.monitors, p)
+	}
+	for _, p := range gs.sortedDests() {
+		if _, ok := want[p]; ok {
+			continue
+		}
+		if ds := gs.dests[p]; ds.timer != nil {
+			ds.timer.Stop()
+		}
+		delete(gs.dests, p)
+	}
+	// Add new peers in id order.
+	for _, m := range members {
+		p := m.ID
+		if p == gs.n.self {
+			continue
+		}
+		if _, ok := gs.monitors[p]; !ok {
+			gs.monitors[p] = gs.newMonitor(p, m.Incarnation)
+		}
+		if _, ok := gs.dests[p]; !ok {
+			ds := &destState{}
+			gs.dests[p] = ds
+			if gs.active {
+				// Greet newcomers immediately so they adopt a leader
+				// without waiting a full heartbeat interval.
+				gs.sendAliveTo(p, ds)
+				gs.scheduleDest(p, ds)
+			}
+		}
+	}
+}
+
+// sortedProcKeysMonitors returns monitor keys in id order.
+func sortedProcKeysMonitors(m map[id.Process]*monitorEntry) []id.Process {
+	out := make([]id.Process, 0, len(m))
+	for p := range m {
+		out = append(out, p)
+	}
+	sortProcs(out)
+	return out
+}
+
+// newMonitor builds the failure detector for peer p.
+func (gs *groupState) newMonitor(p id.Process, inc int64) *monitorEntry {
+	entry := &monitorEntry{inc: inc}
+	entry.mon = fd.NewMonitor(fd.Config{
+		Clock:     gs.n.rt,
+		Spec:      gs.opts.QoS,
+		Estimator: gs.n.estimatorFor(p, inc),
+		OnEdge: func(trusted bool) {
+			if gs.stopped {
+				return
+			}
+			if trusted {
+				gs.algo.HandleTrust(p, entry.inc)
+			} else {
+				gs.algo.HandleSuspect(p)
+			}
+			gs.afterEvent()
+		},
+		RequestRate: func(interval time.Duration) {
+			gs.n.rt.Send(p, &wire.Rate{
+				Group:       gs.gid,
+				Sender:      gs.n.self,
+				Incarnation: gs.n.inc,
+				Interval:    int64(interval),
+			})
+		},
+		ReconfigureInterval: gs.opts.ReconfigureInterval,
+	})
+	return entry
+}
+
+// --- group maintenance ---------------------------------------------------
+
+// announceJoin broadcasts JOIN to the seeds and the currently known
+// members, with a few retries to beat message loss.
+func (gs *groupState) announceJoin() {
+	if gs.stopped || gs.joinsLeft <= 0 {
+		return
+	}
+	gs.joinsLeft--
+	targets := make(map[id.Process]bool)
+	for _, s := range gs.opts.Seeds {
+		if s != gs.n.self {
+			targets[s] = true
+		}
+	}
+	for _, m := range gs.table.Active() {
+		if m.ID != gs.n.self {
+			targets[m.ID] = true
+		}
+	}
+	msg := &wire.Join{
+		Group:       gs.gid,
+		Sender:      gs.n.self,
+		Incarnation: gs.n.inc,
+		Candidate:   gs.opts.Candidate,
+	}
+	for _, p := range sortedKeys(targets) {
+		gs.n.rt.Send(p, msg)
+	}
+	if gs.joinsLeft > 0 {
+		gs.joinTimer = gs.n.rt.AfterFunc(joinAnnounceEvery, gs.announceJoin)
+	}
+}
+
+// scheduleHello arms the next gossip round with jitter so rounds desync
+// across the group.
+func (gs *groupState) scheduleHello() {
+	jitter := 0.75 + 0.5*gs.n.rt.Rand().Float64()
+	d := time.Duration(float64(gs.opts.HelloInterval) * jitter)
+	gs.helloTimer = gs.n.rt.AfterFunc(d, func() {
+		if gs.stopped {
+			return
+		}
+		gs.gossip()
+		gs.scheduleHello()
+	})
+}
+
+// gossip sends the membership table to a few random members.
+func (gs *groupState) gossip() {
+	peers := make([]id.Process, 0, gs.table.Len())
+	for _, m := range gs.table.Active() {
+		if m.ID != gs.n.self {
+			peers = append(peers, m.ID)
+		}
+	}
+	if len(peers) == 0 {
+		return
+	}
+	rng := gs.n.rt.Rand()
+	rng.Shuffle(len(peers), func(i, j int) { peers[i], peers[j] = peers[j], peers[i] })
+	k := gs.opts.GossipFanout
+	if k > len(peers) {
+		k = len(peers)
+	}
+	for _, p := range peers[:k] {
+		gs.sendHelloTo(p)
+	}
+}
+
+// sendHelloTo sends our full membership table to p.
+func (gs *groupState) sendHelloTo(p id.Process) {
+	rows := gs.table.Snapshot()
+	members := make([]wire.MemberInfo, len(rows))
+	for i, r := range rows {
+		members[i] = wire.MemberInfo{
+			ID:          r.ID,
+			Incarnation: r.Incarnation,
+			Candidate:   r.Candidate,
+			Left:        r.Left,
+		}
+	}
+	gs.n.rt.Send(p, &wire.Hello{
+		Group:       gs.gid,
+		Sender:      gs.n.self,
+		Incarnation: gs.n.inc,
+		Members:     members,
+	})
+}
+
+// --- message handlers -----------------------------------------------------
+
+func (gs *groupState) handleJoin(m *wire.Join) {
+	changed := gs.table.Upsert(group.Member{
+		ID:          m.Sender,
+		Incarnation: m.Incarnation,
+		Candidate:   m.Candidate,
+	})
+	if changed {
+		gs.onMembershipChange()
+		// Greet the newcomer with our table so it converges immediately.
+		gs.sendHelloTo(m.Sender)
+	}
+}
+
+func (gs *groupState) handleLeave(m *wire.Leave) {
+	changed := gs.table.Upsert(group.Member{
+		ID:          m.Sender,
+		Incarnation: m.Incarnation,
+		Left:        true,
+	})
+	if changed {
+		gs.onMembershipChange()
+	}
+}
+
+func (gs *groupState) handleHello(m *wire.Hello) {
+	rows := make([]group.Member, len(m.Members))
+	for i, r := range m.Members {
+		rows[i] = group.Member{
+			ID:          r.ID,
+			Incarnation: r.Incarnation,
+			Candidate:   r.Candidate,
+			Left:        r.Left,
+		}
+	}
+	if gs.table.Merge(rows) {
+		gs.onMembershipChange()
+	}
+}
+
+func (gs *groupState) handleAlive(m *wire.Alive) {
+	member, ok := gs.table.Get(m.Sender)
+	if !ok || member.Left || member.Incarnation != m.Incarnation {
+		// Unknown or stale incarnation: membership will catch up through
+		// the JOIN retries or gossip; judging liveness from unattributable
+		// heartbeats would be unsound.
+		return
+	}
+	now := gs.n.rt.Now()
+	delay := now.Sub(time.Unix(0, m.SendTime))
+	gs.n.estimatorFor(m.Sender, m.Incarnation).Observe(gs.gid, m.Seq, delay)
+	if entry, ok := gs.monitors[m.Sender]; ok {
+		entry.mon.Observe(time.Unix(0, m.SendTime), time.Duration(m.Interval), now)
+	}
+	if gs.stopped {
+		// The trust edge may have torn the group down (callback side
+		// effects); bail out before touching the algorithm.
+		return
+	}
+	gs.algo.HandleAlive(m)
+	gs.afterEvent()
+}
+
+func (gs *groupState) handleAccuse(m *wire.Accuse) {
+	gs.algo.HandleAccuse(m)
+	gs.afterEvent()
+}
+
+func (gs *groupState) handleRate(m *wire.Rate) {
+	ds, ok := gs.dests[m.Sender]
+	if !ok {
+		return
+	}
+	interval := time.Duration(m.Interval)
+	if interval < minRateInterval {
+		interval = minRateInterval
+	}
+	if interval > maxRateInterval {
+		interval = maxRateInterval
+	}
+	if ds.interval == interval {
+		return
+	}
+	ds.interval = interval
+	if gs.active {
+		// Re-arm relative to the last heartbeat actually sent: re-arming
+		// from "now" would silently stretch the gap on every rate change,
+		// and a monitor repeating its RATE could otherwise starve the
+		// very stream it is trying to speed up.
+		next := ds.lastSent.Add(interval).Sub(gs.n.rt.Now())
+		if ds.timer != nil {
+			ds.timer.Stop()
+		}
+		ds.timer = gs.n.rt.AfterFunc(next, func() {
+			if gs.stopped || !gs.active {
+				return
+			}
+			if _, ok := gs.dests[m.Sender]; !ok {
+				return
+			}
+			gs.sendAliveTo(m.Sender, ds)
+			gs.scheduleDest(m.Sender, ds)
+		})
+	}
+}
+
+// onMembershipChange reconciles peers and informs the algorithm.
+func (gs *groupState) onMembershipChange() {
+	gs.syncPeers()
+	gs.algo.HandleMembership()
+	gs.afterEvent()
+}
+
+// --- leadership notification ----------------------------------------------
+
+// currentInfo derives the LeaderInfo from the algorithm's present answer.
+func (gs *groupState) currentInfo() LeaderInfo {
+	m, ok := gs.algo.Leader()
+	if !ok {
+		return LeaderInfo{Group: gs.gid, At: gs.lastInfo.At}
+	}
+	return LeaderInfo{
+		Group:       gs.gid,
+		Leader:      m.ID,
+		Incarnation: m.Incarnation,
+		Elected:     true,
+		At:          gs.lastInfo.At,
+	}
+}
+
+// afterEvent runs after every event delivered to the algorithm: it detects
+// leader view changes and fires the interrupt callback.
+func (gs *groupState) afterEvent() {
+	if gs.stopped {
+		return
+	}
+	info := gs.currentInfo()
+	if info.Same(gs.lastInfo) {
+		return
+	}
+	info.At = gs.n.rt.Now()
+	gs.lastInfo = info
+	if gs.opts.OnLeaderChange != nil {
+		gs.opts.OnLeaderChange(info)
+	}
+}
+
+// --- lifecycle -------------------------------------------------------------
+
+// leave announces departure and tears the group down.
+func (gs *groupState) leave() {
+	msg := &wire.Leave{Group: gs.gid, Sender: gs.n.self, Incarnation: gs.n.inc}
+	for _, m := range gs.table.Active() {
+		if m.ID != gs.n.self {
+			gs.n.rt.Send(m.ID, msg)
+		}
+	}
+	gs.shutdown()
+}
+
+// shutdown stops all timers and monitors without announcing anything
+// (crash semantics).
+func (gs *groupState) shutdown() {
+	if gs.stopped {
+		return
+	}
+	gs.stopped = true
+	gs.algo.Stop()
+	for _, entry := range gs.monitors {
+		entry.mon.Stop()
+	}
+	for _, ds := range gs.dests {
+		if ds.timer != nil {
+			ds.timer.Stop()
+		}
+	}
+	if gs.helloTimer != nil {
+		gs.helloTimer.Stop()
+	}
+	if gs.joinTimer != nil {
+		gs.joinTimer.Stop()
+	}
+}
+
+// sortedKeys returns map keys in deterministic order.
+func sortedKeys(set map[id.Process]bool) []id.Process {
+	out := make([]id.Process, 0, len(set))
+	for p := range set {
+		out = append(out, p)
+	}
+	sortProcs(out)
+	return out
+}
+
+// sortProcs sorts process ids in place (insertion sort: peer sets are tiny).
+func sortProcs(out []id.Process) {
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+}

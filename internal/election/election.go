@@ -1,0 +1,183 @@
+// Package election implements the Leader Election Algorithm module of the
+// service (Section 4): three pluggable election cores sharing one
+// host-facing interface.
+//
+//   - OmegaID (service S1): the leader is the smallest-id process currently
+//     deemed alive. Simple and fast, but unstable: a small-id process that
+//     recovers demotes a perfectly healthy leader (Section 6.2).
+//   - OmegaLC (service S2): accusation times plus two-stage local-leader
+//     forwarding; tolerates lossy links and crashed links at quadratic
+//     message cost (Section 6.3, based on Aguilera et al. [4]).
+//   - OmegaL (service S3): accusation times plus communication-efficient
+//     competition — eventually only the leader sends ALIVEs (Section 6.4,
+//     based on Aguilera et al. [2]).
+//
+// Accusation times realise stability: every process records the last time
+// it was validly accused of having crashed (initially its start time), and
+// leaders are chosen by smallest (accusation time, id). A process that
+// recovers re-enters with a fresh — hence large — accusation time and
+// therefore cannot displace an incumbent, which is exactly the property
+// OmegaID lacks.
+//
+// Algorithms are passive state machines: the host (internal/core) drives
+// them with decoded messages, failure detector edges and membership
+// changes, and reads Leader() after every event.
+package election
+
+import (
+	"fmt"
+	"time"
+
+	"stableleader/id"
+	"stableleader/internal/group"
+	"stableleader/internal/wire"
+)
+
+// Kind selects one of the three election cores.
+type Kind int
+
+// Available algorithms. OmegaL is the scalable default recommended by the
+// paper for all but the most hostile networks; OmegaLC trades quadratic
+// traffic for robustness to link crashes; OmegaID exists as the unstable
+// baseline of the evaluation.
+const (
+	OmegaL Kind = iota
+	OmegaLC
+	OmegaID
+)
+
+// String returns the paper's name for the algorithm.
+func (k Kind) String() string {
+	switch k {
+	case OmegaL:
+		return "omega-l"
+	case OmegaLC:
+		return "omega-lc"
+	case OmegaID:
+		return "omega-id"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Env is the host environment an algorithm runs in. All methods are called
+// and served on the node's event loop.
+type Env interface {
+	// Self is the local process id.
+	Self() id.Process
+	// Incarnation is the local process's current incarnation.
+	Incarnation() int64
+	// Now is the local clock.
+	Now() time.Time
+	// Members is the current non-left membership of the group, sorted by
+	// id, including the local process.
+	Members() []group.Member
+	// SendAccuse transmits an ACCUSE message to the given process.
+	SendAccuse(to id.Process, targetIncarnation int64, phase uint32)
+	// SetActive switches the local ALIVE heartbeat emission for this group
+	// on or off (the Group Maintenance notion of an "active" process).
+	SetActive(active bool)
+	// StartupGrace is how long after joining the local process must wait
+	// before it may report itself as the leader. A process that (re)starts
+	// competes immediately, but within one grace period a live incumbent's
+	// heartbeat is guaranteed to have been seen, so claiming leadership
+	// earlier would only create spurious transient leaderships (e.g. a
+	// leader that crashed and recovered within the detection bound briefly
+	// agreeing with everyone's stale view of its previous incarnation).
+	StartupGrace() time.Duration
+}
+
+// Algorithm is one election core. The host guarantees single-threaded
+// delivery and that HandleAlive is only invoked for messages whose sender
+// incarnation matches the membership table.
+type Algorithm interface {
+	// Start initialises the core once the local process has joined.
+	Start()
+	// HandleAlive processes a received heartbeat's election payload.
+	HandleAlive(m *wire.Alive)
+	// HandleAccuse processes an accusation addressed to the local process.
+	HandleAccuse(m *wire.Accuse)
+	// HandleTrust reports a failure detector trust edge for p.
+	HandleTrust(p id.Process, incarnation int64)
+	// HandleSuspect reports a failure detector suspect edge for p.
+	HandleSuspect(p id.Process)
+	// HandleMembership reports that the membership table changed.
+	HandleMembership()
+	// FillAlive stamps the election payload onto an outgoing heartbeat.
+	FillAlive(m *wire.Alive)
+	// Leader returns the current leader of the group, if any.
+	Leader() (group.Member, bool)
+	// Stop releases the core. No further calls are made after Stop.
+	Stop()
+}
+
+// New constructs an algorithm of the given kind bound to env.
+func New(k Kind, env Env) Algorithm {
+	switch k {
+	case OmegaL:
+		return newOmegaL(env)
+	case OmegaLC:
+		return newOmegaLC(env)
+	case OmegaID:
+		return newOmegaID(env)
+	default:
+		panic(fmt.Sprintf("election: unknown algorithm kind %d", int(k)))
+	}
+}
+
+// better reports whether candidate (accA, idA) beats (accB, idB) under the
+// (accusation time, id) order used by OmegaL and OmegaLC.
+func better(accA int64, idA id.Process, accB int64, idB id.Process) bool {
+	if accA != accB {
+		return accA < accB
+	}
+	return idA < idB
+}
+
+// memberCache caches the membership lookup between membership changes;
+// algorithms consult it on every event, so rebuilding per call would
+// dominate the hot path.
+type memberCache struct {
+	idx map[id.Process]group.Member
+}
+
+// invalidate drops the cache; call on every HandleMembership.
+func (c *memberCache) invalidate() { c.idx = nil }
+
+// index returns the id -> member lookup, rebuilding it if needed.
+func (c *memberCache) index(env Env) map[id.Process]group.Member {
+	if c.idx == nil {
+		ms := env.Members()
+		c.idx = make(map[id.Process]group.Member, len(ms))
+		for _, m := range ms {
+			c.idx[m.ID] = m
+		}
+	}
+	return c.idx
+}
+
+// maxInt64 returns the larger of a and b.
+func maxInt64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// graceGate tracks the startup-grace window common to all three cores.
+type graceGate struct {
+	env      Env
+	deadline time.Time
+}
+
+// start opens the gate's window at the current time.
+func (g *graceGate) start(env Env) {
+	g.env = env
+	g.deadline = env.Now().Add(env.StartupGrace())
+}
+
+// selfSuppressed reports whether a self-leadership claim must still be
+// hidden from the application.
+func (g *graceGate) selfSuppressed() bool {
+	return g.env.Now().Before(g.deadline)
+}

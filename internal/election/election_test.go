@@ -1,0 +1,124 @@
+package election
+
+import (
+	"testing"
+	"time"
+
+	"stableleader/id"
+	"stableleader/internal/group"
+)
+
+// accusation records one SendAccuse call.
+type accusation struct {
+	to    id.Process
+	inc   int64
+	phase uint32
+}
+
+// fakeEnv is a scripted environment for exercising the cores directly.
+type fakeEnv struct {
+	self    id.Process
+	inc     int64
+	now     time.Time
+	members []group.Member
+	grace   time.Duration
+
+	accusations []accusation
+	activeLog   []bool
+}
+
+var _ Env = (*fakeEnv)(nil)
+
+func newFakeEnv(self id.Process, candidate bool) *fakeEnv {
+	e := &fakeEnv{
+		self:  self,
+		inc:   1000,
+		now:   time.Unix(100, 0),
+		grace: time.Second,
+	}
+	e.members = []group.Member{{ID: self, Incarnation: e.inc, Candidate: candidate}}
+	return e
+}
+
+func (e *fakeEnv) Self() id.Process        { return e.self }
+func (e *fakeEnv) Incarnation() int64      { return e.inc }
+func (e *fakeEnv) Now() time.Time          { return e.now }
+func (e *fakeEnv) Members() []group.Member { return e.members }
+func (e *fakeEnv) SendAccuse(to id.Process, inc int64, phase uint32) {
+	e.accusations = append(e.accusations, accusation{to, inc, phase})
+}
+func (e *fakeEnv) SetActive(a bool)            { e.activeLog = append(e.activeLog, a) }
+func (e *fakeEnv) StartupGrace() time.Duration { return e.grace }
+
+// addMember registers another process in the membership view.
+func (e *fakeEnv) addMember(a Algorithm, p id.Process, inc int64, candidate bool) {
+	e.members = append(e.members, group.Member{ID: p, Incarnation: inc, Candidate: candidate})
+	a.HandleMembership()
+}
+
+// pastGrace advances the clock beyond the startup grace.
+func (e *fakeEnv) pastGrace() { e.now = e.now.Add(e.grace + time.Millisecond) }
+
+// active reports the last SetActive value (default false).
+func (e *fakeEnv) active() bool {
+	if len(e.activeLog) == 0 {
+		return false
+	}
+	return e.activeLog[len(e.activeLog)-1]
+}
+
+// leaderID is a test helper.
+func leaderID(t *testing.T, a Algorithm) (id.Process, bool) {
+	t.Helper()
+	m, ok := a.Leader()
+	return m.ID, ok
+}
+
+func TestKindString(t *testing.T) {
+	if OmegaL.String() != "omega-l" || OmegaLC.String() != "omega-lc" || OmegaID.String() != "omega-id" {
+		t.Error("unexpected kind names")
+	}
+	if Kind(42).String() == "" {
+		t.Error("unknown kind must still render")
+	}
+}
+
+func TestNewPanicsOnUnknownKind(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	New(Kind(42), newFakeEnv("a", true))
+}
+
+func TestGraceSuppressionAllKinds(t *testing.T) {
+	for _, k := range []Kind{OmegaL, OmegaLC, OmegaID} {
+		k := k
+		t.Run(k.String(), func(t *testing.T) {
+			env := newFakeEnv("a", true)
+			a := New(k, env)
+			a.Start()
+			if _, ok := a.Leader(); ok {
+				t.Error("self-claim visible during the startup grace")
+			}
+			env.pastGrace()
+			if l, ok := leaderID(t, a); !ok || l != "a" {
+				t.Errorf("after grace: leader = %q, %v; want self", l, ok)
+			}
+		})
+	}
+}
+
+func TestNonCandidateNeverLeadsItself(t *testing.T) {
+	for _, k := range []Kind{OmegaL, OmegaLC, OmegaID} {
+		env := newFakeEnv("a", false)
+		a := New(k, env)
+		a.Start()
+		env.pastGrace()
+		a.HandleMembership()
+		if l, ok := a.Leader(); ok {
+			t.Errorf("%v: non-candidate elected %v", k, l)
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package election
+
+import (
+	"stableleader/id"
+	"stableleader/internal/group"
+	"stableleader/internal/wire"
+)
+
+// omegaID is the Ωid core of service S1 (Section 6.2): every process
+// heartbeats to every other, and the leader is the candidate with the
+// smallest id among those currently deemed alive. The algorithm is
+// deliberately kept as the paper describes it — including its instability:
+// whenever a candidate with a smaller id than the current leader (re)joins,
+// the leader is demoted even though it is fully functional.
+type omegaID struct {
+	env     Env
+	trusted map[id.Process]int64 // process -> trusted incarnation
+	grace   graceGate
+	members memberCache
+	stopped bool
+}
+
+var _ Algorithm = (*omegaID)(nil)
+
+func newOmegaID(env Env) *omegaID {
+	return &omegaID{env: env, trusted: make(map[id.Process]int64)}
+}
+
+// Start implements Algorithm. Under Ωid every process is "active": all
+// alive processes heartbeat so everyone can evaluate the alive set.
+func (o *omegaID) Start() {
+	o.grace.start(o.env)
+	o.env.SetActive(true)
+}
+
+// HandleAlive implements Algorithm. Liveness is tracked by the failure
+// detector, so the payload carries nothing for Ωid.
+func (o *omegaID) HandleAlive(*wire.Alive) {}
+
+// HandleAccuse implements Algorithm. Ωid has no accusation mechanism.
+func (o *omegaID) HandleAccuse(*wire.Accuse) {}
+
+// HandleTrust implements Algorithm.
+func (o *omegaID) HandleTrust(p id.Process, incarnation int64) {
+	o.trusted[p] = incarnation
+}
+
+// HandleSuspect implements Algorithm.
+func (o *omegaID) HandleSuspect(p id.Process) {
+	delete(o.trusted, p)
+}
+
+// HandleMembership implements Algorithm: trust entries for processes that
+// left (or were superseded by a newer incarnation) are dropped.
+func (o *omegaID) HandleMembership() {
+	o.members.invalidate()
+	idx := o.members.index(o.env)
+	for p, inc := range o.trusted {
+		m, ok := idx[p]
+		if !ok || m.Incarnation != inc {
+			delete(o.trusted, p)
+		}
+	}
+}
+
+// FillAlive implements Algorithm. Ωid heartbeats carry no election state.
+func (o *omegaID) FillAlive(*wire.Alive) {}
+
+// Leader implements Algorithm: the smallest-id candidate among the trusted
+// processes and the local process itself.
+func (o *omegaID) Leader() (group.Member, bool) {
+	var best group.Member
+	found := false
+	for _, m := range o.env.Members() {
+		if !m.Candidate {
+			continue
+		}
+		if m.ID != o.env.Self() {
+			inc, ok := o.trusted[m.ID]
+			if !ok || inc != m.Incarnation {
+				continue
+			}
+		}
+		if !found || m.ID < best.ID {
+			best = m
+			found = true
+		}
+	}
+	if found && best.ID == o.env.Self() && o.grace.selfSuppressed() {
+		return group.Member{}, false
+	}
+	return best, found
+}
+
+// Stop implements Algorithm.
+func (o *omegaID) Stop() { o.stopped = true }

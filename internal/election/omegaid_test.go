@@ -1,0 +1,112 @@
+package election
+
+import (
+	"testing"
+
+	"stableleader/internal/wire"
+)
+
+func TestOmegaIDSmallestTrustedIDWins(t *testing.T) {
+	env := newFakeEnv("b", true)
+	a := New(OmegaID, env)
+	a.Start()
+	env.pastGrace()
+	env.addMember(a, "c", 1, true)
+	env.addMember(a, "a", 1, true)
+	// Nothing trusted yet: self is the only live candidate.
+	if l, ok := leaderID(t, a); !ok || l != "b" {
+		t.Fatalf("leader = %q, want self b", l)
+	}
+	a.HandleTrust("c", 1)
+	if l, _ := leaderID(t, a); l != "b" {
+		t.Fatalf("leader = %q, want b (still smaller than c)", l)
+	}
+	a.HandleTrust("a", 1)
+	if l, _ := leaderID(t, a); l != "a" {
+		t.Fatalf("leader = %q, want a — smallest id always wins under omega-id", l)
+	}
+}
+
+// TestOmegaIDInstability pins down the behaviour the paper measures in
+// Figure 3: a recovering smaller-id process demotes a healthy leader.
+func TestOmegaIDInstability(t *testing.T) {
+	env := newFakeEnv("b", true)
+	a := New(OmegaID, env)
+	a.Start()
+	env.pastGrace()
+	// b leads. Process "a" (smaller id) joins later — and takes over even
+	// though b is perfectly healthy. This is Ωid's documented flaw.
+	env.addMember(a, "a", 1, true)
+	a.HandleTrust("a", 1)
+	if l, _ := leaderID(t, a); l != "a" {
+		t.Fatalf("leader = %q, want a — omega-id must demote b (this instability is by design)", l)
+	}
+}
+
+func TestOmegaIDSuspectRemovesFromPool(t *testing.T) {
+	env := newFakeEnv("b", true)
+	a := New(OmegaID, env)
+	a.Start()
+	env.pastGrace()
+	env.addMember(a, "a", 1, true)
+	a.HandleTrust("a", 1)
+	a.HandleSuspect("a")
+	if l, _ := leaderID(t, a); l != "b" {
+		t.Fatalf("leader = %q, want b after a is suspected", l)
+	}
+}
+
+func TestOmegaIDIgnoresNonCandidates(t *testing.T) {
+	env := newFakeEnv("b", true)
+	a := New(OmegaID, env)
+	a.Start()
+	env.pastGrace()
+	env.addMember(a, "a", 1, false) // not a candidate
+	a.HandleTrust("a", 1)
+	if l, _ := leaderID(t, a); l != "b" {
+		t.Fatalf("leader = %q, want b — non-candidates must not be elected", l)
+	}
+}
+
+func TestOmegaIDStaleIncarnationPruned(t *testing.T) {
+	env := newFakeEnv("b", true)
+	a := New(OmegaID, env)
+	a.Start()
+	env.pastGrace()
+	env.addMember(a, "a", 1, true)
+	a.HandleTrust("a", 1)
+	// "a" restarts with incarnation 2; the old trust is stale.
+	env.members[1].Incarnation = 2
+	a.HandleMembership()
+	if l, _ := leaderID(t, a); l != "b" {
+		t.Fatalf("leader = %q, want b — trust in a's old incarnation must not elect it", l)
+	}
+	a.HandleTrust("a", 2)
+	if l, _ := leaderID(t, a); l != "a" {
+		t.Fatalf("leader = %q, want a once the new incarnation is trusted", l)
+	}
+}
+
+func TestOmegaIDAlwaysActive(t *testing.T) {
+	env := newFakeEnv("b", true)
+	a := New(OmegaID, env)
+	a.Start()
+	if !env.active() {
+		t.Fatal("omega-id processes must heartbeat from the start")
+	}
+}
+
+func TestOmegaIDIgnoresElectionPayloads(t *testing.T) {
+	env := newFakeEnv("b", true)
+	a := New(OmegaID, env)
+	a.Start()
+	env.pastGrace()
+	// ALIVE payloads and accusations carry no meaning under omega-id.
+	a.HandleAlive(&wire.Alive{Group: "g", Sender: "c", Incarnation: 1, AccTime: -1})
+	a.HandleAccuse(&wire.Accuse{Group: "g", Sender: "c", TargetIncarnation: env.inc})
+	m := &wire.Alive{}
+	a.FillAlive(m)
+	if m.AccTime != 0 || m.Phase != 0 || m.HasLocalLeader {
+		t.Error("omega-id must not stamp election state onto heartbeats")
+	}
+}

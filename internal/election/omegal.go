@@ -1,0 +1,195 @@
+package election
+
+import (
+	"stableleader/id"
+	"stableleader/internal/group"
+	"stableleader/internal/wire"
+)
+
+// omegaL is the Ωl core of service S3 (Section 6.4): the
+// communication-efficient algorithm of Aguilera et al. [2] in which
+// eventually only the elected leader transmits ALIVE messages.
+//
+// Mechanics:
+//
+//   - A process considers q a competitor only while it receives ALIVEs
+//     directly from q (no forwarding). The leader is the competitor — or
+//     the process itself, if it is a candidate — with the smallest
+//     (accusation time, id).
+//   - A process that sees a better competitor voluntarily drops out of the
+//     competition: it stops sending ALIVEs and increments its phase. Other
+//     processes will soon suspect it (it went silent on purpose), but the
+//     accusations they send carry the old phase and are discarded — the
+//     paper's mechanism ensuring voluntary silence never raises a process's
+//     accusation time.
+//   - When a process suspects its current leader it sends the leader an
+//     ACCUSE (raising the leader's accusation time if it is in fact alive
+//     and still competing) and recomputes; if it knows no better competitor
+//     and is a candidate, it re-enters the competition itself.
+type omegaL struct {
+	env Env
+
+	acc       int64  // own accusation time (ns)
+	phase     uint32 // competition phase; bumped on voluntary drop-out
+	competing bool
+	grace     graceGate
+	members   memberCache
+
+	comp map[id.Process]lCompetitor
+
+	leader    id.Process // empty when unknown
+	hasLeader bool
+	stopped   bool
+}
+
+// lCompetitor is the freshest election state heard directly from a process.
+type lCompetitor struct {
+	inc   int64
+	acc   int64
+	phase uint32
+	seq   uint64
+}
+
+var _ Algorithm = (*omegaL)(nil)
+
+func newOmegaL(env Env) *omegaL {
+	return &omegaL{env: env, comp: make(map[id.Process]lCompetitor)}
+}
+
+// Start implements Algorithm. The accusation time starts at the join time:
+// a (re)starting process is by construction the worst-ranked candidate and
+// cannot displace an incumbent leader.
+func (o *omegaL) Start() {
+	o.acc = o.env.Now().UnixNano()
+	o.grace.start(o.env)
+	o.recompute()
+}
+
+// HandleAlive implements Algorithm.
+func (o *omegaL) HandleAlive(m *wire.Alive) {
+	cur, ok := o.comp[m.Sender]
+	if ok && cur.inc == m.Incarnation {
+		if m.Seq < cur.seq {
+			// Reordered heartbeat: its accusation time may be stale
+			// (accusation times only grow); ignoring it prevents a
+			// transient, spurious leadership flip.
+			return
+		}
+		cur.seq = m.Seq
+		cur.acc = maxInt64(cur.acc, m.AccTime)
+		if m.Phase > cur.phase {
+			cur.phase = m.Phase
+		}
+	} else {
+		cur = lCompetitor{inc: m.Incarnation, acc: m.AccTime, phase: m.Phase, seq: m.Seq}
+	}
+	o.comp[m.Sender] = cur
+	o.recompute()
+}
+
+// HandleAccuse implements Algorithm: an accusation is valid only if it
+// names the current incarnation and the current phase while the process is
+// competing. A valid accusation raises the accusation time to now.
+func (o *omegaL) HandleAccuse(m *wire.Accuse) {
+	if m.TargetIncarnation != o.env.Incarnation() || m.Phase != o.phase || !o.competing {
+		return
+	}
+	o.acc = maxInt64(o.acc, o.env.Now().UnixNano())
+	o.recompute()
+}
+
+// HandleTrust implements Algorithm. Competitor state is established by the
+// ALIVE payload itself, which always accompanies the trust edge.
+func (o *omegaL) HandleTrust(id.Process, int64) {}
+
+// HandleSuspect implements Algorithm.
+func (o *omegaL) HandleSuspect(p id.Process) {
+	c, ok := o.comp[p]
+	if !ok {
+		return
+	}
+	delete(o.comp, p)
+	if o.hasLeader && o.leader == p {
+		o.env.SendAccuse(p, c.inc, c.phase)
+	}
+	o.recompute()
+}
+
+// HandleMembership implements Algorithm: competitors that left, lost
+// candidacy or were superseded by a newer incarnation are pruned.
+func (o *omegaL) HandleMembership() {
+	o.members.invalidate()
+	idx := o.members.index(o.env)
+	for p, c := range o.comp {
+		m, ok := idx[p]
+		if !ok || !m.Candidate || m.Incarnation != c.inc {
+			delete(o.comp, p)
+		}
+	}
+	o.recompute()
+}
+
+// FillAlive implements Algorithm.
+func (o *omegaL) FillAlive(m *wire.Alive) {
+	m.AccTime = o.acc
+	m.Phase = o.phase
+}
+
+// Leader implements Algorithm. A self-claim inside the startup grace is
+// reported as "no leader yet": the process keeps competing internally but
+// does not announce itself before a live incumbent had a chance to appear.
+func (o *omegaL) Leader() (group.Member, bool) {
+	if !o.hasLeader {
+		return group.Member{}, false
+	}
+	if o.leader == o.env.Self() && o.grace.selfSuppressed() {
+		return group.Member{}, false
+	}
+	idx := o.members.index(o.env)
+	m, ok := idx[o.leader]
+	return m, ok
+}
+
+// Stop implements Algorithm.
+func (o *omegaL) Stop() {
+	o.stopped = true
+	o.env.SetActive(false)
+}
+
+// recompute re-evaluates the leader and the local competition state.
+func (o *omegaL) recompute() {
+	if o.stopped {
+		return
+	}
+	idx := o.members.index(o.env)
+	var bestID id.Process
+	var bestAcc int64
+	found := false
+	for p, c := range o.comp {
+		m, ok := idx[p]
+		if !ok || !m.Candidate || m.Incarnation != c.inc {
+			continue
+		}
+		if !found || better(c.acc, p, bestAcc, bestID) {
+			bestID, bestAcc, found = p, c.acc, true
+		}
+	}
+	self := o.env.Self()
+	if m, ok := idx[self]; ok && m.Candidate {
+		if !found || better(o.acc, self, bestAcc, bestID) {
+			bestID, bestAcc, found = self, o.acc, true
+		}
+	}
+	o.leader, o.hasLeader = bestID, found
+	switch {
+	case found && bestID == self && !o.competing:
+		o.competing = true
+		o.env.SetActive(true)
+	case (!found || bestID != self) && o.competing:
+		// Voluntary drop-out: advance the phase so that the suspicions our
+		// silence is about to cause cannot raise our accusation time.
+		o.competing = false
+		o.phase++
+		o.env.SetActive(false)
+	}
+}

@@ -1,0 +1,233 @@
+package election
+
+import (
+	"testing"
+	"time"
+
+	"stableleader/id"
+	"stableleader/internal/wire"
+)
+
+// lAlive builds an Ωl heartbeat payload.
+func lAlive(from id.Process, inc int64, seq uint64, acc int64, phase uint32) *wire.Alive {
+	return &wire.Alive{
+		Group: "g", Sender: from, Incarnation: inc,
+		Seq: seq, AccTime: acc, Phase: phase,
+	}
+}
+
+// startOmegaL boots an Ωl candidate "b" past its grace with one extra
+// member "a" (candidate, incarnation 1) already known.
+func startOmegaL(t *testing.T) (*fakeEnv, Algorithm) {
+	t.Helper()
+	env := newFakeEnv("b", true)
+	a := New(OmegaL, env)
+	a.Start()
+	env.pastGrace()
+	env.addMember(a, "a", 1, true)
+	return env, a
+}
+
+func TestOmegaLCandidateCompetesAtStart(t *testing.T) {
+	env := newFakeEnv("b", true)
+	a := New(OmegaL, env)
+	a.Start()
+	if !env.active() {
+		t.Fatal("a lone candidate must compete (send ALIVEs) from the start")
+	}
+	env.pastGrace()
+	if l, ok := leaderID(t, a); !ok || l != "b" {
+		t.Fatalf("leader = %q, %v; want self", l, ok)
+	}
+}
+
+func TestOmegaLBetterCompetitorWinsAndSelfDropsOut(t *testing.T) {
+	env, a := startOmegaL(t)
+	// "a" has an older accusation time (it started long before b did): it
+	// is the better candidate. On hearing it, b adopts it and goes silent.
+	a.HandleAlive(lAlive("a", 1, 1, 1, 0))
+	if l, _ := leaderID(t, a); l != "a" {
+		t.Fatalf("leader = %q, want a (earlier accusation time)", l)
+	}
+	if env.active() {
+		t.Fatal("b must stop competing after seeing a better candidate")
+	}
+	// Voluntary drop-out bumps the phase so stale accusations are void.
+	m := &wire.Alive{}
+	a.FillAlive(m)
+	if m.Phase != 1 {
+		t.Errorf("phase after drop-out = %d, want 1", m.Phase)
+	}
+}
+
+// TestOmegaLStability is the paper's core claim: a process that joins (or
+// rejoins after recovery) with a *later* accusation time cannot displace
+// the incumbent — unlike under Ωid.
+func TestOmegaLStability(t *testing.T) {
+	env, a := startOmegaL(t)
+	// "a" has a *later* accusation time (it just recovered). Although its
+	// id is smaller, the incumbent b must keep the leadership.
+	a.HandleAlive(lAlive("a", 1, 1, env.now.UnixNano()+int64(1e9), 0))
+	if l, _ := leaderID(t, a); l != "b" {
+		t.Fatalf("leader = %q, want b — a recovering process must not demote the incumbent", l)
+	}
+	if !env.active() {
+		t.Fatal("b must keep competing")
+	}
+}
+
+func TestOmegaLSuspectedLeaderIsAccusedAndReplaced(t *testing.T) {
+	env, a := startOmegaL(t)
+	a.HandleAlive(lAlive("a", 1, 1, 1, 7)) // "a" wins with a tiny acc time, phase 7
+	if l, _ := leaderID(t, a); l != "a" {
+		t.Fatal("setup: a should lead")
+	}
+	a.HandleSuspect("a")
+	if len(env.accusations) != 1 {
+		t.Fatalf("accusations = %v, want exactly one to the suspected leader", env.accusations)
+	}
+	acc := env.accusations[0]
+	if acc.to != "a" || acc.inc != 1 || acc.phase != 7 {
+		t.Errorf("accusation = %+v, want {a 1 7} (the leader's advertised phase)", acc)
+	}
+	// b knows no other competitor: it steps back up.
+	if l, _ := leaderID(t, a); l != "b" {
+		t.Errorf("leader = %q, want b after the only competitor vanished", l)
+	}
+	if !env.active() {
+		t.Error("b must re-enter the competition")
+	}
+}
+
+func TestOmegaLSuspectOfNonLeaderDoesNotAccuse(t *testing.T) {
+	env, a := startOmegaL(t)
+	env.addMember(a, "c", 1, true)
+	a.HandleAlive(lAlive("a", 1, 1, 1, 0)) // leader
+	a.HandleAlive(lAlive("c", 1, 1, 2, 0)) // another competitor
+	env.accusations = nil
+	a.HandleSuspect("c")
+	if len(env.accusations) != 0 {
+		t.Fatalf("suspecting a non-leader produced accusations: %v", env.accusations)
+	}
+}
+
+func TestOmegaLAccusationValidation(t *testing.T) {
+	env := newFakeEnv("b", true)
+	a := New(OmegaL, env)
+	a.Start()
+	env.pastGrace()
+	before := &wire.Alive{}
+	a.FillAlive(before)
+
+	// Wrong incarnation: ignored.
+	a.HandleAccuse(&wire.Accuse{Sender: "x", TargetIncarnation: env.inc + 1, Phase: before.Phase})
+	// Wrong phase: ignored (this is the voluntary-silence protection).
+	a.HandleAccuse(&wire.Accuse{Sender: "x", TargetIncarnation: env.inc, Phase: before.Phase + 9})
+	after := &wire.Alive{}
+	a.FillAlive(after)
+	if after.AccTime != before.AccTime {
+		t.Fatal("invalid accusations must not raise the accusation time")
+	}
+
+	// Valid accusation: raises the accusation time to now.
+	env.now = env.now.Add(time.Duration(5e9))
+	a.HandleAccuse(&wire.Accuse{Sender: "x", TargetIncarnation: env.inc, Phase: before.Phase})
+	final := &wire.Alive{}
+	a.FillAlive(final)
+	if final.AccTime != env.now.UnixNano() {
+		t.Fatalf("acc time after valid accusation = %d, want %d", final.AccTime, env.now.UnixNano())
+	}
+}
+
+func TestOmegaLAccusationAfterDropOutIgnored(t *testing.T) {
+	env, a := startOmegaL(t)
+	a.HandleAlive(lAlive("a", 1, 1, 1, 0)) // b drops out, phase 0 -> 1
+	dropped := &wire.Alive{}
+	a.FillAlive(dropped)
+	// A peer that timed out on b's voluntary silence accuses with the old
+	// phase 0: it must be void.
+	a.HandleAccuse(&wire.Accuse{Sender: "c", TargetIncarnation: env.inc, Phase: 0})
+	after := &wire.Alive{}
+	a.FillAlive(after)
+	if after.AccTime != dropped.AccTime {
+		t.Fatal("a stale-phase accusation raised the accusation time — the paper's stability mechanism is broken")
+	}
+}
+
+func TestOmegaLReorderedHeartbeatIgnored(t *testing.T) {
+	env, a := startOmegaL(t)
+	// Fresh state: a was accused (acc high) at seq 10.
+	a.HandleAlive(lAlive("a", 1, 10, env.now.UnixNano()+int64(5e9), 0))
+	if l, _ := leaderID(t, a); l != "b" {
+		t.Fatal("setup: b should lead (a's acc is later)")
+	}
+	// A delayed older heartbeat with a's pristine (small) acc arrives: it
+	// must not resurrect a's candidacy.
+	a.HandleAlive(lAlive("a", 1, 3, 1, 0))
+	if l, _ := leaderID(t, a); l != "b" {
+		t.Fatal("a reordered stale heartbeat flipped the leadership")
+	}
+}
+
+func TestOmegaLNonCandidateFollowsCompetitors(t *testing.T) {
+	env := newFakeEnv("z", false)
+	a := New(OmegaL, env)
+	a.Start()
+	env.pastGrace()
+	env.addMember(a, "a", 1, true)
+	if env.active() {
+		t.Fatal("non-candidates never send ALIVEs under omega-l")
+	}
+	a.HandleAlive(lAlive("a", 1, 1, 1, 0))
+	if l, _ := leaderID(t, a); l != "a" {
+		t.Fatalf("leader = %q, want a", l)
+	}
+	a.HandleSuspect("a")
+	if _, ok := a.Leader(); ok {
+		t.Fatal("with the only competitor suspected, a non-candidate must report no leader")
+	}
+	if len(env.accusations) != 1 {
+		t.Fatal("non-candidates still accuse their suspected leader")
+	}
+}
+
+func TestOmegaLMembershipPruneRemovesRestartedCompetitor(t *testing.T) {
+	env, a := startOmegaL(t)
+	a.HandleAlive(lAlive("a", 1, 1, 1, 0))
+	if l, _ := leaderID(t, a); l != "a" {
+		t.Fatal("setup: a leads")
+	}
+	// "a" restarts: membership now knows incarnation 2; the old competitor
+	// entry must vanish (no accusation — this is not a suspicion).
+	env.accusations = nil
+	env.members[1].Incarnation = 2
+	a.HandleMembership()
+	if l, _ := leaderID(t, a); l != "b" {
+		t.Fatalf("leader = %q, want b after a's incarnation was superseded", l)
+	}
+	if len(env.accusations) != 0 {
+		t.Error("membership-based removal must not send accusations")
+	}
+}
+
+func TestOmegaLLoneProcessStillLeadsAfterAccusation(t *testing.T) {
+	env := newFakeEnv("b", true)
+	a := New(OmegaL, env)
+	a.Start()
+	env.pastGrace()
+	a.HandleAccuse(&wire.Accuse{Sender: "x", TargetIncarnation: env.inc, Phase: 0})
+	// Nobody else is known: b stays leader despite the bumped acc time.
+	if l, ok := leaderID(t, a); !ok || l != "b" {
+		t.Fatalf("leader = %q, %v; a lone candidate must lead itself", l, ok)
+	}
+}
+
+func TestOmegaLStopDeactivates(t *testing.T) {
+	env := newFakeEnv("b", true)
+	a := New(OmegaL, env)
+	a.Start()
+	a.Stop()
+	if env.active() {
+		t.Fatal("Stop must cease heartbeating")
+	}
+}

@@ -1,0 +1,237 @@
+package election
+
+import (
+	"stableleader/id"
+	"stableleader/internal/group"
+	"stableleader/internal/wire"
+)
+
+// omegaLC is the Ωlc core of service S2 (Section 6.3): the algorithm of
+// Aguilera et al. [4] designed to tolerate links that are lossy and links
+// that crash outright, at the price of quadratic ALIVE traffic (every
+// process always heartbeats to every other).
+//
+// Leader selection happens in two stages:
+//
+//  1. local: each process picks, among the candidates it currently trusts
+//     (plus itself), the one with the earliest (accusation time, id);
+//  2. global: each ALIVE carries the sender's local leader, and a process
+//     picks as its global leader the best of all local leaders reported by
+//     processes it trusts (plus its own).
+//
+// The forwarding stage is what makes the algorithm robust to crashed
+// links: if the link leader→p dies, p stops trusting the leader but keeps
+// electing it globally because other processes still vouch for it. A
+// process accuses its leader only when the leader vanishes from its
+// *global* pool — i.e. when nobody it trusts vouches for the leader any
+// more — so a single crashed link never demotes a healthy leader, while a
+// real crash (or total disconnection) is accused and demoted everywhere
+// within the detection bound.
+type omegaLC struct {
+	env Env
+
+	acc      int64                 // own accusation time
+	trusted  map[id.Process]int64  // process -> trusted incarnation
+	knownAcc map[id.Process]int64  // freshest accusation time heard, max-merged
+	reports  map[id.Process]report // local-leader vouches from trusted senders
+
+	leader    id.Process
+	hasLeader bool
+	grace     graceGate
+	members   memberCache
+	stopped   bool
+}
+
+// report is the local-leader vouch carried by a process's latest ALIVE.
+type report struct {
+	leader id.Process
+	inc    int64 // sender incarnation the report came from
+	seq    uint64
+}
+
+var _ Algorithm = (*omegaLC)(nil)
+
+func newOmegaLC(env Env) *omegaLC {
+	return &omegaLC{
+		env:      env,
+		trusted:  make(map[id.Process]int64),
+		knownAcc: make(map[id.Process]int64),
+		reports:  make(map[id.Process]report),
+	}
+}
+
+// Start implements Algorithm. Every process is permanently active under
+// Ωlc; the accusation time starts at the join time (stability: rejoining
+// processes rank last).
+func (o *omegaLC) Start() {
+	o.acc = o.env.Now().UnixNano()
+	o.knownAcc[o.env.Self()] = o.acc
+	o.grace.start(o.env)
+	o.env.SetActive(true)
+	o.recompute()
+}
+
+// mergeAcc max-merges an accusation time heard for p.
+func (o *omegaLC) mergeAcc(p id.Process, acc int64) {
+	if acc > o.knownAcc[p] {
+		o.knownAcc[p] = acc
+	}
+}
+
+// HandleAlive implements Algorithm.
+func (o *omegaLC) HandleAlive(m *wire.Alive) {
+	o.mergeAcc(m.Sender, m.AccTime)
+	cur, ok := o.reports[m.Sender]
+	fresh := !ok || cur.inc != m.Incarnation || m.Seq >= cur.seq
+	if m.HasLocalLeader {
+		o.mergeAcc(m.LocalLeader, m.LocalLeaderAcc)
+		if fresh {
+			o.reports[m.Sender] = report{leader: m.LocalLeader, inc: m.Incarnation, seq: m.Seq}
+		}
+	} else if fresh {
+		delete(o.reports, m.Sender)
+	}
+	o.recompute()
+}
+
+// HandleAccuse implements Algorithm: any accusation naming the current
+// incarnation raises the accusation time — the accuser has globally
+// demoted us, so we must not flap back.
+func (o *omegaLC) HandleAccuse(m *wire.Accuse) {
+	if m.TargetIncarnation != o.env.Incarnation() {
+		return
+	}
+	o.acc = maxInt64(o.acc, o.env.Now().UnixNano())
+	o.knownAcc[o.env.Self()] = o.acc
+	o.recompute()
+}
+
+// HandleTrust implements Algorithm.
+func (o *omegaLC) HandleTrust(p id.Process, incarnation int64) {
+	o.trusted[p] = incarnation
+	o.recompute()
+}
+
+// HandleSuspect implements Algorithm.
+func (o *omegaLC) HandleSuspect(p id.Process) {
+	delete(o.trusted, p)
+	delete(o.reports, p)
+	o.recompute()
+}
+
+// HandleMembership implements Algorithm.
+func (o *omegaLC) HandleMembership() {
+	o.members.invalidate()
+	idx := o.members.index(o.env)
+	for p, inc := range o.trusted {
+		m, ok := idx[p]
+		if !ok || m.Incarnation != inc {
+			delete(o.trusted, p)
+			delete(o.reports, p)
+		}
+	}
+	o.recompute()
+}
+
+// FillAlive implements Algorithm: heartbeats gossip our accusation time and
+// vouch for our current local leader.
+func (o *omegaLC) FillAlive(m *wire.Alive) {
+	m.AccTime = o.acc
+	if ll, ok := o.localLeader(o.members.index(o.env)); ok {
+		m.HasLocalLeader = true
+		m.LocalLeader = ll
+		m.LocalLeaderAcc = o.knownAcc[ll]
+	}
+}
+
+// Leader implements Algorithm. Self-claims are hidden during the startup
+// grace (see Env.StartupGrace); the forwarding stages are unaffected.
+func (o *omegaLC) Leader() (group.Member, bool) {
+	if !o.hasLeader {
+		return group.Member{}, false
+	}
+	if o.leader == o.env.Self() && o.grace.selfSuppressed() {
+		return group.Member{}, false
+	}
+	m, ok := o.members.index(o.env)[o.leader]
+	return m, ok
+}
+
+// Stop implements Algorithm.
+func (o *omegaLC) Stop() {
+	o.stopped = true
+	o.env.SetActive(false)
+}
+
+// localLeader is stage one: the best candidate among trusted processes and
+// the local process itself.
+func (o *omegaLC) localLeader(idx map[id.Process]group.Member) (id.Process, bool) {
+	var bestID id.Process
+	var bestAcc int64
+	found := false
+	consider := func(p id.Process) {
+		m, ok := idx[p]
+		if !ok || !m.Candidate {
+			return
+		}
+		if inc, trusted := o.trusted[p]; p != o.env.Self() && (!trusted || inc != m.Incarnation) {
+			return
+		}
+		acc := o.knownAcc[p]
+		if !found || better(acc, p, bestAcc, bestID) {
+			bestID, bestAcc, found = p, acc, true
+		}
+	}
+	consider(o.env.Self())
+	for p := range o.trusted {
+		consider(p)
+	}
+	return bestID, found
+}
+
+// recompute is stage two: the best of the local leaders vouched for by
+// trusted processes, plus our own. It also issues the accusation when the
+// previous global leader dropped out of the pool entirely.
+func (o *omegaLC) recompute() {
+	if o.stopped {
+		return
+	}
+	idx := o.members.index(o.env)
+	prev, hadPrev := o.leader, o.hasLeader
+	var bestID id.Process
+	var bestAcc int64
+	found := false
+	prevInPool := false
+	consider := func(p id.Process) {
+		m, ok := idx[p]
+		if !ok || !m.Candidate {
+			return
+		}
+		if p == prev {
+			prevInPool = true
+		}
+		acc := o.knownAcc[p]
+		if !found || better(acc, p, bestAcc, bestID) {
+			bestID, bestAcc, found = p, acc, true
+		}
+	}
+	if ll, ok := o.localLeader(idx); ok {
+		consider(ll)
+	}
+	for q, rep := range o.reports {
+		if inc, ok := o.trusted[q]; !ok || inc != rep.inc {
+			continue
+		}
+		consider(rep.leader)
+	}
+
+	o.leader, o.hasLeader = bestID, found
+	if hadPrev && prev != bestID && !prevInPool {
+		// The old leader vanished from the global pool: nobody we trust
+		// vouches for it any more. Accuse it so that, if it is actually
+		// alive, its accusation time rises and it cannot flap back.
+		if m, ok := idx[prev]; ok && !m.Left {
+			o.env.SendAccuse(prev, m.Incarnation, 0)
+		}
+	}
+}

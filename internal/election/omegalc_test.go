@@ -1,0 +1,209 @@
+package election
+
+import (
+	"testing"
+	"time"
+
+	"stableleader/id"
+	"stableleader/internal/wire"
+)
+
+// lcAlive builds an Ωlc heartbeat payload with a local-leader vouch.
+func lcAlive(from id.Process, inc int64, seq uint64, acc int64, ll id.Process, llAcc int64) *wire.Alive {
+	m := &wire.Alive{Group: "g", Sender: from, Incarnation: inc, Seq: seq, AccTime: acc}
+	if ll != "" {
+		m.HasLocalLeader = true
+		m.LocalLeader = ll
+		m.LocalLeaderAcc = llAcc
+	}
+	return m
+}
+
+// startOmegaLC boots an Ωlc candidate "p" past its grace with members
+// "a" (the would-be leader) and "q" (a forwarder), both candidates.
+func startOmegaLC(t *testing.T) (*fakeEnv, Algorithm) {
+	t.Helper()
+	env := newFakeEnv("p", true)
+	a := New(OmegaLC, env)
+	a.Start()
+	env.pastGrace()
+	env.addMember(a, "a", 1, true)
+	env.addMember(a, "q", 1, true)
+	return env, a
+}
+
+func TestOmegaLCAlwaysActive(t *testing.T) {
+	env := newFakeEnv("p", true)
+	a := New(OmegaLC, env)
+	a.Start()
+	if !env.active() {
+		t.Fatal("omega-lc processes always heartbeat")
+	}
+}
+
+func TestOmegaLCDirectTrustElectsSmallestAccTime(t *testing.T) {
+	_, a := startOmegaLC(t)
+	a.HandleTrust("a", 1)
+	a.HandleAlive(lcAlive("a", 1, 1, 1, "a", 1))
+	if l, _ := leaderID(t, a); l != "a" {
+		t.Fatalf("leader = %q, want a (earliest accusation time)", l)
+	}
+}
+
+// TestOmegaLCForwardingSurvivesCrashedLink is the Figure 7 robustness
+// property: the link a→p crashes, p stops trusting a, but q still vouches
+// for a — p must keep electing a and must NOT accuse it.
+func TestOmegaLCForwardingSurvivesCrashedLink(t *testing.T) {
+	env, a := startOmegaLC(t)
+	a.HandleTrust("a", 1)
+	a.HandleAlive(lcAlive("a", 1, 1, 1, "a", 1))
+	a.HandleTrust("q", 1)
+	a.HandleAlive(lcAlive("q", 1, 1, 50, "a", 1))
+	if l, _ := leaderID(t, a); l != "a" {
+		t.Fatal("setup: a leads")
+	}
+	env.accusations = nil
+	// Link a→p crashes: p's detector suspects a, but q keeps vouching.
+	a.HandleSuspect("a")
+	if l, _ := leaderID(t, a); l != "a" {
+		t.Fatalf("leader = %q, want a — the forwarding stage must retain the leader", l)
+	}
+	if len(env.accusations) != 0 {
+		t.Fatalf("p accused the leader despite a live vouch: %v — a single crashed link would demote healthy leaders", env.accusations)
+	}
+}
+
+// TestOmegaLCRealCrashDemotesAndAccuses completes the contrast: when the
+// forwarder's vouch also disappears, the leader drops out of the global
+// pool, is accused, and is replaced.
+func TestOmegaLCRealCrashDemotesAndAccuses(t *testing.T) {
+	env, a := startOmegaLC(t)
+	a.HandleTrust("a", 1)
+	a.HandleAlive(lcAlive("a", 1, 1, 1, "a", 1))
+	a.HandleTrust("q", 1)
+	a.HandleAlive(lcAlive("q", 1, 1, 50, "a", 1))
+	env.accusations = nil
+
+	a.HandleSuspect("a")
+	// q's next heartbeat no longer vouches for a (q suspected it too).
+	a.HandleAlive(lcAlive("q", 1, 2, 50, "q", 50))
+	l, _ := leaderID(t, a)
+	if l == "a" {
+		t.Fatal("a must drop once no trusted process vouches for it")
+	}
+	found := false
+	for _, acc := range env.accusations {
+		if acc.to == "a" && acc.inc == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("the demoted leader was never accused: %v", env.accusations)
+	}
+}
+
+func TestOmegaLCAccusationRaisesOwnAccTime(t *testing.T) {
+	env := newFakeEnv("p", true)
+	a := New(OmegaLC, env)
+	a.Start()
+	env.pastGrace()
+	before := &wire.Alive{}
+	a.FillAlive(before)
+	env.now = env.now.Add(3 * time.Second)
+	a.HandleAccuse(&wire.Accuse{Sender: "x", TargetIncarnation: env.inc})
+	after := &wire.Alive{}
+	a.FillAlive(after)
+	if after.AccTime <= before.AccTime {
+		t.Fatal("a valid accusation must raise the accusation time")
+	}
+	// Wrong incarnation is void.
+	env.now = env.now.Add(3 * time.Second)
+	a.HandleAccuse(&wire.Accuse{Sender: "x", TargetIncarnation: env.inc + 7})
+	final := &wire.Alive{}
+	a.FillAlive(final)
+	if final.AccTime != after.AccTime {
+		t.Fatal("an accusation for a different incarnation must be ignored")
+	}
+}
+
+// TestOmegaLCStability mirrors the Ωl test: a later-started process (larger
+// accusation time) never displaces the incumbent.
+func TestOmegaLCStability(t *testing.T) {
+	env, a := startOmegaLC(t)
+	a.HandleTrust("a", 1)
+	a.HandleAlive(lcAlive("a", 1, 1, 5, "a", 5))
+	if l, _ := leaderID(t, a); l != "a" {
+		t.Fatal("setup: a leads")
+	}
+	// "newguy" joins with a fresh (large) accusation time and a smaller id
+	// than nobody — even with the smallest id it would lose: order is
+	// (accTime, id).
+	env.addMember(a, "aa", 1, true)
+	a.HandleTrust("aa", 1)
+	a.HandleAlive(lcAlive("aa", 1, 1, env.now.UnixNano()+int64(1e9), "aa", env.now.UnixNano()+int64(1e9)))
+	if l, _ := leaderID(t, a); l != "a" {
+		t.Fatalf("leader = %q, want a — joining must not demote the incumbent", l)
+	}
+}
+
+func TestOmegaLCAccTimeMaxMerge(t *testing.T) {
+	_, a := startOmegaLC(t)
+	a.HandleTrust("a", 1)
+	a.HandleTrust("q", 1)
+	// q vouches for a with an *old* (small) accusation time…
+	a.HandleAlive(lcAlive("q", 1, 1, 50, "a", 1))
+	// …but a's own heartbeat carries a newer, larger one (it was accused).
+	a.HandleAlive(lcAlive("a", 1, 5, 100, "a", 100))
+	// A later stale vouch from q must not lower a's known accusation time.
+	a.HandleAlive(lcAlive("q", 1, 2, 50, "a", 1))
+	// q (acc 50) must beat a (acc 100) now.
+	if l, _ := leaderID(t, a); l != "q" {
+		t.Fatalf("leader = %q, want q — stale forwarded accusation times must not win", l)
+	}
+}
+
+func TestOmegaLCReorderedReportIgnored(t *testing.T) {
+	_, a := startOmegaLC(t)
+	a.HandleTrust("q", 1)
+	a.HandleTrust("a", 1)
+	a.HandleAlive(lcAlive("a", 1, 1, 1, "a", 1))
+	// q's fresh report (seq 9) vouches for a…
+	a.HandleAlive(lcAlive("q", 1, 9, 50, "a", 1))
+	// …then a delayed older report (seq 3) naming q itself arrives. It
+	// must not replace the fresher vouch.
+	a.HandleAlive(lcAlive("q", 1, 3, 50, "q", 50))
+	a.HandleSuspect("a") // only q's vouch can keep a alive now
+	if l, _ := leaderID(t, a); l != "a" {
+		t.Fatalf("leader = %q, want a — the stale report displaced the fresh vouch", l)
+	}
+}
+
+func TestOmegaLCFillAliveCarriesLocalLeader(t *testing.T) {
+	_, a := startOmegaLC(t)
+	a.HandleTrust("a", 1)
+	a.HandleAlive(lcAlive("a", 1, 1, 1, "a", 1))
+	m := &wire.Alive{}
+	a.FillAlive(m)
+	if !m.HasLocalLeader || m.LocalLeader != "a" {
+		t.Fatalf("FillAlive = %+v, want a local-leader vouch for a", m)
+	}
+	if m.AccTime == 0 {
+		t.Error("FillAlive must carry our own accusation time")
+	}
+}
+
+func TestOmegaLCLeaderLeavesNoAccusation(t *testing.T) {
+	env, a := startOmegaLC(t)
+	a.HandleTrust("a", 1)
+	a.HandleAlive(lcAlive("a", 1, 1, 1, "a", 1))
+	env.accusations = nil
+	// "a" leaves the group: it disappears from membership entirely.
+	env.members = env.members[:1] // only self remains
+	a.HandleMembership()
+	if l, _ := leaderID(t, a); l != "p" {
+		t.Fatalf("leader = %q, want self after everyone left", l)
+	}
+	if len(env.accusations) != 0 {
+		t.Fatal("voluntary departure must not be accused")
+	}
+}

@@ -1,0 +1,215 @@
+// Package fd implements the monitoring side of Chen et al.'s failure
+// detector with QoS (Section 3 of the paper). A Monitor watches one remote
+// process through the ALIVE heartbeats it receives:
+//
+//   - every heartbeat feeds the shared link quality estimator;
+//   - the NFD-S freshness rule keeps the remote trusted until
+//     sendTime + interval + δ of the freshest heartbeat;
+//   - a periodic reconfiguration step recomputes (η, δ) from the QoS spec
+//     and the current link estimate, and asks the remote — through a RATE
+//     message issued by the host — to adjust its sending interval.
+//
+// Trust/suspect transitions are delivered to the host synchronously on the
+// node's event loop.
+package fd
+
+import (
+	"time"
+
+	"stableleader/internal/clock"
+	"stableleader/internal/linkest"
+	"stableleader/qos"
+)
+
+// DefaultReconfigureInterval is how often a monitor re-runs the
+// configurator against fresh link estimates.
+const DefaultReconfigureInterval = time.Second
+
+// rateChangeThreshold is the relative change in the computed heartbeat
+// interval that triggers a new RATE request to the sender; smaller drifts
+// are absorbed silently to avoid RATE chatter.
+const rateChangeThreshold = 0.10
+
+// Config assembles a Monitor's dependencies.
+type Config struct {
+	// Clock supplies time and timers on the host's event loop.
+	Clock clock.Clock
+	// Spec is the QoS requirement for detecting this process's crash.
+	Spec qos.Spec
+	// Estimator is the (possibly shared) link quality estimator for the
+	// incoming link from the monitored process.
+	Estimator *linkest.Estimator
+	// OnEdge is called on every trust/suspect transition.
+	OnEdge func(trusted bool)
+	// RequestRate asks the monitored process to send heartbeats at the
+	// given interval (the host wraps this into a RATE message).
+	RequestRate func(interval time.Duration)
+	// ReconfigureInterval overrides DefaultReconfigureInterval when positive.
+	ReconfigureInterval time.Duration
+}
+
+// Monitor is the per-(group, remote process) failure detector state.
+type Monitor struct {
+	cfg     Config
+	params  qos.Params
+	trusted bool
+	// deadline is the current freshness deadline; zero until the first
+	// heartbeat arrives.
+	deadline time.Time
+	// requested is the last interval communicated to the sender.
+	requested time.Duration
+	// observed is the sending interval advertised by the last heartbeat.
+	// If it drifts from requested, the RATE message was lost (or the
+	// sender restarted): the request is repeated at the next
+	// reconfiguration. Without this, a single lost RATE leaves the link
+	// heartbeating slower than the configured timeout assumes, quietly
+	// voiding the QoS guarantee.
+	observed time.Duration
+
+	deadlineTimer clock.Timer
+	reconfTimer   clock.Timer
+	stopped       bool
+}
+
+// NewMonitor creates a monitor in the suspected state (nothing has been
+// heard yet) and starts its reconfiguration loop. The initial parameters
+// come from the configurator applied to the estimator's current snapshot,
+// and the initial rate is requested immediately.
+func NewMonitor(cfg Config) *Monitor {
+	if cfg.ReconfigureInterval <= 0 {
+		cfg.ReconfigureInterval = DefaultReconfigureInterval
+	}
+	m := &Monitor{cfg: cfg}
+	m.params = qos.Configure(cfg.Spec, statsOf(cfg.Estimator))
+	m.requested = m.params.Interval
+	if cfg.RequestRate != nil {
+		cfg.RequestRate(m.requested)
+	}
+	m.scheduleReconfigure()
+	return m
+}
+
+// statsOf converts the estimator snapshot into configurator input.
+func statsOf(e *linkest.Estimator) qos.LinkStats {
+	s := e.Snapshot()
+	return qos.LinkStats{Loss: s.Loss, MeanDelay: s.MeanDelay, StdDelay: s.StdDelay}
+}
+
+// Params returns the monitor's current (η, δ).
+func (m *Monitor) Params() qos.Params { return m.params }
+
+// Trusted reports whether the remote process is currently trusted.
+func (m *Monitor) Trusted() bool { return m.trusted }
+
+// Deadline returns the current freshness deadline (zero before the first
+// heartbeat).
+func (m *Monitor) Deadline() time.Time { return m.deadline }
+
+// Observe processes one heartbeat: the caller has already fed the link
+// estimator; the monitor extends the freshness deadline if the heartbeat is
+// fresh enough. sendTime and interval come from the message; now is the
+// local receive time.
+func (m *Monitor) Observe(sendTime time.Time, interval time.Duration, now time.Time) {
+	if m.stopped {
+		return
+	}
+	// Guard against a sender advertising an absurd interval.
+	if interval <= 0 {
+		interval = m.params.Interval
+	}
+	m.observed = interval
+	candidate := sendTime.Add(interval + m.params.Timeout)
+	if candidate.After(m.deadline) {
+		m.deadline = candidate
+		m.armDeadline(now)
+		if !m.trusted {
+			m.trusted = true
+			m.edge(true)
+		}
+	}
+}
+
+// armDeadline (re)schedules the suspicion timer for the current deadline.
+func (m *Monitor) armDeadline(now time.Time) {
+	if m.deadlineTimer != nil {
+		m.deadlineTimer.Stop()
+	}
+	d := m.deadline.Sub(now)
+	m.deadlineTimer = m.cfg.Clock.AfterFunc(d, m.expire)
+}
+
+// expire fires when the freshness deadline passes without a fresh heartbeat.
+func (m *Monitor) expire() {
+	if m.stopped {
+		return
+	}
+	now := m.cfg.Clock.Now()
+	if now.Before(m.deadline) {
+		// The deadline moved after this timer was scheduled; re-arm.
+		m.armDeadline(now)
+		return
+	}
+	if m.trusted {
+		m.trusted = false
+		m.edge(false)
+	}
+}
+
+// edge reports a transition to the host.
+func (m *Monitor) edge(trusted bool) {
+	if m.cfg.OnEdge != nil {
+		m.cfg.OnEdge(trusted)
+	}
+}
+
+// scheduleReconfigure arms the periodic configurator run.
+func (m *Monitor) scheduleReconfigure() {
+	m.reconfTimer = m.cfg.Clock.AfterFunc(m.cfg.ReconfigureInterval, func() {
+		if m.stopped {
+			return
+		}
+		m.reconfigure()
+		m.scheduleReconfigure()
+	})
+}
+
+// reconfigure recomputes (η, δ) from the latest link estimate and requests
+// a new heartbeat rate when it changed materially — or when the sender is
+// observably not honouring the previous request (the RATE was lost on an
+// unreliable link, or the sender restarted and fell back to its default).
+func (m *Monitor) reconfigure() {
+	m.params = qos.Configure(m.cfg.Spec, statsOf(m.cfg.Estimator))
+	want := m.params.Interval
+	if m.requested <= 0 {
+		m.requested = want
+	}
+	changed := relativeDiff(want, m.requested) > rateChangeThreshold
+	ignored := m.observed > 0 && relativeDiff(m.observed, m.requested) > rateChangeThreshold
+	if (changed || ignored) && m.cfg.RequestRate != nil {
+		m.requested = want
+		m.cfg.RequestRate(want)
+	}
+}
+
+// relativeDiff is |a-b| / b.
+func relativeDiff(a, b time.Duration) float64 {
+	if b <= 0 {
+		return 0
+	}
+	d := float64(a-b) / float64(b)
+	if d < 0 {
+		return -d
+	}
+	return d
+}
+
+// Stop cancels all timers. The monitor must not be used afterwards.
+func (m *Monitor) Stop() {
+	m.stopped = true
+	if m.deadlineTimer != nil {
+		m.deadlineTimer.Stop()
+	}
+	if m.reconfTimer != nil {
+		m.reconfTimer.Stop()
+	}
+}

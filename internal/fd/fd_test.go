@@ -1,0 +1,244 @@
+package fd
+
+import (
+	"testing"
+	"time"
+
+	"stableleader/internal/clock"
+	"stableleader/internal/linkest"
+	"stableleader/internal/simnet"
+	"stableleader/qos"
+)
+
+// harness wires a monitor to a virtual clock and records its outputs.
+type harness struct {
+	eng   *simnet.Engine
+	est   *linkest.Estimator
+	mon   *Monitor
+	edges []bool
+	rates []time.Duration
+}
+
+func newHarness(t *testing.T, spec qos.Spec) *harness {
+	t.Helper()
+	h := &harness{eng: simnet.NewEngine(1), est: linkest.New()}
+	h.mon = NewMonitor(Config{
+		Clock:       clockAdapter{h.eng},
+		Spec:        spec,
+		Estimator:   h.est,
+		OnEdge:      func(trusted bool) { h.edges = append(h.edges, trusted) },
+		RequestRate: func(iv time.Duration) { h.rates = append(h.rates, iv) },
+	})
+	return h
+}
+
+// clockAdapter exposes the engine as a clock.Clock.
+type clockAdapter struct{ eng *simnet.Engine }
+
+func (c clockAdapter) Now() time.Time { return c.eng.Now() }
+func (c clockAdapter) AfterFunc(d time.Duration, fn func()) clock.Timer {
+	return c.eng.After(d, fn)
+}
+
+// heartbeat feeds one heartbeat stamped now with the given interval, as the
+// host would after receiving an ALIVE.
+func (h *harness) heartbeat(seq uint64, interval time.Duration) {
+	now := h.eng.Now()
+	h.est.Observe("g", seq, 0)
+	h.mon.Observe(now, interval, now)
+}
+
+func TestInitialRateRequested(t *testing.T) {
+	h := newHarness(t, qos.Default())
+	if len(h.rates) != 1 {
+		t.Fatalf("rates requested at construction = %d, want 1", len(h.rates))
+	}
+	if h.rates[0] != h.mon.Params().Interval {
+		t.Errorf("requested %v, params say %v", h.rates[0], h.mon.Params().Interval)
+	}
+}
+
+func TestTrustOnFirstHeartbeatSuspectOnSilence(t *testing.T) {
+	h := newHarness(t, qos.Default())
+	if h.mon.Trusted() {
+		t.Fatal("monitor must start suspected (nothing heard yet)")
+	}
+	interval := 100 * time.Millisecond
+	h.heartbeat(1, interval)
+	if !h.mon.Trusted() {
+		t.Fatal("first heartbeat should establish trust")
+	}
+	if len(h.edges) != 1 || !h.edges[0] {
+		t.Fatalf("edges = %v, want [true]", h.edges)
+	}
+	// Silence: suspicion must fire by interval + timeout.
+	h.eng.RunFor(interval + h.mon.Params().Timeout + time.Millisecond)
+	if h.mon.Trusted() {
+		t.Fatal("monitor still trusting after the freshness deadline")
+	}
+	if len(h.edges) != 2 || h.edges[1] {
+		t.Fatalf("edges = %v, want [true false]", h.edges)
+	}
+}
+
+func TestDetectionWithinBound(t *testing.T) {
+	spec := qos.Default()
+	h := newHarness(t, spec)
+	// Steady heartbeats from a sender that obeys RATE requests (it always
+	// advertises the monitor's current interval), then a crash.
+	var lastSend time.Time
+	var interval time.Duration
+	for i := 1; i <= 500; i++ {
+		interval = h.mon.Params().Interval
+		lastSend = h.eng.Now()
+		h.heartbeat(uint64(i), interval)
+		h.eng.RunFor(interval)
+	}
+	// The sender is dead now. Detection must happen within interval+delta
+	// of the last heartbeat, which the configurator keeps at or under TdU.
+	deadline := lastSend.Add(interval + h.mon.Params().Timeout)
+	for h.mon.Trusted() {
+		if !h.eng.Now().Before(deadline.Add(time.Millisecond)) {
+			t.Fatalf("still trusted at %v, deadline was %v", h.eng.Now(), deadline)
+		}
+		h.eng.RunFor(time.Millisecond)
+	}
+	if detection := h.eng.Now().Sub(lastSend); detection > spec.DetectionTime+2*time.Millisecond {
+		t.Errorf("detection took %v from last heartbeat, bound is %v", detection, spec.DetectionTime)
+	}
+}
+
+func TestNoFalseSuspicionUnderSteadyHeartbeats(t *testing.T) {
+	h := newHarness(t, qos.Default())
+	interval := h.mon.Params().Interval
+	for i := 1; i <= 2000; i++ {
+		h.heartbeat(uint64(i), interval)
+		h.eng.RunFor(interval)
+	}
+	for _, e := range h.edges[1:] {
+		if !e {
+			t.Fatal("monitor suspected a steadily heartbeating process")
+		}
+	}
+}
+
+func TestReTrustAfterResume(t *testing.T) {
+	h := newHarness(t, qos.Default())
+	interval := 50 * time.Millisecond
+	h.heartbeat(1, interval)
+	h.eng.RunFor(2 * time.Second) // silence: suspicion
+	if h.mon.Trusted() {
+		t.Fatal("expected suspicion after 2s of silence")
+	}
+	h.heartbeat(2, interval)
+	if !h.mon.Trusted() {
+		t.Fatal("resumed heartbeats should restore trust")
+	}
+	want := []bool{true, false, true}
+	if len(h.edges) != len(want) {
+		t.Fatalf("edges = %v, want %v", h.edges, want)
+	}
+}
+
+func TestStaleHeartbeatDoesNotRegressDeadline(t *testing.T) {
+	h := newHarness(t, qos.Default())
+	interval := 100 * time.Millisecond
+	now := h.eng.Now()
+	h.est.Observe("g", 5, 0)
+	h.mon.Observe(now, interval, now)
+	d1 := h.mon.Deadline()
+	// A reordered heartbeat sent earlier arrives late: deadline unchanged.
+	h.est.Observe("g", 4, 0)
+	h.mon.Observe(now.Add(-3*interval), interval, now)
+	if !h.mon.Deadline().Equal(d1) {
+		t.Errorf("deadline regressed from %v to %v", d1, h.mon.Deadline())
+	}
+}
+
+func TestSenderIntervalGovernsDeadline(t *testing.T) {
+	h := newHarness(t, qos.Default())
+	// The sender declares a much longer interval than we asked for (e.g.
+	// our RATE was lost): the monitor must wait interval+delta, not
+	// suspect early.
+	declared := 700 * time.Millisecond
+	h.heartbeat(1, declared)
+	h.eng.RunFor(declared + h.mon.Params().Timeout - time.Millisecond)
+	if !h.mon.Trusted() {
+		t.Fatal("suspected before the declared interval + timeout elapsed")
+	}
+	h.eng.RunFor(5 * time.Millisecond)
+	if h.mon.Trusted() {
+		t.Fatal("not suspected after the declared interval + timeout")
+	}
+}
+
+func TestReconfigureRequestsNewRateWhenLinkDegrades(t *testing.T) {
+	h := newHarness(t, qos.Default())
+	initial := h.rates[0]
+	// Feed the estimator a terrible link: 30% loss, 50ms delays.
+	seq := uint64(0)
+	rngDrop := 0
+	for i := 0; i < 3000; i++ {
+		seq++
+		rngDrop++
+		if rngDrop%3 == 0 {
+			continue // lost heartbeat (gap)
+		}
+		h.est.Observe("g", seq, 50*time.Millisecond)
+	}
+	// Let several reconfiguration rounds run.
+	h.eng.RunFor(5 * time.Second)
+	if len(h.rates) < 2 {
+		t.Fatalf("no new RATE requested after the link degraded (rates=%v)", h.rates)
+	}
+	last := h.rates[len(h.rates)-1]
+	if last >= initial {
+		t.Errorf("degraded link should demand faster heartbeats: %v -> %v", initial, last)
+	}
+}
+
+func TestStopCancelsTimers(t *testing.T) {
+	h := newHarness(t, qos.Default())
+	h.heartbeat(1, 50*time.Millisecond)
+	h.mon.Stop()
+	edgesBefore := len(h.edges)
+	h.eng.RunFor(time.Minute)
+	if len(h.edges) != edgesBefore {
+		t.Error("edges delivered after Stop")
+	}
+	if h.eng.Pending() != 0 {
+		// Stopped timers may linger in the heap but must all be cancelled;
+		// RunFor above drains them. Anything left pending would be a leak.
+		t.Errorf("%d events still pending after Stop and a minute of draining", h.eng.Pending())
+	}
+}
+
+func TestObserveAfterStopIgnored(t *testing.T) {
+	h := newHarness(t, qos.Default())
+	h.mon.Stop()
+	h.heartbeat(1, 50*time.Millisecond)
+	if h.mon.Trusted() || len(h.edges) != 0 {
+		t.Error("stopped monitor processed a heartbeat")
+	}
+}
+
+// TestLostRateIsRepeated is a regression test for a robustness gap found by
+// the multi-seed stability sweep: if the initial RATE request is lost, the
+// sender keeps heartbeating at its slow default while the monitor's timeout
+// assumes the fast configured rate, silently voiding the QoS. The monitor
+// must notice the advertised interval differs from its request and repeat
+// the request.
+func TestLostRateIsRepeated(t *testing.T) {
+	h := newHarness(t, qos.Default())
+	requested := h.rates[0]
+	// The sender clearly ignores us: its heartbeats advertise a much
+	// larger interval than requested.
+	ignoredInterval := 4 * requested
+	for i := 1; i <= 20; i++ {
+		h.heartbeat(uint64(i), ignoredInterval)
+		h.eng.RunFor(ignoredInterval)
+	}
+	if len(h.rates) < 2 {
+		t.Fatalf("monitor never repeated its RATE request (rates=%v)", h.rates)
+	}
+}

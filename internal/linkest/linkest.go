@@ -1,0 +1,163 @@
+// Package linkest implements the link quality estimator of the failure
+// detector architecture (Figure 1 of the paper): from the stream of ALIVE
+// messages received over a directed link it continuously estimates
+//
+//   - pL, the probability of message loss (from sequence-number gaps),
+//   - Ed, the expected message delay, and
+//   - Sd, the standard deviation of the message delay,
+//
+// which the failure detector configurator consumes to compute the heartbeat
+// interval and timeout that meet the application's QoS.
+//
+// The estimator forgets old behaviour exponentially (counters are halved
+// once a window's worth of samples accumulates) so the failure detector
+// adapts to changing network conditions, as required in Section 3.
+package linkest
+
+import (
+	"math"
+	"time"
+
+	"stableleader/id"
+)
+
+// Defaults used until enough samples arrive. They are deliberately
+// pessimistic (a mediocre link) so the failure detector starts conservative
+// and relaxes as evidence accumulates.
+const (
+	defaultLoss      = 0.02
+	defaultMeanDelay = 5 * time.Millisecond
+	defaultStdDelay  = 5 * time.Millisecond
+
+	// windowSize is the effective sample memory: once this many weighted
+	// samples accumulate, all accumulators are halved.
+	windowSize = 2000
+
+	// minSamples is how many real samples are required before the
+	// estimator trusts its own numbers over the defaults.
+	minSamples = 8
+)
+
+// Stats is a snapshot of the estimated link quality.
+type Stats struct {
+	// Loss is the estimated probability that a message is dropped.
+	Loss float64
+	// MeanDelay is the estimated expected one-way delay.
+	MeanDelay time.Duration
+	// StdDelay is the estimated standard deviation of the one-way delay.
+	StdDelay time.Duration
+	// Samples is the (decayed) number of delay observations backing the
+	// estimate.
+	Samples float64
+}
+
+// DefaultStats returns the pre-evidence estimate.
+func DefaultStats() Stats {
+	return Stats{Loss: defaultLoss, MeanDelay: defaultMeanDelay, StdDelay: defaultStdDelay}
+}
+
+// Estimator estimates the quality of one incoming directed link. One
+// estimator is shared by every group that monitors the same remote process
+// (the cost-sharing architecture of Section 4); heartbeat streams of
+// different groups are distinguished by a stream key so sequence gaps are
+// counted per stream.
+type Estimator struct {
+	// loss accounting (decayed counts).
+	recv float64
+	lost float64
+	// delay accounting (decayed sums, in seconds).
+	n     float64
+	sum   float64
+	sumSq float64
+	// lastSeq tracks the highest sequence number seen per heartbeat stream.
+	lastSeq map[id.Group]uint64
+}
+
+// New returns an empty estimator.
+func New() *Estimator {
+	return &Estimator{lastSeq: make(map[id.Group]uint64)}
+}
+
+// Reset discards all state, e.g. when the remote process restarts with a
+// new incarnation (its sequence numbering restarts too).
+func (e *Estimator) Reset() {
+	*e = Estimator{lastSeq: make(map[id.Group]uint64)}
+}
+
+// Observe records the arrival of heartbeat seq on the given stream with the
+// measured one-way delay. Sequence gaps count as losses; duplicates and
+// reordered arrivals are counted as received without reopening past gaps
+// (a late message we already counted lost slightly overestimates pL, the
+// conservative direction for the configurator).
+func (e *Estimator) Observe(stream id.Group, seq uint64, delay time.Duration) {
+	if delay < 0 {
+		// Clock skew on real networks can produce slightly negative
+		// timestamps; treat as an instantaneous delivery.
+		delay = 0
+	}
+	last, seen := e.lastSeq[stream]
+	switch {
+	case !seen:
+		e.lastSeq[stream] = seq
+	case seq > last:
+		gap := float64(seq - last - 1)
+		// A burst of losses larger than the window carries no more
+		// information than "the link is terrible"; cap it so a single
+		// outage cannot dominate the decayed counters forever.
+		if gap > windowSize/2 {
+			gap = windowSize / 2
+		}
+		e.lost += gap
+		e.lastSeq[stream] = seq
+	default:
+		// Duplicate or reordered: already accounted as lost; fall through
+		// so the success still improves the loss estimate and the delay
+		// sample is still used.
+	}
+	e.recv++
+	d := delay.Seconds()
+	e.n++
+	e.sum += d
+	e.sumSq += d * d
+	e.decay()
+}
+
+// decay halves all accumulators once a window of samples accumulates,
+// giving the estimator an exponentially fading memory.
+func (e *Estimator) decay() {
+	if e.recv+e.lost > windowSize {
+		e.recv /= 2
+		e.lost /= 2
+	}
+	if e.n > windowSize {
+		e.n /= 2
+		e.sum /= 2
+		e.sumSq /= 2
+	}
+}
+
+// Snapshot returns the current estimate, falling back to the defaults until
+// minSamples observations have arrived.
+func (e *Estimator) Snapshot() Stats {
+	if e.n < minSamples {
+		return DefaultStats()
+	}
+	mean := e.sum / e.n
+	variance := e.sumSq/e.n - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	// Loss is estimated with two pseudo-losses added (a conservative upper
+	// bound in the spirit of the Wilson interval): a young estimator that
+	// happened to see no gaps must not report a lossless link — the
+	// configurator would instantly relax to its most aggressive parameters
+	// and void the QoS until reality catches up. With a full window of
+	// evidence the two pseudo-counts are negligible (2/2000 = 0.1%).
+	loss := (e.lost + 2) / (e.recv + e.lost + 2)
+	return Stats{
+		Loss:      loss,
+		MeanDelay: time.Duration(mean * float64(time.Second)),
+		StdDelay:  time.Duration(math.Sqrt(variance) * float64(time.Second)),
+		Samples:   e.n,
+	}
+}

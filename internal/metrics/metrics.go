@@ -1,0 +1,321 @@
+// Package metrics computes the leader election QoS metrics of Section 5 of
+// the paper from an experiment's ground truth:
+//
+//   - Tr, the leader recovery time: how long a group stays leaderless after
+//     its common leader crashes;
+//   - λu, the average mistake rate: unjustified demotions (a functional
+//     leader losing common leadership) per hour;
+//   - Pleader, the leader availability: the fraction of time at which some
+//     alive process ℓ is the leader of every alive process in the group.
+//
+// The Observer consumes a time-ordered stream of events — process up/down
+// transitions from the fault injector and per-process leader view changes
+// from the service's interrupt callbacks — and integrates the "group has a
+// leader" predicate exactly as the paper defines it: at time t the group
+// has a leader iff there is an alive process ℓ such that every alive
+// process's current view names ℓ.
+package metrics
+
+import (
+	"fmt"
+	"time"
+
+	"stableleader/id"
+	"stableleader/internal/stats"
+)
+
+// view is one process's current leader opinion. Views name a specific
+// incarnation: trusting a previous lifetime of a process is not the same as
+// trusting its current one.
+type view struct {
+	leader id.Process
+	inc    int64
+	ok     bool
+}
+
+// Observer integrates the QoS metrics online.
+type Observer struct {
+	group id.Group
+	from  time.Time // accounting starts here (warm-up excluded)
+	last  time.Time // time of the previous event
+
+	// up is every process whose service instance is running; joined is the
+	// subset whose join has completed (first leader answer, or the host
+	// force-joins after a bounded grace). The availability predicate
+	// quantifies over joined processes — a process still executing the join
+	// protocol is not yet "in the group" — but a leader only needs to be
+	// up, not joined, to count as operational.
+	up     map[id.Process]bool
+	joined map[id.Process]bool
+	views  map[id.Process]view
+	// curInc is the incarnation currently running for each up process.
+	curInc map[id.Process]int64
+
+	// derived state
+	hasLeader bool
+	leader    id.Process
+	leaderInc int64
+
+	// accumulators
+	leaderTime time.Duration
+	total      time.Duration
+
+	// leader recovery (Tr)
+	trPending   bool
+	trCrashedAt time.Time
+	trSamples   stats.Welford
+	trAll       []time.Duration
+
+	// unjustified demotions (λu)
+	lastCommon        id.Process
+	lastCommonInc     int64
+	lastCommonValid   bool
+	lastCommonCrashed bool
+	demotions         int64
+	leaderChanges     int64
+}
+
+// NewObserver starts observing a group. Accounting of time-based metrics
+// begins at from; events before from still update state (so the predicate
+// is correct at from) but do not accumulate.
+func NewObserver(group id.Group, from time.Time) *Observer {
+	return &Observer{
+		group:  group,
+		from:   from,
+		last:   from,
+		up:     make(map[id.Process]bool),
+		joined: make(map[id.Process]bool),
+		views:  make(map[id.Process]view),
+		curInc: make(map[id.Process]int64),
+	}
+}
+
+// advance integrates the current predicate value up to t.
+func (o *Observer) advance(t time.Time) {
+	if t.Before(o.from) {
+		return
+	}
+	start := o.last
+	if start.Before(o.from) {
+		start = o.from
+	}
+	if d := t.Sub(start); d > 0 {
+		o.total += d
+		if o.hasLeader {
+			o.leaderTime += d
+		}
+	}
+	if t.After(o.last) {
+		o.last = t
+	}
+}
+
+// NodeUp records that p's service instance started (or recovered) at t
+// with the given incarnation. The process counts as operational (it may be
+// elected) but is not yet in the availability predicate until its join
+// completes.
+func (o *Observer) NodeUp(t time.Time, p id.Process, incarnation int64) {
+	o.advance(t)
+	o.up[p] = true
+	o.joined[p] = false
+	o.views[p] = view{}
+	o.curInc[p] = incarnation
+	o.refresh(t, false)
+}
+
+// MarkJoined records that p's join protocol completed (the host bounds the
+// join duration; a leaderless group cannot hide behind joining forever).
+func (o *Observer) MarkJoined(t time.Time, p id.Process) {
+	o.advance(t)
+	if !o.up[p] || o.joined[p] {
+		return
+	}
+	o.joined[p] = true
+	o.refresh(t, false)
+}
+
+// NodeDown records that p crashed at t.
+func (o *Observer) NodeDown(t time.Time, p id.Process) {
+	o.advance(t)
+	crashedLeader := o.hasLeader && o.leader == p
+	delete(o.up, p)
+	delete(o.joined, p)
+	delete(o.views, p)
+	delete(o.curInc, p)
+	if o.lastCommonValid && o.lastCommon == p {
+		o.lastCommonCrashed = true
+	}
+	o.refresh(t, false)
+	if crashedLeader && !o.hasLeader && !t.Before(o.from) {
+		// The common leader crashed: the recovery clock starts now.
+		o.trPending = true
+		o.trCrashedAt = t
+	}
+}
+
+// NodeLeft records a voluntary departure: the process is no longer part of
+// the group predicate and its displacement does not count as a mistake.
+func (o *Observer) NodeLeft(t time.Time, p id.Process) {
+	o.advance(t)
+	delete(o.up, p)
+	delete(o.joined, p)
+	delete(o.views, p)
+	delete(o.curInc, p)
+	if o.lastCommonValid && o.lastCommon == p {
+		// Leaving is voluntary: a successor is not a demotion mistake.
+		o.lastCommonCrashed = true
+	}
+	o.refresh(t, false)
+}
+
+// LeaderView records that process p's local view changed at t, naming a
+// specific leader incarnation. The first elected view completes p's join.
+func (o *Observer) LeaderView(t time.Time, p id.Process, leader id.Process, leaderInc int64, ok bool) {
+	o.advance(t)
+	if !o.up[p] {
+		return
+	}
+	o.views[p] = view{leader: leader, inc: leaderInc, ok: ok}
+	if ok {
+		o.joined[p] = true
+	}
+	o.refresh(t, true)
+}
+
+// refresh recomputes the group predicate and handles transitions.
+func (o *Observer) refresh(t time.Time, countChange bool) {
+	had, prev, prevInc := o.hasLeader, o.leader, o.leaderInc
+	o.hasLeader, o.leader, o.leaderInc = o.evaluate()
+	if !had && o.hasLeader {
+		o.established(t)
+	}
+	if countChange && had && o.hasLeader && (prev != o.leader || prevInc != o.leaderInc) {
+		// Direct switch without a leaderless gap (possible when the last
+		// disagreeing process flips): still an establishment of a new
+		// common leader.
+		o.established(t)
+	}
+}
+
+// evaluate applies the paper's predicate to the current state: some alive
+// process ℓ is the leader in the view of every joined alive process. Views
+// must agree on ℓ's incarnation, and that incarnation must be the one
+// currently running — trusting a dead lifetime of ℓ does not make the group
+// led.
+func (o *Observer) evaluate() (bool, id.Process, int64) {
+	var leader id.Process
+	var leaderInc int64
+	members := 0
+	for p := range o.up {
+		if !o.joined[p] {
+			continue
+		}
+		v := o.views[p]
+		if !v.ok {
+			return false, "", 0
+		}
+		if members == 0 {
+			leader, leaderInc = v.leader, v.inc
+		} else if v.leader != leader || v.inc != leaderInc {
+			return false, "", 0
+		}
+		members++
+	}
+	if members == 0 || !o.up[leader] || o.curInc[leader] != leaderInc {
+		return false, "", 0
+	}
+	return true, leader, leaderInc
+}
+
+// established handles the moment a common alive leader exists (again).
+func (o *Observer) established(t time.Time) {
+	if t.Before(o.from) {
+		o.lastCommon, o.lastCommonInc, o.lastCommonValid = o.leader, o.leaderInc, true
+		o.lastCommonCrashed = false
+		return
+	}
+	if o.trPending {
+		o.trPending = false
+		d := t.Sub(o.trCrashedAt)
+		o.trSamples.Add(d.Seconds())
+		o.trAll = append(o.trAll, d)
+	}
+	if o.lastCommonValid && (o.leader != o.lastCommon || o.leaderInc != o.lastCommonInc) {
+		o.leaderChanges++
+		// Unjustified only if the demoted leader's very incarnation is
+		// still running: a leader that crashed and restarted lost its
+		// leadership because of the crash, however fast it came back.
+		if !o.lastCommonCrashed && o.up[o.lastCommon] && o.curInc[o.lastCommon] == o.lastCommonInc {
+			o.demotions++
+			if debugDemotions {
+				fmt.Printf("DEMOTION at %v: %s -> %s (old up=%v)\n", t, o.lastCommon, o.leader, o.up[o.lastCommon])
+			}
+		}
+	}
+	o.lastCommon, o.lastCommonInc, o.lastCommonValid = o.leader, o.leaderInc, true
+	o.lastCommonCrashed = false
+}
+
+// Report is the final metric set of one experiment.
+type Report struct {
+	// Group identifies the observed group.
+	Group id.Group
+	// Duration is the accounted observation window.
+	Duration time.Duration
+	// Pleader is the leader availability in [0, 1].
+	Pleader float64
+	// TrMean is the average leader recovery time; TrCI95 its 95% CI
+	// half-width; TrSamples the number of leader crashes measured.
+	TrMean    time.Duration
+	TrCI95    time.Duration
+	TrSamples int64
+	// Tr holds the individual recovery samples.
+	Tr []time.Duration
+	// MistakesPerHour is λu; MistakesCI95 its 95% CI half-width;
+	// Demotions the raw unjustified demotion count.
+	MistakesPerHour float64
+	MistakesCI95    float64
+	Demotions       int64
+	// LeaderChanges counts all common-leader successions (justified or not).
+	LeaderChanges int64
+}
+
+// Finish closes the observation window at end and returns the report.
+func (o *Observer) Finish(end time.Time) Report {
+	o.advance(end)
+	r := Report{
+		Group:         o.group,
+		Duration:      o.total,
+		TrSamples:     o.trSamples.N(),
+		Tr:            append([]time.Duration(nil), o.trAll...),
+		Demotions:     o.demotions,
+		LeaderChanges: o.leaderChanges,
+	}
+	if o.total > 0 {
+		r.Pleader = float64(o.leaderTime) / float64(o.total)
+	}
+	if o.trSamples.N() > 0 {
+		r.TrMean = time.Duration(o.trSamples.Mean() * float64(time.Second))
+		r.TrCI95 = time.Duration(o.trSamples.CI95() * float64(time.Second))
+	}
+	hours := o.total.Hours()
+	if hours > 0 {
+		r.MistakesPerHour = float64(o.demotions) / hours
+		r.MistakesCI95 = stats.PoissonRateCI95(o.demotions, hours)
+	}
+	return r
+}
+
+// String renders the headline numbers.
+func (r Report) String() string {
+	return fmt.Sprintf("group=%s Pleader=%.4f%% Tr=%v±%v (n=%d) λu=%.2f±%.2f/h demotions=%d changes=%d over %v",
+		r.Group, 100*r.Pleader, r.TrMean, r.TrCI95, r.TrSamples,
+		r.MistakesPerHour, r.MistakesCI95, r.Demotions, r.LeaderChanges, r.Duration)
+}
+
+// debugDemotions enables diagnostic printing of demotion events; used only
+// by internal debugging tools.
+var debugDemotions = false
+
+// SetDebugDemotions toggles demotion diagnostics (internal tooling).
+func SetDebugDemotions(v bool) { debugDemotions = v }

@@ -1,0 +1,265 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"stableleader/id"
+)
+
+// at is a convenient absolute timestamp: t0 + seconds.
+var t0 = time.Date(2008, 3, 1, 0, 0, 0, 0, time.UTC)
+
+func at(seconds float64) time.Time {
+	return t0.Add(time.Duration(seconds * float64(time.Second)))
+}
+
+// boot brings a process up and completes its join with the given view.
+func boot(o *Observer, t time.Time, p id.Process, leader id.Process, inc int64) {
+	o.NodeUp(t, p, 1)
+	o.LeaderView(t, p, leader, inc, true)
+}
+
+func TestPleaderFullAgreement(t *testing.T) {
+	o := NewObserver("g", t0)
+	boot(o, at(0), "a", "a", 1)
+	boot(o, at(0), "b", "a", 1)
+	r := o.Finish(at(100))
+	if r.Pleader != 1.0 {
+		t.Errorf("Pleader = %v, want 1.0", r.Pleader)
+	}
+	if r.Demotions != 0 || r.TrSamples != 0 {
+		t.Errorf("unexpected events: %+v", r)
+	}
+}
+
+func TestDisagreementBreaksCommonality(t *testing.T) {
+	o := NewObserver("g", t0)
+	boot(o, at(0), "a", "a", 1)
+	boot(o, at(0), "b", "a", 1)
+	// b switches to itself for 10 seconds, then back.
+	o.LeaderView(at(40), "b", "b", 1, true)
+	o.LeaderView(at(50), "b", "a", 1, true)
+	r := o.Finish(at(100))
+	if want := 0.9; math.Abs(r.Pleader-want) > 1e-9 {
+		t.Errorf("Pleader = %v, want %v", r.Pleader, want)
+	}
+}
+
+func TestLeaderMustBeAlive(t *testing.T) {
+	o := NewObserver("g", t0)
+	boot(o, at(0), "a", "a", 1)
+	boot(o, at(0), "b", "a", 1)
+	// a crashes at t=60; views still agree on a, but a is dead.
+	o.NodeDown(at(60), "a")
+	r := o.Finish(at(100))
+	if want := 0.6; math.Abs(r.Pleader-want) > 1e-9 {
+		t.Errorf("Pleader = %v, want %v", r.Pleader, want)
+	}
+}
+
+func TestTrSampleOnLeaderCrash(t *testing.T) {
+	o := NewObserver("g", t0)
+	boot(o, at(0), "a", "a", 1)
+	boot(o, at(0), "b", "a", 1)
+	o.NodeDown(at(10), "a")
+	// b elects itself 1.5 seconds later.
+	o.LeaderView(at(11.5), "b", "b", 1, true)
+	r := o.Finish(at(100))
+	if r.TrSamples != 1 {
+		t.Fatalf("TrSamples = %d, want 1", r.TrSamples)
+	}
+	if want := 1500 * time.Millisecond; r.TrMean != want {
+		t.Errorf("TrMean = %v, want %v", r.TrMean, want)
+	}
+	// The succession is justified (the old leader crashed).
+	if r.Demotions != 0 {
+		t.Errorf("Demotions = %d, want 0", r.Demotions)
+	}
+	if r.LeaderChanges != 1 {
+		t.Errorf("LeaderChanges = %d, want 1", r.LeaderChanges)
+	}
+}
+
+func TestNoTrSampleWhenNonLeaderCrashes(t *testing.T) {
+	o := NewObserver("g", t0)
+	boot(o, at(0), "a", "a", 1)
+	boot(o, at(0), "b", "a", 1)
+	o.NodeDown(at(10), "b")
+	r := o.Finish(at(100))
+	if r.TrSamples != 0 {
+		t.Errorf("TrSamples = %d, want 0 — only leader crashes start the recovery clock", r.TrSamples)
+	}
+	if r.Pleader != 1.0 {
+		t.Errorf("Pleader = %v, want 1.0 (survivor agrees with itself)", r.Pleader)
+	}
+}
+
+func TestUnjustifiedDemotion(t *testing.T) {
+	o := NewObserver("g", t0)
+	boot(o, at(0), "a", "b", 1)
+	boot(o, at(0), "b", "b", 1)
+	// Both switch to a while b is alive and well: the omega-id pattern.
+	o.LeaderView(at(50), "a", "a", 1, true)
+	o.LeaderView(at(50.2), "b", "a", 1, true)
+	r := o.Finish(at(100))
+	if r.Demotions != 1 {
+		t.Fatalf("Demotions = %d, want 1", r.Demotions)
+	}
+	if want := 1.0 / (100.0 / 3600); math.Abs(r.MistakesPerHour-want) > 1e-9 {
+		t.Errorf("MistakesPerHour = %v, want %v", r.MistakesPerHour, want)
+	}
+}
+
+func TestJustifiedDemotionAfterCrashAndFastRecovery(t *testing.T) {
+	// The leader crashes and recovers faster than detection; the group
+	// then replaces it. Per the paper this is NOT a mistake: the leader
+	// did crash.
+	o := NewObserver("g", t0)
+	boot(o, at(0), "a", "a", 1)
+	boot(o, at(0), "b", "a", 1)
+	o.NodeDown(at(10), "a")
+	o.NodeUp(at(10.4), "a", 2) // fast recovery, new incarnation
+	// b (and then a) settle on b.
+	o.LeaderView(at(11), "b", "b", 1, true)
+	o.LeaderView(at(11.1), "a", "b", 1, true)
+	r := o.Finish(at(100))
+	if r.Demotions != 0 {
+		t.Fatalf("Demotions = %d, want 0 — the old incarnation crashed", r.Demotions)
+	}
+	if r.TrSamples != 1 {
+		t.Fatalf("TrSamples = %d, want 1", r.TrSamples)
+	}
+}
+
+func TestStaleViewsOfOldIncarnationDoNotCount(t *testing.T) {
+	o := NewObserver("g", t0)
+	boot(o, at(0), "a", "a", 1)
+	boot(o, at(0), "b", "a", 1)
+	o.NodeDown(at(10), "a")
+	o.NodeUp(at(10.2), "a", 2)
+	// b still views (a, inc 1): the incarnation no longer exists, so the
+	// group must NOT count as led even though "a" is up.
+	o.MarkJoined(at(12), "a")
+	r := o.Finish(at(20))
+	// Led 0..10 only: 10 of 20 seconds.
+	if want := 0.5; math.Abs(r.Pleader-want) > 1e-9 {
+		t.Errorf("Pleader = %v, want %v", r.Pleader, want)
+	}
+}
+
+func TestVoluntaryLeaveIsNotADemotion(t *testing.T) {
+	o := NewObserver("g", t0)
+	boot(o, at(0), "a", "a", 1)
+	boot(o, at(0), "b", "a", 1)
+	o.NodeLeft(at(10), "a")
+	o.LeaderView(at(10.5), "b", "b", 1, true)
+	r := o.Finish(at(100))
+	if r.Demotions != 0 {
+		t.Errorf("Demotions = %d, want 0 for a voluntary departure", r.Demotions)
+	}
+	if r.TrSamples != 0 {
+		t.Errorf("TrSamples = %d, want 0 — leaving is not a crash", r.TrSamples)
+	}
+}
+
+func TestJoiningProcessExcludedUntilJoined(t *testing.T) {
+	o := NewObserver("g", t0)
+	boot(o, at(0), "a", "a", 1)
+	boot(o, at(0), "b", "a", 1)
+	// c boots at t=50 and takes 2 seconds to learn the leader. The group
+	// must not count as leaderless during c's join.
+	o.NodeUp(at(50), "c", 1)
+	o.LeaderView(at(52), "c", "a", 1, true)
+	r := o.Finish(at(100))
+	if r.Pleader != 1.0 {
+		t.Errorf("Pleader = %v, want 1.0 — joining processes are not yet group members", r.Pleader)
+	}
+}
+
+func TestForceJoinCountsLeaderlessJoiner(t *testing.T) {
+	o := NewObserver("g", t0)
+	boot(o, at(0), "a", "a", 1)
+	o.NodeUp(at(50), "c", 1)
+	// The host bounds the join at 2s: c becomes a member with no view.
+	o.MarkJoined(at(52), "c")
+	o.LeaderView(at(62), "c", "a", 1, true)
+	r := o.Finish(at(100))
+	// Leaderless 52..62.
+	if want := 0.9; math.Abs(r.Pleader-want) > 1e-9 {
+		t.Errorf("Pleader = %v, want %v", r.Pleader, want)
+	}
+}
+
+func TestWarmupExcluded(t *testing.T) {
+	o := NewObserver("g", at(30))
+	// Total chaos before the warm-up boundary...
+	o.NodeUp(at(0), "a", 1)
+	o.NodeUp(at(0), "b", 1)
+	o.LeaderView(at(29), "a", "a", 1, true)
+	o.LeaderView(at(29.5), "b", "a", 1, true)
+	r := o.Finish(at(130))
+	// ...must not count: from t=30 on the group is perfectly led.
+	if r.Pleader != 1.0 {
+		t.Errorf("Pleader = %v, want 1.0", r.Pleader)
+	}
+	if r.Duration != 100*time.Second {
+		t.Errorf("Duration = %v, want 100s", r.Duration)
+	}
+}
+
+func TestEmptyGroupIsLeaderless(t *testing.T) {
+	o := NewObserver("g", t0)
+	boot(o, at(0), "a", "a", 1)
+	o.NodeDown(at(40), "a")
+	r := o.Finish(at(100))
+	if want := 0.4; math.Abs(r.Pleader-want) > 1e-9 {
+		t.Errorf("Pleader = %v, want %v", r.Pleader, want)
+	}
+}
+
+func TestTrSpansMultipleCrashes(t *testing.T) {
+	o := NewObserver("g", t0)
+	boot(o, at(0), "a", "a", 1)
+	boot(o, at(0), "b", "a", 1)
+	boot(o, at(0), "c", "a", 1)
+	// Leader a crashes; b and c converge on b after 1s; then b crashes;
+	// c elects itself after 2s.
+	o.NodeDown(at(10), "a")
+	o.LeaderView(at(11), "b", "b", 1, true)
+	o.LeaderView(at(11), "c", "b", 1, true)
+	o.NodeDown(at(20), "b")
+	o.LeaderView(at(22), "c", "c", 1, true)
+	r := o.Finish(at(100))
+	if r.TrSamples != 2 {
+		t.Fatalf("TrSamples = %d, want 2", r.TrSamples)
+	}
+	if want := 1500 * time.Millisecond; r.TrMean != want {
+		t.Errorf("TrMean = %v, want %v (mean of 1s and 2s)", r.TrMean, want)
+	}
+}
+
+func TestDirectSwitchWithoutGapCountsChange(t *testing.T) {
+	// Single-member group: its view flips directly a->b with no leaderless
+	// gap. The succession (and potential demotion) must still register.
+	o := NewObserver("g", t0)
+	boot(o, at(0), "a", "a", 1)
+	boot(o, at(0), "b", "a", 1)
+	o.LeaderView(at(10), "a", "b", 1, true)
+	o.LeaderView(at(10), "b", "b", 1, true)
+	r := o.Finish(at(100))
+	if r.LeaderChanges != 1 || r.Demotions != 1 {
+		t.Errorf("changes=%d demotions=%d, want 1 and 1 (a is alive and never crashed)",
+			r.LeaderChanges, r.Demotions)
+	}
+}
+
+func TestReportString(t *testing.T) {
+	o := NewObserver("g", t0)
+	boot(o, at(0), "a", "a", 1)
+	r := o.Finish(at(10))
+	if r.String() == "" {
+		t.Error("empty report string")
+	}
+}

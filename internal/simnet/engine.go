@@ -1,0 +1,163 @@
+// Package simnet is a deterministic discrete-event network simulator.
+//
+// It stands in for the paper's physical testbed: 12 workstations on a
+// gigabit LAN plus fault-injection modules that dropped or delayed service
+// messages, killed and restarted service instances, and disconnected links.
+// Here the same behaviours run in virtual time: days of protocol execution
+// simulate in seconds, fully reproducibly (a scenario is a pure function of
+// its seed).
+//
+// The engine is single-threaded. Events run strictly in (time, insertion)
+// order; protocol handlers execute inline and may schedule further events.
+package simnet
+
+import (
+	"container/heap"
+	"math/rand"
+	"time"
+
+	"stableleader/internal/clock"
+)
+
+// epoch anchors virtual time zero. The concrete date is arbitrary; it only
+// needs to be fixed so time.Time values are reproducible across runs.
+var epoch = time.Date(2008, time.March, 1, 0, 0, 0, 0, time.UTC)
+
+// Epoch returns the time.Time corresponding to virtual time zero.
+func Epoch() time.Time { return epoch }
+
+// event is one scheduled callback.
+type event struct {
+	at      int64 // virtual nanoseconds since epoch
+	seq     uint64
+	fn      func()
+	stopped bool
+}
+
+// eventHeap orders events by (at, seq).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Engine owns the virtual clock, the event queue and the scenario's random
+// stream. All randomness in a simulation must come from Rand (or from
+// sub-streams seeded by it) so runs are reproducible.
+type Engine struct {
+	now    int64
+	seq    uint64
+	events eventHeap
+	rng    *rand.Rand
+	fired  int64
+}
+
+// NewEngine returns an engine at virtual time zero with a random stream
+// seeded by seed.
+func NewEngine(seed int64) *Engine {
+	return &Engine{rng: rand.New(rand.NewSource(seed))}
+}
+
+// NowNanos returns the current virtual time in nanoseconds since the epoch.
+func (e *Engine) NowNanos() int64 { return e.now }
+
+// Now returns the current virtual time.
+func (e *Engine) Now() time.Time { return epoch.Add(time.Duration(e.now)) }
+
+// Rand returns the engine's random stream.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// EventsFired returns the number of callbacks executed so far.
+func (e *Engine) EventsFired() int64 { return e.fired }
+
+// Pending returns the number of scheduled (possibly stopped) events.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Timer is a handle to a scheduled event.
+type Timer struct{ ev *event }
+
+var _ clock.Timer = (*Timer)(nil)
+
+// Stop cancels the event. It reports whether the event had not yet fired.
+func (t *Timer) Stop() bool {
+	if t == nil || t.ev == nil || t.ev.stopped || t.ev.fn == nil {
+		return false
+	}
+	t.ev.stopped = true
+	return true
+}
+
+// At schedules fn at absolute virtual time at (nanoseconds). Scheduling in
+// the past runs fn at the current time, preserving event order.
+func (e *Engine) At(at int64, fn func()) *Timer {
+	if at < e.now {
+		at = e.now
+	}
+	ev := &event{at: at, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.events, ev)
+	return &Timer{ev: ev}
+}
+
+// After schedules fn after virtual duration d.
+func (e *Engine) After(d time.Duration, fn func()) *Timer {
+	return e.At(e.now+int64(d), fn)
+}
+
+// Step executes the next event, if any, advancing the clock to its time.
+// It reports whether an event was executed.
+func (e *Engine) Step() bool {
+	for len(e.events) > 0 {
+		ev := heap.Pop(&e.events).(*event)
+		if ev.stopped {
+			continue
+		}
+		e.now = ev.at
+		fn := ev.fn
+		ev.fn = nil
+		e.fired++
+		fn()
+		return true
+	}
+	return false
+}
+
+// RunUntil executes every event scheduled at or before the given virtual
+// time and then advances the clock to exactly that time.
+func (e *Engine) RunUntil(t time.Time) {
+	target := int64(t.Sub(epoch))
+	for {
+		// Discard cancelled events first: a stopped event inside the
+		// window must not let Step execute a live event beyond it.
+		for len(e.events) > 0 && e.events[0].stopped {
+			heap.Pop(&e.events)
+		}
+		if len(e.events) == 0 || e.events[0].at > target {
+			break
+		}
+		e.Step()
+	}
+	if e.now < target {
+		e.now = target
+	}
+}
+
+// RunFor executes events for the given virtual duration from the current
+// time.
+func (e *Engine) RunFor(d time.Duration) {
+	e.RunUntil(e.Now().Add(d))
+}

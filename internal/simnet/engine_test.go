@@ -1,0 +1,193 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+)
+
+func TestEventsRunInTimeOrder(t *testing.T) {
+	eng := NewEngine(1)
+	var order []int
+	eng.After(30*time.Millisecond, func() { order = append(order, 3) })
+	eng.After(10*time.Millisecond, func() { order = append(order, 1) })
+	eng.After(20*time.Millisecond, func() { order = append(order, 2) })
+	eng.RunFor(time.Second)
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v, want [1 2 3]", order)
+	}
+}
+
+func TestSameTimeFIFO(t *testing.T) {
+	eng := NewEngine(1)
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		eng.After(5*time.Millisecond, func() { order = append(order, i) })
+	}
+	eng.RunFor(time.Second)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("events at the same instant must run in scheduling order, got %v", order)
+		}
+	}
+}
+
+func TestClockAdvancesToEventTime(t *testing.T) {
+	eng := NewEngine(1)
+	var at time.Time
+	eng.After(77*time.Millisecond, func() { at = eng.Now() })
+	eng.RunFor(time.Second)
+	if want := Epoch().Add(77 * time.Millisecond); !at.Equal(want) {
+		t.Errorf("handler saw clock %v, want %v", at, want)
+	}
+	if want := Epoch().Add(time.Second); !eng.Now().Equal(want) {
+		t.Errorf("after RunFor clock = %v, want %v", eng.Now(), want)
+	}
+}
+
+func TestSchedulingInPastRunsNow(t *testing.T) {
+	eng := NewEngine(1)
+	eng.RunFor(time.Second)
+	fired := false
+	eng.At(0, func() { fired = true })
+	eng.RunFor(0)
+	if !fired {
+		t.Error("event scheduled in the past should fire immediately")
+	}
+}
+
+func TestTimerStop(t *testing.T) {
+	eng := NewEngine(1)
+	fired := false
+	tm := eng.After(10*time.Millisecond, func() { fired = true })
+	if !tm.Stop() {
+		t.Error("first Stop should report true")
+	}
+	if tm.Stop() {
+		t.Error("second Stop should report false")
+	}
+	eng.RunFor(time.Second)
+	if fired {
+		t.Error("stopped timer fired")
+	}
+}
+
+func TestTimerStopAfterFire(t *testing.T) {
+	eng := NewEngine(1)
+	tm := eng.After(time.Millisecond, func() {})
+	eng.RunFor(time.Second)
+	if tm.Stop() {
+		t.Error("Stop after firing should report false")
+	}
+}
+
+func TestHandlersCanScheduleMore(t *testing.T) {
+	eng := NewEngine(1)
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		if count < 100 {
+			eng.After(time.Millisecond, tick)
+		}
+	}
+	eng.After(time.Millisecond, tick)
+	eng.RunFor(time.Second)
+	if count != 100 {
+		t.Errorf("chained ticks = %d, want 100", count)
+	}
+	if got := eng.EventsFired(); got != 100 {
+		t.Errorf("EventsFired = %d, want 100", got)
+	}
+}
+
+func TestRunUntilBoundaryInclusive(t *testing.T) {
+	eng := NewEngine(1)
+	fired := false
+	eng.After(time.Second, func() { fired = true })
+	eng.RunUntil(Epoch().Add(time.Second))
+	if !fired {
+		t.Error("event exactly at the boundary should fire")
+	}
+}
+
+func TestStepReturnsFalseWhenIdle(t *testing.T) {
+	eng := NewEngine(1)
+	if eng.Step() {
+		t.Error("Step on an empty engine should report false")
+	}
+	eng.After(time.Millisecond, func() {})
+	if !eng.Step() {
+		t.Error("Step with a pending event should report true")
+	}
+}
+
+func TestDeterminismAcrossEngines(t *testing.T) {
+	run := func(seed int64) []int64 {
+		eng := NewEngine(seed)
+		var draws []int64
+		for i := 0; i < 50; i++ {
+			d := time.Duration(eng.Rand().Int63n(int64(time.Second)))
+			eng.After(d, func() { draws = append(draws, eng.NowNanos()) })
+		}
+		eng.RunFor(2 * time.Second)
+		return draws
+	}
+	a, b := run(42), run(42)
+	if len(a) != len(b) {
+		t.Fatalf("different event counts: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+	c := run(43)
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical schedules (suspicious)")
+	}
+}
+
+func TestPendingCount(t *testing.T) {
+	eng := NewEngine(1)
+	eng.After(time.Millisecond, func() {})
+	eng.After(time.Millisecond, func() {})
+	if eng.Pending() != 2 {
+		t.Errorf("Pending = %d, want 2", eng.Pending())
+	}
+	eng.RunFor(time.Second)
+	if eng.Pending() != 0 {
+		t.Errorf("Pending after run = %d, want 0", eng.Pending())
+	}
+}
+
+// TestRunUntilStoppedEventAtTopDoesNotOvershoot is a regression test: a
+// cancelled event inside the window must not let RunUntil execute a live
+// event scheduled beyond the target time.
+func TestRunUntilStoppedEventAtTopDoesNotOvershoot(t *testing.T) {
+	eng := NewEngine(1)
+	stopped := eng.After(10*time.Millisecond, func() { t.Fatal("stopped event ran") })
+	stopped.Stop()
+	lateFired := false
+	eng.After(100*time.Millisecond, func() { lateFired = true })
+	eng.RunFor(50 * time.Millisecond)
+	if lateFired {
+		t.Fatal("event beyond the RunUntil target executed")
+	}
+	if want := Epoch().Add(50 * time.Millisecond); !eng.Now().Equal(want) {
+		t.Fatalf("clock = %v, want %v", eng.Now(), want)
+	}
+	eng.RunFor(time.Second)
+	if !lateFired {
+		t.Fatal("live event never executed")
+	}
+}

@@ -1,0 +1,74 @@
+package simnet
+
+import (
+	"time"
+
+	"stableleader/id"
+	"stableleader/internal/stats"
+)
+
+// FaultPlan describes the random crash/recovery behaviour of a component
+// exactly as in the paper's evaluation: both the time between failures and
+// the repair time are exponentially distributed.
+type FaultPlan struct {
+	// MTBF is the mean operating time between two consecutive crashes.
+	MTBF time.Duration
+	// MTTR is the mean time a crash lasts before recovery.
+	MTTR time.Duration
+}
+
+// PaperProcessFaults is the workstation behaviour of Section 6.1: every
+// workstation crashes every 10 minutes on average and takes 5 seconds on
+// average to recover.
+func PaperProcessFaults() FaultPlan {
+	return FaultPlan{MTBF: 600 * time.Second, MTTR: 5 * time.Second}
+}
+
+// ScheduleFaults drives an alternating up/down renewal process on the
+// engine: after Exp(MTBF) of uptime it calls crash, after Exp(MTTR) of
+// downtime it calls recover, forever. The component starts up.
+func ScheduleFaults(eng *Engine, plan FaultPlan, crash, recover func()) {
+	if plan.MTBF <= 0 {
+		return
+	}
+	var scheduleCrash func()
+	var scheduleRecover func()
+	scheduleCrash = func() {
+		d := time.Duration(stats.Exp(eng.Rand(), float64(plan.MTBF)))
+		eng.After(d, func() {
+			crash()
+			scheduleRecover()
+		})
+	}
+	scheduleRecover = func() {
+		d := time.Duration(stats.Exp(eng.Rand(), float64(plan.MTTR)))
+		eng.After(d, func() {
+			recover()
+			scheduleCrash()
+		})
+	}
+	scheduleCrash()
+}
+
+// ScheduleLinkFaults applies a FaultPlan to one directed link: while
+// "crashed" the link drops every message (completely disconnecting the
+// receiver from the sender), then recovers, as in the Figure 7 experiments.
+func ScheduleLinkFaults(eng *Engine, net *Network, from, to id.Process, plan FaultPlan) {
+	ScheduleFaults(eng, plan,
+		func() { net.SetLinkDown(from, to, true) },
+		func() { net.SetLinkDown(from, to, false) },
+	)
+}
+
+// ScheduleAllLinkFaults applies independent fault processes to every
+// directed link among the given processes.
+func ScheduleAllLinkFaults(eng *Engine, net *Network, procs []id.Process, plan FaultPlan) {
+	for _, a := range procs {
+		for _, b := range procs {
+			if a == b {
+				continue
+			}
+			ScheduleLinkFaults(eng, net, a, b, plan)
+		}
+	}
+}

@@ -1,0 +1,129 @@
+package simnet
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"stableleader/id"
+)
+
+func TestFaultAlternation(t *testing.T) {
+	eng := NewEngine(1)
+	upAt, downAt := []int64{}, []int64{}
+	ScheduleFaults(eng, FaultPlan{MTBF: 10 * time.Second, MTTR: time.Second},
+		func() { downAt = append(downAt, eng.NowNanos()) },
+		func() { upAt = append(upAt, eng.NowNanos()) },
+	)
+	eng.RunFor(10 * time.Minute)
+	if len(downAt) == 0 {
+		t.Fatal("no crashes injected in 10 minutes with a 10s MTBF")
+	}
+	if d := len(downAt) - len(upAt); d != 0 && d != 1 {
+		t.Fatalf("crashes=%d recoveries=%d: not alternating", len(downAt), len(upAt))
+	}
+	for i := range upAt {
+		if upAt[i] <= downAt[i] {
+			t.Fatal("recovery before crash")
+		}
+		if i+1 < len(downAt) && downAt[i+1] <= upAt[i] {
+			t.Fatal("next crash before recovery")
+		}
+	}
+}
+
+func TestFaultEmpiricalMeans(t *testing.T) {
+	eng := NewEngine(7)
+	mtbf, mttr := 60*time.Second, 3*time.Second
+	var up, down []time.Duration
+	lastUp, lastDown := int64(0), int64(-1)
+	ScheduleFaults(eng, FaultPlan{MTBF: mtbf, MTTR: mttr},
+		func() {
+			up = append(up, time.Duration(eng.NowNanos()-lastUp))
+			lastDown = eng.NowNanos()
+		},
+		func() {
+			down = append(down, time.Duration(eng.NowNanos()-lastDown))
+			lastUp = eng.NowNanos()
+		},
+	)
+	eng.RunFor(24 * 7 * time.Hour)
+	meanOf := func(ds []time.Duration) float64 {
+		var s time.Duration
+		for _, d := range ds {
+			s += d
+		}
+		return float64(s) / float64(len(ds))
+	}
+	if got := meanOf(up); math.Abs(got-float64(mtbf)) > 0.05*float64(mtbf) {
+		t.Errorf("empirical MTBF = %v, want %v ± 5%%", time.Duration(got), mtbf)
+	}
+	if got := meanOf(down); math.Abs(got-float64(mttr)) > 0.05*float64(mttr) {
+		t.Errorf("empirical MTTR = %v, want %v ± 5%%", time.Duration(got), mttr)
+	}
+}
+
+func TestZeroMTBFDisablesFaults(t *testing.T) {
+	eng := NewEngine(1)
+	ScheduleFaults(eng, FaultPlan{}, func() { t.Fatal("crash fired") }, func() {})
+	eng.RunFor(time.Hour)
+}
+
+func TestLinkFaultsToggleLink(t *testing.T) {
+	eng := NewEngine(3)
+	net := NewNetwork(eng, LAN())
+	net.Attach("a")
+	net.Attach("b")
+	ScheduleLinkFaults(eng, net, "a", "b", FaultPlan{MTBF: time.Second, MTTR: 500 * time.Millisecond})
+	sawDown, sawUpAgain := false, false
+	for i := 0; i < 10000; i++ {
+		eng.RunFor(10 * time.Millisecond)
+		if net.LinkDown("a", "b") {
+			sawDown = true
+		} else if sawDown {
+			sawUpAgain = true
+			break
+		}
+	}
+	if !sawDown || !sawUpAgain {
+		t.Fatalf("link never cycled: down=%v upAgain=%v", sawDown, sawUpAgain)
+	}
+	if net.LinkDown("b", "a") {
+		t.Error("reverse link must have its own independent fault process")
+	}
+}
+
+func TestScheduleAllLinkFaultsCoversAllPairs(t *testing.T) {
+	eng := NewEngine(9)
+	net := NewNetwork(eng, LAN())
+	procs := []id.Process{"a", "b", "c"}
+	for _, p := range procs {
+		net.Attach(p)
+	}
+	ScheduleAllLinkFaults(eng, net, procs, FaultPlan{MTBF: 10 * time.Second, MTTR: time.Second})
+	// Over a long horizon every directed pair should crash at least once.
+	seen := map[[2]id.Process]bool{}
+	for i := 0; i < 60000 && len(seen) < 6; i++ {
+		eng.RunFor(50 * time.Millisecond)
+		for _, a := range procs {
+			for _, b := range procs {
+				if a != b && net.LinkDown(a, b) {
+					seen[[2]id.Process{a, b}] = true
+				}
+			}
+		}
+	}
+	if len(seen) != 6 {
+		t.Fatalf("only %d/6 directed links ever crashed", len(seen))
+	}
+	if net.LinkDown("a", "a") {
+		t.Error("self links must not be scheduled")
+	}
+}
+
+func TestPaperProcessFaults(t *testing.T) {
+	p := PaperProcessFaults()
+	if p.MTBF != 600*time.Second || p.MTTR != 5*time.Second {
+		t.Errorf("paper fault plan = %+v", p)
+	}
+}

@@ -1,0 +1,245 @@
+package simnet
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"stableleader/id"
+	"stableleader/internal/clock"
+	"stableleader/internal/stats"
+	"stableleader/internal/wire"
+)
+
+// Handler receives messages delivered to a node. The from process is the
+// wire-level sender (identical to m.From() for well-formed traffic).
+type Handler interface {
+	HandleMessage(m wire.Message)
+}
+
+// LinkModel describes a directed communication link the way the paper's
+// injector does: an independent drop probability per message, and an
+// exponentially distributed delay for messages that are not dropped.
+type LinkModel struct {
+	// Loss is the iid probability that a message is dropped.
+	Loss float64
+	// MeanDelay is the mean of the exponential delay distribution.
+	MeanDelay time.Duration
+}
+
+// LAN is the behaviour the paper measured on its real gigabit LAN:
+// practically no losses and a 0.025 ms average delay.
+func LAN() LinkModel { return LinkModel{Loss: 0, MeanDelay: 25 * time.Microsecond} }
+
+// link is the state of one directed link.
+type link struct {
+	model LinkModel
+	down  bool
+	// downSince/downTotal track outage time for diagnostics.
+	downSince int64
+	downTotal int64
+}
+
+// Counters accumulates per-workstation traffic and processing statistics.
+// Bytes include the UDP/IP header overhead, matching how the paper's
+// bandwidth figures count traffic on the wire.
+type Counters struct {
+	MsgsSent   int64
+	MsgsRecv   int64
+	BytesSent  int64
+	BytesRecv  int64
+	TimerFires int64
+}
+
+// Endpoint is a workstation attachment point. It persists across crashes
+// and recoveries of the process running on it, so counters cover the whole
+// experiment.
+type Endpoint struct {
+	id       id.Process
+	up       bool
+	handler  Handler
+	counters Counters
+}
+
+// ID returns the process id attached to this endpoint.
+func (ep *Endpoint) ID() id.Process { return ep.id }
+
+// Up reports whether the process is currently running.
+func (ep *Endpoint) Up() bool { return ep.up }
+
+// Counters returns a snapshot of the endpoint's counters.
+func (ep *Endpoint) Counters() Counters { return ep.counters }
+
+// linkKey identifies a directed link.
+type linkKey struct{ from, to id.Process }
+
+// Network simulates the point-to-point network among a set of endpoints.
+type Network struct {
+	eng          *Engine
+	defaultModel LinkModel
+	links        map[linkKey]*link
+	endpoints    map[id.Process]*Endpoint
+}
+
+// NewNetwork returns a network whose links all follow the given default
+// model until overridden with SetLinkModel.
+func NewNetwork(eng *Engine, defaultModel LinkModel) *Network {
+	return &Network{
+		eng:          eng,
+		defaultModel: defaultModel,
+		links:        make(map[linkKey]*link),
+		endpoints:    make(map[id.Process]*Endpoint),
+	}
+}
+
+// Attach registers a workstation for the given process id. The endpoint
+// starts down; call SetUp when its service instance starts.
+func (n *Network) Attach(p id.Process) *Endpoint {
+	if _, ok := n.endpoints[p]; ok {
+		panic(fmt.Sprintf("simnet: endpoint %q attached twice", p))
+	}
+	ep := &Endpoint{id: p}
+	n.endpoints[p] = ep
+	return ep
+}
+
+// Endpoint returns the endpoint for p, or nil if not attached.
+func (n *Network) Endpoint(p id.Process) *Endpoint { return n.endpoints[p] }
+
+// Endpoints returns all attached endpoints.
+func (n *Network) Endpoints() []*Endpoint {
+	out := make([]*Endpoint, 0, len(n.endpoints))
+	for _, ep := range n.endpoints {
+		out = append(out, ep)
+	}
+	return out
+}
+
+// SetUp marks the process as running and installs its message handler.
+// A nil handler with up=false models a crash.
+func (n *Network) SetUp(p id.Process, up bool, h Handler) {
+	ep := n.endpoints[p]
+	if ep == nil {
+		panic(fmt.Sprintf("simnet: SetUp of unattached endpoint %q", p))
+	}
+	ep.up = up
+	ep.handler = h
+}
+
+// getLink returns (creating if needed) the state for the directed link.
+func (n *Network) getLink(from, to id.Process) *link {
+	k := linkKey{from, to}
+	l := n.links[k]
+	if l == nil {
+		l = &link{model: n.defaultModel}
+		n.links[k] = l
+	}
+	return l
+}
+
+// SetLinkModel overrides the loss/delay model of one directed link.
+func (n *Network) SetLinkModel(from, to id.Process, m LinkModel) {
+	n.getLink(from, to).model = m
+}
+
+// SetLinkDown crashes or recovers one directed link. While down, the link
+// drops every message, exactly like the paper's link-crash injector.
+func (n *Network) SetLinkDown(from, to id.Process, down bool) {
+	l := n.getLink(from, to)
+	if l.down == down {
+		return
+	}
+	l.down = down
+	if down {
+		l.downSince = n.eng.NowNanos()
+	} else {
+		l.downTotal += n.eng.NowNanos() - l.downSince
+	}
+}
+
+// LinkDown reports whether the directed link is currently crashed.
+func (n *Network) LinkDown(from, to id.Process) bool {
+	return n.getLink(from, to).down
+}
+
+// Send transmits m from from to to across the simulated link. The sender is
+// charged for the datagram whether or not the network drops it.
+func (n *Network) Send(from, to id.Process, m wire.Message) {
+	src := n.endpoints[from]
+	if src == nil || !src.up {
+		return
+	}
+	size := int64(m.WireSize() + wire.UDPOverhead)
+	src.counters.MsgsSent++
+	src.counters.BytesSent += size
+	l := n.getLink(from, to)
+	if l.down {
+		return
+	}
+	if l.model.Loss > 0 && n.eng.Rand().Float64() < l.model.Loss {
+		return
+	}
+	delay := time.Duration(stats.Exp(n.eng.Rand(), float64(l.model.MeanDelay)))
+	n.eng.After(delay, func() {
+		dst := n.endpoints[to]
+		if dst == nil || !dst.up || dst.handler == nil {
+			return
+		}
+		dst.counters.MsgsRecv++
+		dst.counters.BytesRecv += size
+		dst.handler.HandleMessage(m)
+	})
+}
+
+// NodeRuntime adapts the engine and network into the runtime interface the
+// protocol stack expects (clock + timers + send + per-node random stream).
+// Each process lifetime gets a fresh NodeRuntime; Shutdown invalidates all
+// timers it issued, modelling the loss of all pending work on a crash.
+type NodeRuntime struct {
+	net  *Network
+	self id.Process
+	rng  *rand.Rand
+	dead bool
+}
+
+// NewNodeRuntime returns a runtime for one lifetime of process self. The
+// node-local random stream is seeded from the engine stream so that the
+// whole simulation remains a function of the scenario seed.
+func NewNodeRuntime(net *Network, self id.Process) *NodeRuntime {
+	return &NodeRuntime{
+		net:  net,
+		self: self,
+		rng:  rand.New(rand.NewSource(net.eng.Rand().Int63())),
+	}
+}
+
+// Now implements clock.Clock.
+func (r *NodeRuntime) Now() time.Time { return r.net.eng.Now() }
+
+// AfterFunc implements clock.Clock. Callbacks are suppressed once the
+// runtime is shut down or the endpoint is down (the process crashed).
+func (r *NodeRuntime) AfterFunc(d time.Duration, fn func()) clock.Timer {
+	ep := r.net.endpoints[r.self]
+	return r.net.eng.After(d, func() {
+		if r.dead || ep == nil || !ep.up {
+			return
+		}
+		ep.counters.TimerFires++
+		fn()
+	})
+}
+
+// Send implements the protocol runtime's transmit operation.
+func (r *NodeRuntime) Send(to id.Process, m wire.Message) {
+	if r.dead {
+		return
+	}
+	r.net.Send(r.self, to, m)
+}
+
+// Rand returns the node-local random stream.
+func (r *NodeRuntime) Rand() *rand.Rand { return r.rng }
+
+// Shutdown invalidates every timer issued by this runtime. Messages already
+// in flight are unaffected (the network, not the process, owns them).
+func (r *NodeRuntime) Shutdown() { r.dead = true }

@@ -1,0 +1,97 @@
+// Package stats provides the small statistical toolkit used by the failure
+// detector's link quality estimator and by the experiment harness: streaming
+// mean/variance (Welford), 95% confidence intervals, and exponential
+// variates for the fault injectors.
+package stats
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Welford accumulates a streaming mean and variance using Welford's online
+// algorithm. The zero value is an empty accumulator ready for use.
+type Welford struct {
+	n    int64
+	mean float64
+	m2   float64
+}
+
+// Add incorporates one observation.
+func (w *Welford) Add(x float64) {
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// N returns the number of observations seen so far.
+func (w *Welford) N() int64 { return w.n }
+
+// Mean returns the sample mean, or 0 if no observations were added.
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Var returns the unbiased sample variance, or 0 for fewer than two samples.
+func (w *Welford) Var() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// Std returns the sample standard deviation.
+func (w *Welford) Std() float64 { return math.Sqrt(w.Var()) }
+
+// Reset clears the accumulator.
+func (w *Welford) Reset() { *w = Welford{} }
+
+// tTable holds two-sided 95% Student-t critical values for 1..30 degrees of
+// freedom; beyond 30 the normal value 1.96 is a standard approximation.
+var tTable = [...]float64{
+	12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+	2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+	2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+}
+
+// TCritical95 returns the two-sided 95% Student-t critical value for the
+// given degrees of freedom.
+func TCritical95(df int64) float64 {
+	switch {
+	case df <= 0:
+		return math.NaN()
+	case df <= int64(len(tTable)):
+		return tTable[df-1]
+	default:
+		return 1.96
+	}
+}
+
+// CI95 returns the half-width of the 95% confidence interval for the mean of
+// the accumulated samples. It returns 0 for fewer than two samples.
+func (w *Welford) CI95() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return TCritical95(w.n-1) * w.Std() / math.Sqrt(float64(w.n))
+}
+
+// PoissonRateCI95 returns the half-width of an approximate 95% confidence
+// interval for an event rate, given an observed count of events over the
+// stated exposure (in the rate's time unit). It uses the normal
+// approximation lambda ± 1.96*sqrt(count)/exposure, which is the standard
+// interval for the mistake-rate metric of the paper.
+func PoissonRateCI95(count int64, exposure float64) float64 {
+	if exposure <= 0 {
+		return math.NaN()
+	}
+	return 1.96 * math.Sqrt(float64(count)) / exposure
+}
+
+// Exp draws an exponentially distributed variate with the given mean from
+// rng. A non-positive mean returns 0.
+func Exp(rng *rand.Rand, mean float64) float64 {
+	if mean <= 0 {
+		return 0
+	}
+	return rng.ExpFloat64() * mean
+}

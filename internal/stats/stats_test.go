@@ -1,0 +1,152 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// naiveMeanVar is the two-pass reference implementation.
+func naiveMeanVar(xs []float64) (mean, variance float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	if len(xs) < 2 {
+		return mean, 0
+	}
+	for _, x := range xs {
+		variance += (x - mean) * (x - mean)
+	}
+	variance /= float64(len(xs) - 1)
+	return mean, variance
+}
+
+func TestWelfordEmpty(t *testing.T) {
+	var w Welford
+	if w.N() != 0 || w.Mean() != 0 || w.Var() != 0 || w.Std() != 0 || w.CI95() != 0 {
+		t.Errorf("zero-value Welford should report all zeros, got n=%d mean=%g var=%g", w.N(), w.Mean(), w.Var())
+	}
+}
+
+func TestWelfordSingleSample(t *testing.T) {
+	var w Welford
+	w.Add(42)
+	if w.N() != 1 || w.Mean() != 42 {
+		t.Errorf("got n=%d mean=%g, want 1, 42", w.N(), w.Mean())
+	}
+	if w.Var() != 0 {
+		t.Errorf("variance of one sample = %g, want 0", w.Var())
+	}
+}
+
+func TestWelfordMatchesNaive(t *testing.T) {
+	f := func(xs []float64) bool {
+		// Constrain magnitudes: testing/quick can generate values whose
+		// squares overflow, which is out of scope for a delay estimator.
+		var w Welford
+		clean := make([]float64, 0, len(xs))
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e9 {
+				continue
+			}
+			clean = append(clean, x)
+			w.Add(x)
+		}
+		mean, variance := naiveMeanVar(clean)
+		scale := 1.0 + math.Abs(mean)
+		if math.Abs(w.Mean()-mean) > 1e-6*scale {
+			return false
+		}
+		vscale := 1.0 + variance
+		return math.Abs(w.Var()-variance) <= 1e-6*vscale
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWelfordReset(t *testing.T) {
+	var w Welford
+	w.Add(1)
+	w.Add(2)
+	w.Reset()
+	if w.N() != 0 || w.Mean() != 0 {
+		t.Errorf("after Reset: n=%d mean=%g, want zeros", w.N(), w.Mean())
+	}
+}
+
+func TestTCritical95(t *testing.T) {
+	cases := []struct {
+		df   int64
+		want float64
+	}{
+		{1, 12.706},
+		{10, 2.228},
+		{30, 2.042},
+		{31, 1.96},
+		{1000, 1.96},
+	}
+	for _, c := range cases {
+		if got := TCritical95(c.df); got != c.want {
+			t.Errorf("TCritical95(%d) = %g, want %g", c.df, got, c.want)
+		}
+	}
+	if !math.IsNaN(TCritical95(0)) {
+		t.Error("TCritical95(0) should be NaN")
+	}
+}
+
+func TestCI95KnownValue(t *testing.T) {
+	// Five samples 1..5: mean 3, sd sqrt(2.5), CI = t(4)*sd/sqrt(5).
+	var w Welford
+	for i := 1; i <= 5; i++ {
+		w.Add(float64(i))
+	}
+	want := 2.776 * math.Sqrt(2.5) / math.Sqrt(5)
+	if got := w.CI95(); math.Abs(got-want) > 1e-9 {
+		t.Errorf("CI95 = %g, want %g", got, want)
+	}
+}
+
+func TestPoissonRateCI95(t *testing.T) {
+	// 100 events over 10 hours: 1.96*sqrt(100)/10 = 1.96.
+	if got := PoissonRateCI95(100, 10); math.Abs(got-1.96) > 1e-12 {
+		t.Errorf("PoissonRateCI95(100, 10) = %g, want 1.96", got)
+	}
+	if got := PoissonRateCI95(0, 10); got != 0 {
+		t.Errorf("zero events should have zero CI, got %g", got)
+	}
+	if !math.IsNaN(PoissonRateCI95(5, 0)) {
+		t.Error("zero exposure should be NaN")
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	const n = 200000
+	const mean = 3.5
+	var sum float64
+	for i := 0; i < n; i++ {
+		v := Exp(rng, mean)
+		if v < 0 {
+			t.Fatalf("negative exponential variate %g", v)
+		}
+		sum += v
+	}
+	got := sum / n
+	if math.Abs(got-mean) > 0.05 {
+		t.Errorf("empirical mean = %g, want %g ± 0.05", got, mean)
+	}
+}
+
+func TestExpNonPositiveMean(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if Exp(rng, 0) != 0 || Exp(rng, -1) != 0 {
+		t.Error("non-positive mean should yield 0")
+	}
+}

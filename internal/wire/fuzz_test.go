@@ -1,0 +1,37 @@
+package wire
+
+import (
+	"testing"
+)
+
+// FuzzUnmarshal guards the decoder against hostile datagrams: whatever
+// arrives on the UDP socket, Unmarshal must either return an error or a
+// message that re-encodes consistently — and never panic or over-allocate.
+// Run with `go test -fuzz=FuzzUnmarshal ./internal/wire` for a real fuzzing
+// session; the seed corpus below runs as part of the normal test suite.
+func FuzzUnmarshal(f *testing.F) {
+	for _, m := range sampleMessages() {
+		f.Add(Marshal(m))
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff})
+	f.Add([]byte{byte(KindHello), 0x01, 'g', 0x01, 's', 0, 0, 0, 0, 0, 0, 0, 0, 0xff})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Unmarshal(data)
+		if err != nil {
+			return
+		}
+		// A successfully decoded message must round-trip through the codec.
+		b := Marshal(m)
+		if len(b) != m.WireSize() {
+			t.Fatalf("WireSize %d != marshaled length %d for %+v", m.WireSize(), len(b), m)
+		}
+		m2, err := Unmarshal(b)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if m2.Kind() != m.Kind() || m2.From() != m.From() || m2.GroupID() != m.GroupID() {
+			t.Fatalf("round trip changed identity: %+v vs %+v", m, m2)
+		}
+	})
+}

@@ -1,0 +1,494 @@
+// Package wire defines the protocol messages exchanged by the leader
+// election service and a compact binary codec for them.
+//
+// The same definitions serve two purposes:
+//
+//   - real transports (UDP, in-process) marshal messages with Marshal and
+//     recover them with Unmarshal;
+//   - the discrete-event simulator passes message values directly but
+//     accounts network traffic byte-exactly through WireSize, which always
+//     equals len(Marshal(m)) (a property-based test enforces this).
+//
+// Six message kinds exist, mirroring the architecture of the paper
+// (Figures 1 and 2):
+//
+//	HELLO   group maintenance gossip (membership table)
+//	JOIN    announce group membership (with candidacy flag)
+//	LEAVE   announce voluntary departure
+//	ALIVE   failure detector heartbeat + election payload
+//	ACCUSE  leader accusation (raises the target's accusation time)
+//	RATE    QoS feedback: the monitoring side asks the sender to emit
+//	        ALIVEs at the interval computed by the FD configurator
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"stableleader/id"
+)
+
+// Kind discriminates the message types on the wire.
+type Kind uint8
+
+// Message kinds. Values are part of the wire format and must not change.
+const (
+	KindHello Kind = iota + 1
+	KindJoin
+	KindLeave
+	KindAlive
+	KindAccuse
+	KindRate
+)
+
+// String returns the conventional upper-case name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindHello:
+		return "HELLO"
+	case KindJoin:
+		return "JOIN"
+	case KindLeave:
+		return "LEAVE"
+	case KindAlive:
+		return "ALIVE"
+	case KindAccuse:
+		return "ACCUSE"
+	case KindRate:
+		return "RATE"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// UDPOverhead is the per-datagram header cost (8 bytes UDP + 20 bytes IPv4)
+// added to WireSize when accounting network bandwidth, matching how the
+// paper's KB/s figures count traffic on the wire.
+const UDPOverhead = 28
+
+// ErrTruncated reports a message that ended before all fields were read.
+var ErrTruncated = errors.New("wire: truncated message")
+
+// ErrUnknownKind reports an unrecognized kind byte.
+var ErrUnknownKind = errors.New("wire: unknown message kind")
+
+// Message is implemented by every protocol message.
+type Message interface {
+	// Kind identifies the concrete type.
+	Kind() Kind
+	// From is the sending process.
+	From() id.Process
+	// GroupID is the group the message belongs to.
+	GroupID() id.Group
+	// WireSize is the exact marshaled length in bytes (headers excluded).
+	WireSize() int
+}
+
+// MemberInfo is one row of the membership table gossiped in HELLO messages.
+type MemberInfo struct {
+	ID          id.Process
+	Incarnation int64
+	Candidate   bool
+	Left        bool
+}
+
+// Hello carries the sender's full membership table for one group.
+type Hello struct {
+	Group       id.Group
+	Sender      id.Process
+	Incarnation int64
+	Members     []MemberInfo
+}
+
+// Join announces that Sender (at Incarnation) joined Group.
+type Join struct {
+	Group       id.Group
+	Sender      id.Process
+	Incarnation int64
+	Candidate   bool
+}
+
+// Leave announces that Sender (at Incarnation) voluntarily left Group.
+type Leave struct {
+	Group       id.Group
+	Sender      id.Process
+	Incarnation int64
+}
+
+// Alive is the failure-detector heartbeat. It doubles as the election
+// payload: accusation time and phase for the Omega-l and Omega-lc
+// algorithms, and the sender's local leader for Omega-lc's forwarding stage.
+type Alive struct {
+	Group       id.Group
+	Sender      id.Process
+	Incarnation int64
+	// Seq numbers heartbeats per (sender, destination, group) stream so the
+	// receiver's link estimator can count losses from gaps.
+	Seq uint64
+	// SendTime is the sender's clock (ns) when the heartbeat was emitted;
+	// the receiver derives the NFD-S freshness deadline SendTime+Interval+delta.
+	SendTime int64
+	// Interval is the sender's current heartbeat interval (ns) toward this
+	// destination, so the receiver can time out correctly across rate changes.
+	Interval int64
+	// AccTime is the sender's accusation time (ns); zero under Omega-id.
+	AccTime int64
+	// Phase is the sender's competition phase (Omega-l only).
+	Phase uint32
+	// HasLocalLeader marks the forwarding fields as meaningful (Omega-lc).
+	HasLocalLeader bool
+	// LocalLeader is the sender's stage-one (local) leader.
+	LocalLeader id.Process
+	// LocalLeaderAcc is the accusation time the sender knows for LocalLeader.
+	LocalLeaderAcc int64
+}
+
+// Accuse tells the destination that the sender suspected it and demoted it.
+// A valid accusation raises the target's accusation time, preventing a
+// demoted leader from flapping back.
+type Accuse struct {
+	Group       id.Group
+	Sender      id.Process
+	Incarnation int64
+	// TargetIncarnation must match the target's current incarnation.
+	TargetIncarnation int64
+	// Phase must match the target's current competition phase (Omega-l);
+	// accusations provoked by voluntary silence carry a stale phase and are
+	// ignored, implementing the paper's stability mechanism.
+	Phase uint32
+	// At is the accuser's clock when the suspicion fired.
+	At int64
+}
+
+// Rate asks the destination to send ALIVEs to the sender every Interval
+// nanoseconds, as computed by the sender's FD configurator for the link.
+type Rate struct {
+	Group       id.Group
+	Sender      id.Process
+	Incarnation int64
+	Interval    int64
+}
+
+// Interface conformance checks.
+var (
+	_ Message = (*Hello)(nil)
+	_ Message = (*Join)(nil)
+	_ Message = (*Leave)(nil)
+	_ Message = (*Alive)(nil)
+	_ Message = (*Accuse)(nil)
+	_ Message = (*Rate)(nil)
+)
+
+// Kind implements Message.
+func (*Hello) Kind() Kind { return KindHello }
+
+// Kind implements Message.
+func (*Join) Kind() Kind { return KindJoin }
+
+// Kind implements Message.
+func (*Leave) Kind() Kind { return KindLeave }
+
+// Kind implements Message.
+func (*Alive) Kind() Kind { return KindAlive }
+
+// Kind implements Message.
+func (*Accuse) Kind() Kind { return KindAccuse }
+
+// Kind implements Message.
+func (*Rate) Kind() Kind { return KindRate }
+
+// From implements Message.
+func (m *Hello) From() id.Process { return m.Sender }
+
+// From implements Message.
+func (m *Join) From() id.Process { return m.Sender }
+
+// From implements Message.
+func (m *Leave) From() id.Process { return m.Sender }
+
+// From implements Message.
+func (m *Alive) From() id.Process { return m.Sender }
+
+// From implements Message.
+func (m *Accuse) From() id.Process { return m.Sender }
+
+// From implements Message.
+func (m *Rate) From() id.Process { return m.Sender }
+
+// GroupID implements Message.
+func (m *Hello) GroupID() id.Group { return m.Group }
+
+// GroupID implements Message.
+func (m *Join) GroupID() id.Group { return m.Group }
+
+// GroupID implements Message.
+func (m *Leave) GroupID() id.Group { return m.Group }
+
+// GroupID implements Message.
+func (m *Alive) GroupID() id.Group { return m.Group }
+
+// GroupID implements Message.
+func (m *Accuse) GroupID() id.Group { return m.Group }
+
+// GroupID implements Message.
+func (m *Rate) GroupID() id.Group { return m.Group }
+
+// strSize is the encoded size of a length-prefixed string.
+func strSize(s string) int { return uvarintLen(uint64(len(s))) + len(s) }
+
+// uvarintLen is the encoded size of v as a uvarint.
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+// headerSize is the encoded size of the fields common to all messages.
+func headerSize(g id.Group, s id.Process) int {
+	return 1 + strSize(string(g)) + strSize(string(s)) + 8
+}
+
+// WireSize implements Message.
+func (m *Hello) WireSize() int {
+	n := headerSize(m.Group, m.Sender) + uvarintLen(uint64(len(m.Members)))
+	for _, mb := range m.Members {
+		n += strSize(string(mb.ID)) + 8 + 1
+	}
+	return n
+}
+
+// WireSize implements Message.
+func (m *Join) WireSize() int { return headerSize(m.Group, m.Sender) + 1 }
+
+// WireSize implements Message.
+func (m *Leave) WireSize() int { return headerSize(m.Group, m.Sender) }
+
+// WireSize implements Message.
+func (m *Alive) WireSize() int {
+	n := headerSize(m.Group, m.Sender) + uvarintLen(m.Seq) + 8 + 8 + 8 + 4 + 1
+	if m.HasLocalLeader {
+		n += strSize(string(m.LocalLeader)) + 8
+	}
+	return n
+}
+
+// WireSize implements Message.
+func (m *Accuse) WireSize() int { return headerSize(m.Group, m.Sender) + 8 + 4 + 8 }
+
+// WireSize implements Message.
+func (m *Rate) WireSize() int { return headerSize(m.Group, m.Sender) + 8 }
+
+// writer appends big-endian fields to a byte slice.
+type writer struct{ b []byte }
+
+func (w *writer) kind(k Kind)  { w.b = append(w.b, byte(k)) }
+func (w *writer) u8(v byte)    { w.b = append(w.b, v) }
+func (w *writer) u32(v uint32) { w.b = binary.BigEndian.AppendUint32(w.b, v) }
+func (w *writer) i64(v int64)  { w.b = binary.BigEndian.AppendUint64(w.b, uint64(v)) }
+func (w *writer) uvarint(v uint64) {
+	w.b = binary.AppendUvarint(w.b, v)
+}
+func (w *writer) str(s string) {
+	w.uvarint(uint64(len(s)))
+	w.b = append(w.b, s...)
+}
+func (w *writer) boolean(v bool) {
+	if v {
+		w.u8(1)
+	} else {
+		w.u8(0)
+	}
+}
+
+// reader consumes big-endian fields from a byte slice, latching the first
+// error so call sites stay linear.
+type reader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *reader) fail() {
+	if r.err == nil {
+		r.err = ErrTruncated
+	}
+}
+
+func (r *reader) u8() byte {
+	if r.err != nil || r.off+1 > len(r.b) {
+		r.fail()
+		return 0
+	}
+	v := r.b[r.off]
+	r.off++
+	return v
+}
+
+func (r *reader) u32() uint32 {
+	if r.err != nil || r.off+4 > len(r.b) {
+		r.fail()
+		return 0
+	}
+	v := binary.BigEndian.Uint32(r.b[r.off:])
+	r.off += 4
+	return v
+}
+
+func (r *reader) i64() int64 {
+	if r.err != nil || r.off+8 > len(r.b) {
+		r.fail()
+		return 0
+	}
+	v := binary.BigEndian.Uint64(r.b[r.off:])
+	r.off += 8
+	return int64(v)
+}
+
+func (r *reader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.b[r.off:])
+	if n <= 0 {
+		r.fail()
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+func (r *reader) str() string {
+	n := r.uvarint()
+	if r.err != nil {
+		return ""
+	}
+	if n > uint64(len(r.b)-r.off) {
+		r.fail()
+		return ""
+	}
+	s := string(r.b[r.off : r.off+int(n)])
+	r.off += int(n)
+	return s
+}
+
+func (r *reader) boolean() bool { return r.u8() != 0 }
+
+// Marshal encodes m into a fresh byte slice.
+func Marshal(m Message) []byte {
+	w := writer{b: make([]byte, 0, m.WireSize())}
+	w.kind(m.Kind())
+	w.str(string(m.GroupID()))
+	w.str(string(m.From()))
+	switch t := m.(type) {
+	case *Hello:
+		w.i64(t.Incarnation)
+		w.uvarint(uint64(len(t.Members)))
+		for _, mb := range t.Members {
+			w.str(string(mb.ID))
+			w.i64(mb.Incarnation)
+			var flags byte
+			if mb.Candidate {
+				flags |= 1
+			}
+			if mb.Left {
+				flags |= 2
+			}
+			w.u8(flags)
+		}
+	case *Join:
+		w.i64(t.Incarnation)
+		w.boolean(t.Candidate)
+	case *Leave:
+		w.i64(t.Incarnation)
+	case *Alive:
+		w.i64(t.Incarnation)
+		w.uvarint(t.Seq)
+		w.i64(t.SendTime)
+		w.i64(t.Interval)
+		w.i64(t.AccTime)
+		w.u32(t.Phase)
+		w.boolean(t.HasLocalLeader)
+		if t.HasLocalLeader {
+			w.str(string(t.LocalLeader))
+			w.i64(t.LocalLeaderAcc)
+		}
+	case *Accuse:
+		w.i64(t.Incarnation)
+		w.i64(t.TargetIncarnation)
+		w.u32(t.Phase)
+		w.i64(t.At)
+	case *Rate:
+		w.i64(t.Incarnation)
+		w.i64(t.Interval)
+	default:
+		panic(fmt.Sprintf("wire: Marshal of unknown type %T", m))
+	}
+	return w.b
+}
+
+// Unmarshal decodes one message from b.
+func Unmarshal(b []byte) (Message, error) {
+	r := reader{b: b}
+	kind := Kind(r.u8())
+	group := id.Group(r.str())
+	sender := id.Process(r.str())
+	var m Message
+	switch kind {
+	case KindHello:
+		t := &Hello{Group: group, Sender: sender, Incarnation: r.i64()}
+		n := r.uvarint()
+		if r.err == nil && n > uint64(len(b)) {
+			// A member row occupies at least two bytes; a count larger than
+			// the buffer is certainly corrupt. Reject before allocating.
+			return nil, ErrTruncated
+		}
+		for i := uint64(0); i < n && r.err == nil; i++ {
+			mb := MemberInfo{ID: id.Process(r.str()), Incarnation: r.i64()}
+			flags := r.u8()
+			mb.Candidate = flags&1 != 0
+			mb.Left = flags&2 != 0
+			t.Members = append(t.Members, mb)
+		}
+		m = t
+	case KindJoin:
+		m = &Join{Group: group, Sender: sender, Incarnation: r.i64(), Candidate: r.boolean()}
+	case KindLeave:
+		m = &Leave{Group: group, Sender: sender, Incarnation: r.i64()}
+	case KindAlive:
+		t := &Alive{Group: group, Sender: sender, Incarnation: r.i64()}
+		t.Seq = r.uvarint()
+		t.SendTime = r.i64()
+		t.Interval = r.i64()
+		t.AccTime = r.i64()
+		t.Phase = r.u32()
+		t.HasLocalLeader = r.boolean()
+		if t.HasLocalLeader {
+			t.LocalLeader = id.Process(r.str())
+			t.LocalLeaderAcc = r.i64()
+		}
+		m = t
+	case KindAccuse:
+		m = &Accuse{
+			Group: group, Sender: sender,
+			Incarnation:       r.i64(),
+			TargetIncarnation: r.i64(),
+			Phase:             r.u32(),
+			At:                r.i64(),
+		}
+	case KindRate:
+		m = &Rate{Group: group, Sender: sender, Incarnation: r.i64(), Interval: r.i64()}
+	default:
+		if r.err != nil {
+			return nil, r.err
+		}
+		return nil, fmt.Errorf("%w: %d", ErrUnknownKind, uint8(kind))
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	return m, nil
+}

@@ -1,0 +1,253 @@
+// Package qos implements the failure detector configurator of Chen, Toueg
+// and Aguilera ("On the Quality of Service of Failure Detectors", IEEE
+// Transactions on Computers 2002), as used by the leader election service.
+//
+// Applications do not choose heartbeat rates or timeouts. They state a QoS
+// requirement for crash detection:
+//
+//	TdU  — an upper bound on the time to detect a crash,
+//	TmrL — a lower bound on the expected time between two consecutive
+//	       failure detector mistakes, and
+//	PaL  — a lower bound on the probability that, at a random time, the
+//	       detector's output is correct,
+//
+// and the configurator derives the heartbeat interval η and the timeout
+// shift δ from the requirement and from the current link quality (loss
+// probability pL, delay mean Ed and standard deviation Sd, supplied by the
+// link quality estimator). Parameters are recomputed continuously, which is
+// how the service adapts to changing network conditions.
+//
+// # Model
+//
+// The service runs the NFD-S detector: the monitored process q stamps every
+// heartbeat with its send time σ and current interval η; the monitor p
+// trusts q until σ+η+δ for the freshest heartbeat received. Under this rule
+//
+//   - a crash is detected at most η+δ after the last pre-crash heartbeat
+//     was sent, so the detection bound requires η+δ ≤ TdU;
+//
+//   - a mistake can begin only at a freshness point, which occurs once per
+//     η; the probability that no sufficiently recent heartbeat has arrived
+//     by a freshness point is
+//
+//     p_s = Π_{k=0..K} [ pL + (1−pL)·Pr(D > δ−kη) ],  K = ⌊δ/η⌋,
+//
+//     because K+1 heartbeats are in flight inside the window (this is what
+//     makes the detector robust to bursty loss: the configurator shrinks η
+//     until enough heartbeats overlap the timeout window);
+//
+//   - the expected mistake recurrence time is then E[T_MR] ≈ η/p_s, and the
+//     expected mistake duration is at most η+Ed (the next heartbeat ends
+//     it), so the accuracy requirements become
+//
+//     η/p_s ≥ max( TmrL, (η+Ed)/(1−PaL) ).
+//
+// Only the mean and variance of the delay are known, so Pr(D > x) is
+// bounded with the one-sided Chebyshev inequality Var/(Var+(x−Ed)²), the
+// same distribution-free bound used by Chen et al. Where their paper
+// derives η in closed form from these constraints, we maximise η by direct
+// feasibility search over the identical model — the contract (meet the QoS
+// if the link permits, otherwise deliver the best achievable detector) is
+// unchanged. See DESIGN.md for the substitution note.
+package qos
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Spec is an application's QoS requirement for crash detection, per
+// monitored process. The zero value is invalid; use Default for the
+// paper's setting.
+type Spec struct {
+	// DetectionTime (TdU) bounds the time to detect a crash.
+	DetectionTime time.Duration
+	// MistakeRecurrence (TmrL) lower-bounds the expected time between two
+	// consecutive failure detector mistakes.
+	MistakeRecurrence time.Duration
+	// QueryAccuracy (PaL) lower-bounds the probability that the detector is
+	// correct at a random query time. Must be in [0, 1).
+	QueryAccuracy float64
+}
+
+// Default is the QoS used throughout the paper's evaluation (Section 6.1):
+// detect crashes within one second, at most one mistake per monitored
+// process every 100 days, and query accuracy at least 0.99999988.
+func Default() Spec {
+	return Spec{
+		DetectionTime:     time.Second,
+		MistakeRecurrence: 100 * 24 * time.Hour,
+		QueryAccuracy:     0.99999988,
+	}
+}
+
+// Validate reports whether the spec is well-formed.
+func (s Spec) Validate() error {
+	switch {
+	case s.DetectionTime <= 0:
+		return errors.New("qos: DetectionTime must be positive")
+	case s.MistakeRecurrence <= 0:
+		return errors.New("qos: MistakeRecurrence must be positive")
+	case s.QueryAccuracy < 0 || s.QueryAccuracy >= 1:
+		return errors.New("qos: QueryAccuracy must be in [0, 1)")
+	default:
+		return nil
+	}
+}
+
+// String renders the spec in the paper's notation.
+func (s Spec) String() string {
+	return fmt.Sprintf("QoS{TdU=%v TmrL=%v PaL=%g}", s.DetectionTime, s.MistakeRecurrence, s.QueryAccuracy)
+}
+
+// LinkStats is the link quality input to the configurator, as produced by
+// the link quality estimator.
+type LinkStats struct {
+	// Loss is the probability a message is dropped (pL).
+	Loss float64
+	// MeanDelay is the expected one-way delay (Ed).
+	MeanDelay time.Duration
+	// StdDelay is the standard deviation of the one-way delay (Sd).
+	StdDelay time.Duration
+}
+
+// Params is the configurator's output: the heartbeat interval η the
+// monitored process must use and the timeout shift δ the monitor applies to
+// heartbeat send times.
+type Params struct {
+	// Interval is η, the heartbeat sending interval.
+	Interval time.Duration
+	// Timeout is δ: a heartbeat stamped σ with interval η keeps the sender
+	// trusted until σ+η+δ.
+	Timeout time.Duration
+}
+
+// Search granularity and guard rails.
+const (
+	// gridPoints is the number of log-spaced candidate intervals examined.
+	gridPoints = 96
+	// maxInFlight caps the number of overlapping heartbeats modelled.
+	maxInFlight = 128
+	// minIntervalFraction bounds η below as a fraction of TdU so a hopeless
+	// link cannot drive the send rate to infinity.
+	minIntervalFraction = 1.0 / 500
+	// absoluteMinInterval is a hard floor on the heartbeat interval.
+	absoluteMinInterval = 200 * time.Microsecond
+)
+
+// tailBound bounds Pr(D > x) given only mean and variance, via the
+// one-sided Chebyshev inequality. For x at or below the mean the bound is
+// vacuous (1).
+func tailBound(x, mean, variance float64) float64 {
+	d := x - mean
+	if d <= 0 {
+		return 1
+	}
+	return variance / (variance + d*d)
+}
+
+// suspicionProbability is p_s: the probability that none of the heartbeats
+// overlapping the timeout window arrives in time.
+func suspicionProbability(eta, delta float64, link LinkStats) float64 {
+	mean := link.MeanDelay.Seconds()
+	sd := link.StdDelay.Seconds()
+	// A tiny variance floor keeps the bound meaningful when the estimator
+	// reports a near-deterministic link.
+	if sd < 1e-6 {
+		sd = 1e-6
+	}
+	variance := sd * sd
+	loss := link.Loss
+	if loss < 0 {
+		loss = 0
+	}
+	if loss > 1 {
+		loss = 1
+	}
+	k := int(delta / eta)
+	if k > maxInFlight {
+		k = maxInFlight
+	}
+	ps := 1.0
+	for i := 0; i <= k; i++ {
+		term := loss + (1-loss)*tailBound(delta-float64(i)*eta, mean, variance)
+		ps *= term
+		if ps < 1e-300 {
+			return 1e-300
+		}
+	}
+	return ps
+}
+
+// feasible reports whether (η, δ=TdU−η) meets the accuracy requirements.
+func feasible(eta float64, spec Spec, link LinkStats) bool {
+	delta := spec.DetectionTime.Seconds() - eta
+	if delta <= 0 {
+		return false
+	}
+	ps := suspicionProbability(eta, delta, link)
+	recurrence := eta / ps
+	required := spec.MistakeRecurrence.Seconds()
+	inaccuracy := 1 - spec.QueryAccuracy
+	if inaccuracy < 1e-12 {
+		inaccuracy = 1e-12
+	}
+	if r := (eta + link.MeanDelay.Seconds()) / inaccuracy; r > required {
+		required = r
+	}
+	return recurrence >= required
+}
+
+// Configure computes (η, δ) for the given QoS requirement and link quality.
+//
+// η is maximised (fewer messages cost less) subject to the detection bound
+// η+δ ≤ TdU, to η ≤ δ (at least one heartbeat always overlaps the timeout
+// window, which also keeps the average detection time well inside TdU), and
+// to the accuracy constraints above. If even the minimum interval cannot
+// satisfy the accuracy requirements — for example during a complete link
+// outage — the configurator returns the most accurate achievable detector
+// rather than failing, matching the best-effort behaviour of the service.
+func Configure(spec Spec, link LinkStats) Params {
+	td := spec.DetectionTime.Seconds()
+	// A quarter of the detection budget is the largest interval offered:
+	// several heartbeats always overlap the timeout window (loss
+	// tolerance), the average detection time stays well inside TdU, and the
+	// resulting rates match the operating point of the paper's evaluation.
+	maxEta := td / 4
+	minEta := td * minIntervalFraction
+	if floor := absoluteMinInterval.Seconds(); minEta < floor {
+		minEta = floor
+	}
+	if minEta > maxEta {
+		minEta = maxEta
+	}
+	// Walk a log-spaced grid from the largest interval downward and take
+	// the first feasible point. Feasibility is monotone in practice (a
+	// smaller η means more heartbeats in flight and a larger δ), so this
+	// finds the cheapest compliant configuration.
+	ratio := minEta / maxEta
+	for i := 0; i < gridPoints; i++ {
+		frac := float64(i) / float64(gridPoints-1)
+		eta := maxEta * math.Pow(ratio, frac)
+		if feasible(eta, spec, link) {
+			return paramsFor(eta, td)
+		}
+	}
+	return paramsFor(minEta, td)
+}
+
+// paramsFor rounds the chosen interval to microseconds and spends the rest
+// of the detection budget on the timeout shift.
+func paramsFor(eta, td float64) Params {
+	interval := time.Duration(eta * float64(time.Second)).Round(time.Microsecond)
+	if interval <= 0 {
+		interval = absoluteMinInterval
+	}
+	timeout := time.Duration(td*float64(time.Second)) - interval
+	if timeout < interval {
+		timeout = interval
+	}
+	return Params{Interval: interval, Timeout: timeout}
+}

@@ -1,0 +1,213 @@
+package qos
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestDefaultIsPaperSetting(t *testing.T) {
+	d := Default()
+	if d.DetectionTime != time.Second {
+		t.Errorf("TdU = %v, want 1s", d.DetectionTime)
+	}
+	if d.MistakeRecurrence != 2400*time.Hour {
+		t.Errorf("TmrL = %v, want 100 days", d.MistakeRecurrence)
+	}
+	if d.QueryAccuracy != 0.99999988 {
+		t.Errorf("PaL = %v", d.QueryAccuracy)
+	}
+	if err := d.Validate(); err != nil {
+		t.Errorf("default spec invalid: %v", err)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		s    Spec
+		ok   bool
+	}{
+		{"default", Default(), true},
+		{"zero", Spec{}, false},
+		{"negative detection", Spec{DetectionTime: -1, MistakeRecurrence: 1, QueryAccuracy: 0.5}, false},
+		{"zero recurrence", Spec{DetectionTime: 1, QueryAccuracy: 0.5}, false},
+		{"accuracy one", Spec{DetectionTime: 1, MistakeRecurrence: 1, QueryAccuracy: 1}, false},
+		{"accuracy negative", Spec{DetectionTime: 1, MistakeRecurrence: 1, QueryAccuracy: -0.1}, false},
+		{"accuracy zero ok", Spec{DetectionTime: 1, MistakeRecurrence: 1, QueryAccuracy: 0}, true},
+	}
+	for _, c := range cases {
+		if err := c.s.Validate(); (err == nil) != c.ok {
+			t.Errorf("%s: Validate() = %v, want ok=%v", c.name, err, c.ok)
+		}
+	}
+}
+
+// lanLink is the paper's measured LAN behaviour.
+func lanLink() LinkStats {
+	return LinkStats{Loss: 0, MeanDelay: 25 * time.Microsecond, StdDelay: 25 * time.Microsecond}
+}
+
+// worstLink is the paper's worst lossy network.
+func worstLink() LinkStats {
+	return LinkStats{Loss: 0.1, MeanDelay: 100 * time.Millisecond, StdDelay: 100 * time.Millisecond}
+}
+
+func TestConfigureSpendsFullDetectionBudget(t *testing.T) {
+	for _, link := range []LinkStats{lanLink(), worstLink()} {
+		p := Configure(Default(), link)
+		if got := p.Interval + p.Timeout; got > time.Second || got < 990*time.Millisecond {
+			t.Errorf("η+δ = %v, want ≈ TdU (1s) for link %+v", got, link)
+		}
+		if p.Interval <= 0 || p.Timeout <= 0 {
+			t.Errorf("non-positive parameters %+v", p)
+		}
+	}
+}
+
+func TestConfigureLANPicksLargestInterval(t *testing.T) {
+	p := Configure(Default(), lanLink())
+	// On a perfect LAN the QoS is easy: the configurator should choose the
+	// largest offered interval, TdU/4.
+	if p.Interval != 250*time.Millisecond {
+		t.Errorf("LAN interval = %v, want 250ms", p.Interval)
+	}
+}
+
+func TestConfigureLossyNeedsMoreHeartbeats(t *testing.T) {
+	lan := Configure(Default(), lanLink())
+	bad := Configure(Default(), worstLink())
+	if bad.Interval >= lan.Interval {
+		t.Errorf("lossy link interval %v should be below LAN interval %v", bad.Interval, lan.Interval)
+	}
+	// With 10% loss, meeting one mistake per 100 days needs several
+	// heartbeats overlapping the window.
+	if k := int(bad.Timeout / bad.Interval); k < 3 {
+		t.Errorf("only %d heartbeats overlap the timeout window on the worst link", k)
+	}
+}
+
+func TestConfigureMeetsMistakeBoundModel(t *testing.T) {
+	// The chosen parameters must satisfy the very model the configurator
+	// uses: eta/p_s >= max(TmrL, (eta+Ed)/(1-PaL)).
+	spec := Default()
+	for _, link := range []LinkStats{
+		lanLink(),
+		worstLink(),
+		{Loss: 0.01, MeanDelay: 10 * time.Millisecond, StdDelay: 10 * time.Millisecond},
+		{Loss: 0.1, MeanDelay: 10 * time.Millisecond, StdDelay: 10 * time.Millisecond},
+	} {
+		p := Configure(spec, link)
+		eta := p.Interval.Seconds()
+		delta := p.Timeout.Seconds()
+		ps := suspicionProbability(eta, delta, link)
+		required := spec.MistakeRecurrence.Seconds()
+		if r := (eta + link.MeanDelay.Seconds()) / (1 - spec.QueryAccuracy); r > required {
+			required = r
+		}
+		if eta/ps < required {
+			t.Errorf("link %+v: E[Tmr] = %.3g s < required %.3g s (η=%v δ=%v)",
+				link, eta/ps, required, p.Interval, p.Timeout)
+		}
+	}
+}
+
+func TestConfigureHopelessLinkFallsBackToFloor(t *testing.T) {
+	// A link losing 99.9% of messages cannot meet 100-day recurrence
+	// within a 1s detection bound; the configurator must return its most
+	// aggressive detector rather than fail.
+	p := Configure(Default(), LinkStats{Loss: 0.999, MeanDelay: 100 * time.Millisecond, StdDelay: 100 * time.Millisecond})
+	if p.Interval > 5*time.Millisecond {
+		t.Errorf("hopeless link interval = %v, want the floor (≈2ms)", p.Interval)
+	}
+}
+
+func TestConfigureShortDetectionBound(t *testing.T) {
+	spec := Default()
+	spec.DetectionTime = 100 * time.Millisecond
+	p := Configure(spec, lanLink())
+	if p.Interval+p.Timeout > 100*time.Millisecond {
+		t.Errorf("η+δ = %v exceeds TdU = 100ms", p.Interval+p.Timeout)
+	}
+	if p.Interval < 200*time.Microsecond {
+		t.Errorf("interval %v below the absolute floor", p.Interval)
+	}
+}
+
+// TestConfigureQuickInvariants drives the configurator across random specs
+// and link qualities: it must always return positive parameters within the
+// detection budget, with the timeout at least as large as the interval.
+func TestConfigureQuickInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	f := func() bool {
+		spec := Spec{
+			DetectionTime:     time.Duration(1+rng.Intn(5000)) * time.Millisecond,
+			MistakeRecurrence: time.Duration(1+rng.Intn(1000)) * time.Hour,
+			QueryAccuracy:     rng.Float64() * 0.9999999,
+		}
+		link := LinkStats{
+			Loss:      rng.Float64() * 0.9,
+			MeanDelay: time.Duration(rng.Intn(int(200 * time.Millisecond))),
+			StdDelay:  time.Duration(rng.Intn(int(200 * time.Millisecond))),
+		}
+		p := Configure(spec, link)
+		if p.Interval <= 0 || p.Timeout <= 0 {
+			t.Logf("non-positive params %+v for %v %+v", p, spec, link)
+			return false
+		}
+		if p.Interval+p.Timeout > spec.DetectionTime+time.Millisecond {
+			t.Logf("budget exceeded: %+v for %v %+v", p, spec, link)
+			return false
+		}
+		if p.Timeout < p.Interval {
+			t.Logf("timeout below interval: %+v", p)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConfigureMonotoneInLoss(t *testing.T) {
+	// More loss must never buy a longer heartbeat interval.
+	prev := time.Duration(1 << 62)
+	for _, loss := range []float64{0, 0.01, 0.05, 0.1, 0.3, 0.5} {
+		p := Configure(Default(), LinkStats{Loss: loss, MeanDelay: 10 * time.Millisecond, StdDelay: 10 * time.Millisecond})
+		if p.Interval > prev {
+			t.Errorf("interval grew from %v to %v as loss rose to %g", prev, p.Interval, loss)
+		}
+		prev = p.Interval
+	}
+}
+
+func TestSuspicionProbabilityMonotoneInTimeout(t *testing.T) {
+	link := worstLink()
+	prev := 1.1
+	for _, delta := range []float64{0.2, 0.4, 0.6, 0.8, 0.95} {
+		ps := suspicionProbability(0.05, delta, link)
+		if ps > prev {
+			t.Errorf("p_s rose from %g to %g as δ grew to %g", prev, ps, delta)
+		}
+		prev = ps
+	}
+}
+
+func TestTailBound(t *testing.T) {
+	if got := tailBound(0.5, 1.0, 0.01); got != 1 {
+		t.Errorf("tail bound below the mean must be vacuous, got %g", got)
+	}
+	// One-sided Chebyshev: Var/(Var+d²).
+	if got, want := tailBound(2, 1, 0.25), 0.25/(0.25+1); got != want {
+		t.Errorf("tailBound = %g, want %g", got, want)
+	}
+}
+
+func TestSpecString(t *testing.T) {
+	s := Default().String()
+	if s == "" {
+		t.Error("empty String()")
+	}
+}

@@ -1,0 +1,469 @@
+package stableleader
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"stableleader/id"
+	"stableleader/internal/clock"
+	"stableleader/internal/core"
+	"stableleader/internal/election"
+	"stableleader/internal/wire"
+	"stableleader/qos"
+	"stableleader/transport"
+)
+
+// Algorithm selects the leader election core used within a group. See the
+// package documentation for the trade-offs.
+type Algorithm int
+
+// Available election algorithms.
+const (
+	// OmegaL is the communication-efficient algorithm (service S3 of the
+	// paper): eventually only the leader sends heartbeats.
+	OmegaL Algorithm = Algorithm(election.OmegaL)
+	// OmegaLC tolerates crashed links via leader forwarding (service S2).
+	OmegaLC Algorithm = Algorithm(election.OmegaLC)
+	// OmegaID is the unstable smallest-id baseline (service S1).
+	OmegaID Algorithm = Algorithm(election.OmegaID)
+)
+
+// String returns the paper's name for the algorithm.
+func (a Algorithm) String() string { return election.Kind(a).String() }
+
+// ParseAlgorithm converts a name ("omega-l", "omega-lc", "omega-id") into
+// an Algorithm.
+func ParseAlgorithm(s string) (Algorithm, error) {
+	switch s {
+	case "omega-l", "omegal", "s3", "S3":
+		return OmegaL, nil
+	case "omega-lc", "omegalc", "s2", "S2":
+		return OmegaLC, nil
+	case "omega-id", "omegaid", "s1", "S1":
+		return OmegaID, nil
+	default:
+		return 0, fmt.Errorf("stableleader: unknown algorithm %q", s)
+	}
+}
+
+// LeaderInfo describes the leadership of one group as seen locally.
+type LeaderInfo struct {
+	// Group is the group concerned.
+	Group id.Group
+	// Leader is the elected process (empty if Elected is false).
+	Leader id.Process
+	// Incarnation distinguishes successive lifetimes of the leader process.
+	Incarnation int64
+	// Elected is false while the group looks leaderless from this process
+	// (for example during an election).
+	Elected bool
+	// At is when this view was adopted.
+	At time.Time
+}
+
+// JoinOptions configures membership in one group.
+type JoinOptions struct {
+	// Candidate marks this process as willing to lead the group. Elections
+	// choose only among candidates; passive members observe leadership.
+	Candidate bool
+	// Algorithm selects the election core (default OmegaL).
+	Algorithm Algorithm
+	// QoS is the failure detection requirement inside the group; the
+	// zero value means qos.Default(), the paper's setting.
+	QoS qos.Spec
+	// Seeds are processes contacted with the initial JOIN announcement;
+	// membership then spreads by gossip.
+	Seeds []id.Process
+	// OnLeaderChange, if non-nil, is invoked (on the service's event loop)
+	// whenever the leader view changes — the paper's "interrupt" mode. The
+	// callback must not block. Group.Changes offers a channel alternative.
+	OnLeaderChange func(LeaderInfo)
+	// NotifyBuffer sizes the Changes channel (default 16). When the buffer
+	// is full the oldest unconsumed notification is dropped; Leader()
+	// always returns the current view regardless.
+	NotifyBuffer int
+	// HelloInterval is the membership gossip period (default 1s).
+	HelloInterval time.Duration
+	// GossipFanout is how many members each gossip round targets (default 3).
+	GossipFanout int
+}
+
+// Config configures a Service.
+type Config struct {
+	// ID is this process's unique identifier (required). Registering two
+	// live services with the same id on the same transport is an error the
+	// service cannot detect; identifiers must be managed by the deployment.
+	ID id.Process
+	// Transport carries datagrams to peers (required).
+	Transport transport.Transport
+	// Seed seeds the service's internal randomness (gossip peer choice).
+	// Zero means derive from the clock.
+	Seed int64
+}
+
+// Service is a real-time host for the leader election node: it owns the
+// event loop goroutine that serialises message delivery, timers and API
+// commands, mirroring the Command Handler architecture of the paper.
+type Service struct {
+	cfg  Config
+	node *core.Node
+
+	commands chan func()
+	done     chan struct{}
+	closing  chan struct{}
+
+	mu     sync.Mutex
+	groups map[id.Group]*Group
+	closed bool
+}
+
+// ErrClosed is returned by operations on a closed Service.
+var ErrClosed = errors.New("stableleader: service closed")
+
+// New creates and starts a Service for the given process.
+func New(cfg Config) (*Service, error) {
+	if cfg.ID == "" {
+		return nil, errors.New("stableleader: Config.ID is required")
+	}
+	if cfg.Transport == nil {
+		return nil, errors.New("stableleader: Config.Transport is required")
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	s := &Service{
+		cfg:      cfg,
+		commands: make(chan func(), 256),
+		done:     make(chan struct{}),
+		closing:  make(chan struct{}),
+		groups:   make(map[id.Group]*Group),
+	}
+	rt := &serviceRuntime{svc: s, rng: rand.New(rand.NewSource(seed))}
+	s.node = core.NewNode(cfg.ID, rt)
+	cfg.Transport.Receive(s.onDatagram)
+	go s.loop()
+	return s, nil
+}
+
+// loop is the event loop: every node entry point funnels through here.
+func (s *Service) loop() {
+	defer close(s.done)
+	for {
+		select {
+		case fn := <-s.commands:
+			fn()
+		case <-s.closing:
+			// Drain whatever is already queued, then stop.
+			for {
+				select {
+				case fn := <-s.commands:
+					fn()
+				default:
+					s.node.Stop()
+					return
+				}
+			}
+		}
+	}
+}
+
+// enqueue schedules fn on the event loop; it drops work once closing.
+func (s *Service) enqueue(fn func()) {
+	select {
+	case s.commands <- fn:
+	case <-s.closing:
+	}
+}
+
+// call runs fn on the event loop and waits for it.
+func (s *Service) call(fn func()) error {
+	donec := make(chan struct{})
+	select {
+	case s.commands <- func() { fn(); close(donec) }:
+	case <-s.closing:
+		return ErrClosed
+	}
+	select {
+	case <-donec:
+		return nil
+	case <-s.done:
+		return ErrClosed
+	}
+}
+
+// onDatagram decodes and dispatches one received datagram.
+func (s *Service) onDatagram(payload []byte) {
+	m, err := wire.Unmarshal(payload)
+	if err != nil {
+		return // garbage on the wire is dropped, as a UDP service must
+	}
+	s.enqueue(func() { s.node.HandleMessage(m) })
+}
+
+// ID returns the service's process id.
+func (s *Service) ID() id.Process { return s.cfg.ID }
+
+// Incarnation returns this service instance's incarnation number.
+func (s *Service) Incarnation() int64 { return s.node.Incarnation() }
+
+// Join enters a group and returns its handle.
+func (s *Service) Join(g id.Group, opts JoinOptions) (*Group, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if _, ok := s.groups[g]; ok {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("stableleader: already joined %q", g)
+	}
+	buf := opts.NotifyBuffer
+	if buf <= 0 {
+		buf = 16
+	}
+	grp := &Group{svc: s, id: g, changes: make(chan LeaderInfo, buf)}
+	s.groups[g] = grp
+	s.mu.Unlock()
+
+	var joinErr error
+	err := s.call(func() {
+		joinErr = s.node.Join(g, core.JoinOptions{
+			Candidate:     opts.Candidate,
+			Algorithm:     election.Kind(opts.Algorithm),
+			QoS:           opts.QoS,
+			Seeds:         opts.Seeds,
+			HelloInterval: opts.HelloInterval,
+			GossipFanout:  opts.GossipFanout,
+			OnLeaderChange: func(li core.LeaderInfo) {
+				grp.notify(publicInfo(li), opts.OnLeaderChange)
+			},
+		})
+	})
+	if err == nil {
+		err = joinErr
+	}
+	if err != nil {
+		s.mu.Lock()
+		delete(s.groups, g)
+		s.mu.Unlock()
+		return nil, err
+	}
+	return grp, nil
+}
+
+// Close shuts the service down. When leaveGroups is true, LEAVE messages
+// are announced first so peers re-elect immediately rather than waiting for
+// failure detection.
+func (s *Service) Close(leaveGroups bool) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		<-s.done
+		return nil
+	}
+	s.closed = true
+	groups := make([]*Group, 0, len(s.groups))
+	for _, g := range s.groups {
+		groups = append(groups, g)
+	}
+	s.mu.Unlock()
+
+	if leaveGroups {
+		_ = s.call(func() {
+			for _, g := range groups {
+				_ = s.node.Leave(g.id)
+			}
+		})
+	}
+	close(s.closing)
+	<-s.done
+	for _, g := range groups {
+		g.closeChanges()
+	}
+	return s.cfg.Transport.Close()
+}
+
+// publicInfo converts the internal view type.
+func publicInfo(li core.LeaderInfo) LeaderInfo {
+	return LeaderInfo{
+		Group:       li.Group,
+		Leader:      li.Leader,
+		Incarnation: li.Incarnation,
+		Elected:     li.Elected,
+		At:          li.At,
+	}
+}
+
+// Group is a handle on one joined group.
+type Group struct {
+	svc *Service
+	id  id.Group
+
+	mu      sync.Mutex
+	last    LeaderInfo
+	hasLast bool
+	changes chan LeaderInfo
+	closed  bool
+	left    bool
+}
+
+// ID returns the group identifier.
+func (g *Group) ID() id.Group { return g.id }
+
+// notify records and fans out a leader change.
+func (g *Group) notify(li LeaderInfo, callback func(LeaderInfo)) {
+	g.mu.Lock()
+	g.last, g.hasLast = li, true
+	if !g.closed {
+		for {
+			select {
+			case g.changes <- li:
+			default:
+				// Full: drop the oldest so the channel always ends on the
+				// freshest view.
+				select {
+				case <-g.changes:
+				default:
+				}
+				continue
+			}
+			break
+		}
+	}
+	g.mu.Unlock()
+	if callback != nil {
+		callback(li)
+	}
+}
+
+// Changes returns the interrupt-mode notification channel: one LeaderInfo
+// per leader view change. Slow consumers lose old entries, never new ones.
+// The channel closes when the group is left or the service closes.
+func (g *Group) Changes() <-chan LeaderInfo { return g.changes }
+
+// MemberStatus is one group member as seen by the local failure detection
+// layer: identity, candidacy, the detector's current trust verdict, and the
+// (η, δ) parameters its QoS configurator chose for the link.
+type MemberStatus struct {
+	ID          id.Process
+	Incarnation int64
+	Candidate   bool
+	Self        bool
+	Trusted     bool
+	// Interval (η) is the heartbeat rate requested from this member;
+	// Timeout (δ) the timeout shift applied to its heartbeats.
+	Interval time.Duration
+	Timeout  time.Duration
+}
+
+// Status queries the group's membership and failure detection state — the
+// query surface of the shared failure detector service underlying the
+// election (Section 4 of the paper).
+func (g *Group) Status() ([]MemberStatus, error) {
+	var out []MemberStatus
+	var serr error
+	err := g.svc.call(func() {
+		rows, e := g.svc.node.Status(g.id)
+		if e != nil {
+			serr = e
+			return
+		}
+		out = make([]MemberStatus, len(rows))
+		for i, r := range rows {
+			out[i] = MemberStatus{
+				ID:          r.ID,
+				Incarnation: r.Incarnation,
+				Candidate:   r.Candidate,
+				Self:        r.Self,
+				Trusted:     r.Trusted,
+				Interval:    r.Interval,
+				Timeout:     r.Timeout,
+			}
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, serr
+}
+
+// Leader returns the current leader view (the paper's "query" mode).
+func (g *Group) Leader() (LeaderInfo, error) {
+	var li LeaderInfo
+	var lerr error
+	err := g.svc.call(func() {
+		cli, e := g.svc.node.Leader(g.id)
+		li, lerr = publicInfo(cli), e
+	})
+	if err != nil {
+		// Service closed: fall back to the last observed view.
+		g.mu.Lock()
+		defer g.mu.Unlock()
+		if g.hasLast {
+			return g.last, nil
+		}
+		return LeaderInfo{}, err
+	}
+	return li, lerr
+}
+
+// Leave departs the group gracefully.
+func (g *Group) Leave() error {
+	g.mu.Lock()
+	if g.left {
+		g.mu.Unlock()
+		return nil
+	}
+	g.left = true
+	g.mu.Unlock()
+	var lerr error
+	err := g.svc.call(func() { lerr = g.svc.node.Leave(g.id) })
+	g.svc.mu.Lock()
+	delete(g.svc.groups, g.id)
+	g.svc.mu.Unlock()
+	g.closeChanges()
+	if err != nil {
+		return err
+	}
+	return lerr
+}
+
+// closeChanges closes the notification channel exactly once.
+func (g *Group) closeChanges() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if !g.closed {
+		g.closed = true
+		close(g.changes)
+	}
+}
+
+// serviceRuntime adapts the Service to core.Runtime: real clock, timers
+// that re-enter the event loop, transport sends, and the service RNG (used
+// only on the event loop).
+type serviceRuntime struct {
+	svc *Service
+	rng *rand.Rand
+}
+
+var _ core.Runtime = (*serviceRuntime)(nil)
+
+// Now implements clock.Clock.
+func (r *serviceRuntime) Now() time.Time { return time.Now() }
+
+// AfterFunc implements clock.Clock; callbacks hop onto the event loop.
+func (r *serviceRuntime) AfterFunc(d time.Duration, fn func()) clock.Timer {
+	return time.AfterFunc(d, func() { r.svc.enqueue(fn) })
+}
+
+// Send implements core.Runtime.
+func (r *serviceRuntime) Send(to id.Process, m wire.Message) {
+	_ = r.svc.cfg.Transport.Send(to, wire.Marshal(m))
+}
+
+// Rand implements core.Runtime.
+func (r *serviceRuntime) Rand() *rand.Rand { return r.rng }

@@ -1,0 +1,116 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	stableleader "stableleader"
+	"stableleader/id"
+	"stableleader/internal/core"
+	"stableleader/internal/election"
+	"stableleader/internal/metrics"
+	"stableleader/internal/simnet"
+	"stableleader/internal/wire"
+	"stableleader/qos"
+)
+
+// shim logs ALIVE/RATE traffic on the w10->w05 and w05->w10 links.
+type shim struct {
+	inner *core.Node
+	self  id.Process
+	logf  func(string, ...interface{})
+}
+
+func (s *shim) HandleMessage(m wire.Message) {
+	interesting := (s.self == "w05" && m.From() == "w10") || (s.self == "w10" && m.From() == "w05")
+	if interesting {
+		switch t := m.(type) {
+		case *wire.Alive:
+			s.logf("ALIVE %s->%s seq=%d interval=%v acc=%d", t.Sender, s.self, t.Seq, time.Duration(t.Interval), t.AccTime)
+		case *wire.Rate:
+			s.logf("RATE  %s->%s interval=%v", t.Sender, s.self, time.Duration(t.Interval))
+		case *wire.Accuse:
+			s.logf("ACCUSE %s->%s phase=%d", t.Sender, s.self, t.Phase)
+		}
+	}
+	s.inner.HandleMessage(m)
+}
+
+// TestDebugSeedN replays the failing sweep cell with a view log around the
+// demotion instant; temporary investigation helper.
+func TestDebugSeedN(t *testing.T) {
+	metrics.SetDebugDemotions(true)
+	defer metrics.SetDebugDemotions(false)
+
+	eng := simnet.NewEngine(1)
+	net := simnet.NewNetwork(eng, simnet.LinkModel{MeanDelay: 10 * time.Millisecond, Loss: 0.1})
+	var procs []id.Process
+	for i := 0; i < 12; i++ {
+		procs = append(procs, id.Process(fmt.Sprintf("w%02d", i+1)))
+		net.Attach(procs[i])
+	}
+	obs := metrics.NewObserver("g", simnet.Epoch().Add(30*time.Second))
+	runtimes := map[id.Process]*simnet.NodeRuntime{}
+	crashed := map[id.Process]bool{}
+	from, to := 1799.0, 1803.3 // log window (s) around the demotion at 1803.19
+	logf := func(format string, args ...interface{}) {
+		ts := eng.Now().Sub(simnet.Epoch()).Seconds()
+		if ts >= from && ts <= to {
+			fmt.Printf("%10.4fs  ", ts)
+			fmt.Printf(format+"\n", args...)
+		}
+	}
+	var start func(p id.Process)
+	start = func(p id.Process) {
+		if crashed[p] || runtimes[p] != nil {
+			return
+		}
+		rt := simnet.NewNodeRuntime(net, p)
+		runtimes[p] = rt
+		node := core.NewNode(p, rt)
+		net.SetUp(p, true, &shim{inner: node, self: p, logf: logf})
+		obs.NodeUp(eng.Now(), p, node.Incarnation())
+		logf("UP   %s", p)
+		bound := rt
+		eng.After(2*time.Second, func() {
+			if runtimes[p] == bound {
+				obs.MarkJoined(eng.Now(), p)
+			}
+		})
+		_ = node.Join("g", core.JoinOptions{
+			Candidate: true,
+			Algorithm: election.Kind(stableleader.OmegaL),
+			QoS:       qos.Default(),
+			Seeds:     procs,
+			OnLeaderChange: func(li core.LeaderInfo) {
+				logf("VIEW %s -> %s/%v", p, li.Leader, li.Elected)
+				obs.LeaderView(eng.Now(), p, li.Leader, li.Incarnation, li.Elected)
+			},
+		})
+	}
+	for i, p := range procs {
+		p := p
+		_ = i
+		j := time.Duration(eng.Rand().Int63n(int64(100 * time.Millisecond)))
+		eng.After(j, func() { start(p) })
+	}
+	for _, p := range procs {
+		p := p
+		simnet.ScheduleFaults(eng, simnet.FaultPlan{MTBF: 600 * time.Second, MTTR: 5 * time.Second},
+			func() {
+				crashed[p] = true
+				if rt := runtimes[p]; rt != nil {
+					rt.Shutdown()
+					delete(runtimes, p)
+				}
+				net.SetUp(p, false, nil)
+				obs.NodeDown(eng.Now(), p)
+				logf("DOWN %s", p)
+			},
+			func() { crashed[p] = false; start(p) },
+		)
+	}
+	eng.RunUntil(simnet.Epoch().Add(30*time.Second + 40*time.Minute))
+	fmt.Println(obs.Finish(eng.Now()))
+}

@@ -1,0 +1,328 @@
+package sim
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	stableleader "stableleader"
+	"stableleader/qos"
+)
+
+// TestDeterminism: a scenario is a pure function of its seed — the entire
+// metric set must be bit-identical across runs, and different seeds must
+// diverge.
+func TestDeterminism(t *testing.T) {
+	sc := Scenario{
+		N:             6,
+		Algorithm:     stableleader.OmegaL,
+		Link:          LinkModel{MeanDelay: 10 * time.Millisecond, Loss: 0.05},
+		ProcessFaults: &Faults{MTBF: 2 * time.Minute, MTTR: 5 * time.Second},
+		Duration:      10 * time.Minute,
+		Seed:          99,
+	}
+	a, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.WallTime, b.WallTime = 0, 0
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("same seed diverged:\n%+v\nvs\n%+v", a.Metrics, b.Metrics)
+	}
+	sc.Seed = 100
+	c, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.EventsSimulated == c.EventsSimulated && a.Metrics.Pleader == c.Metrics.Pleader {
+		t.Error("different seeds produced identical runs (suspicious)")
+	}
+}
+
+// TestStabilityContrast is Figure 3/4's qualitative core at test scale:
+// with frequent crash/recovery cycles, omega-id demotes healthy leaders
+// while omega-l and omega-lc never do.
+func TestStabilityContrast(t *testing.T) {
+	base := Scenario{
+		N:             6,
+		Link:          LinkModel{MeanDelay: 10 * time.Millisecond, Loss: 0.01},
+		ProcessFaults: &Faults{MTBF: 2 * time.Minute, MTTR: 5 * time.Second},
+		Duration:      30 * time.Minute,
+		Seed:          5,
+	}
+	run := func(algo stableleader.Algorithm) Result {
+		sc := base
+		sc.Algorithm = algo
+		res, err := Run(sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	s1 := run(stableleader.OmegaID)
+	s2 := run(stableleader.OmegaLC)
+	s3 := run(stableleader.OmegaL)
+	if s1.Metrics.Demotions == 0 {
+		t.Error("omega-id showed no unjustified demotions despite frequent recoveries; its instability should be visible")
+	}
+	if s2.Metrics.Demotions != 0 {
+		t.Errorf("omega-lc demoted a live leader %d times; the paper reports zero", s2.Metrics.Demotions)
+	}
+	if s3.Metrics.Demotions != 0 {
+		t.Errorf("omega-l demoted a live leader %d times; the paper reports zero", s3.Metrics.Demotions)
+	}
+}
+
+// TestLinkCrashRobustnessContrast is Figure 7's qualitative core: under
+// frequent total link outages, omega-lc's forwarding keeps availability
+// clearly above omega-l's.
+func TestLinkCrashRobustnessContrast(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-minute simulation")
+	}
+	base := Scenario{
+		N:             12,
+		Link:          LinkModel{MeanDelay: 25 * time.Microsecond},
+		ProcessFaults: &Faults{MTBF: 600 * time.Second, MTTR: 5 * time.Second},
+		LinkFaults:    &Faults{MTBF: 60 * time.Second, MTTR: 3 * time.Second},
+		Duration:      20 * time.Minute,
+		Seed:          7,
+	}
+	run := func(algo stableleader.Algorithm) Result {
+		sc := base
+		sc.Algorithm = algo
+		res, err := Run(sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	s2 := run(stableleader.OmegaLC)
+	s3 := run(stableleader.OmegaL)
+	t.Logf("S2: %v", s2.Metrics)
+	t.Logf("S3: %v", s3.Metrics)
+	if s2.Metrics.Pleader <= s3.Metrics.Pleader {
+		t.Errorf("S2 availability (%.4f) should exceed S3's (%.4f) under crashing links",
+			s2.Metrics.Pleader, s3.Metrics.Pleader)
+	}
+	if s2.Metrics.Pleader < 0.95 {
+		t.Errorf("S2 availability %.4f; the paper reports ~0.988 in this regime", s2.Metrics.Pleader)
+	}
+	if s3.Metrics.Pleader > 0.95 {
+		t.Errorf("S3 availability %.4f; the paper reports substantial degradation (~0.77)", s3.Metrics.Pleader)
+	}
+}
+
+// TestDetectionBoundGovernsRecovery is Figure 8's qualitative core: Tr
+// scales with the configured detection bound.
+func TestDetectionBoundGovernsRecovery(t *testing.T) {
+	run := func(td time.Duration) Result {
+		spec := qos.Default()
+		spec.DetectionTime = td
+		res, err := Run(Scenario{
+			N:             6,
+			Algorithm:     stableleader.OmegaL,
+			QoS:           spec,
+			Link:          LinkModel{MeanDelay: 25 * time.Microsecond},
+			ProcessFaults: &Faults{MTBF: 90 * time.Second, MTTR: 5 * time.Second},
+			Duration:      30 * time.Minute,
+			Seed:          3,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	fast := run(100 * time.Millisecond)
+	slow := run(time.Second)
+	if fast.Metrics.TrSamples == 0 || slow.Metrics.TrSamples == 0 {
+		t.Fatal("no leader crashes sampled")
+	}
+	t.Logf("TdU=100ms: %v; TdU=1s: %v", fast.Metrics, slow.Metrics)
+	if fast.Metrics.TrMean >= slow.Metrics.TrMean {
+		t.Errorf("Tr with TdU=100ms (%v) should be far below Tr with TdU=1s (%v)",
+			fast.Metrics.TrMean, slow.Metrics.TrMean)
+	}
+	if fast.Metrics.TrMean > 400*time.Millisecond {
+		t.Errorf("Tr = %v with a 100ms bound; detection should dominate recovery", fast.Metrics.TrMean)
+	}
+	// Faster detection costs more traffic.
+	if fast.KBPerSec <= slow.KBPerSec {
+		t.Errorf("tighter QoS should cost more bandwidth: %v vs %v KB/s", fast.KBPerSec, slow.KBPerSec)
+	}
+}
+
+// TestScalingShape is Figure 6's qualitative core: growing the group from
+// 4 to 12 should grow S3's per-node traffic far slower than S2's.
+func TestScalingShape(t *testing.T) {
+	run := func(algo stableleader.Algorithm, n int) Result {
+		res, err := Run(Scenario{
+			N:             n,
+			Algorithm:     algo,
+			Link:          LinkModel{MeanDelay: 25 * time.Microsecond},
+			ProcessFaults: &Faults{MTBF: 600 * time.Second, MTTR: 5 * time.Second},
+			Duration:      10 * time.Minute,
+			Seed:          4,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	s2Growth := run(stableleader.OmegaLC, 12).KBPerSec / run(stableleader.OmegaLC, 4).KBPerSec
+	s3Growth := run(stableleader.OmegaL, 12).KBPerSec / run(stableleader.OmegaL, 4).KBPerSec
+	t.Logf("4->12 traffic growth: S2 %.2fx, S3 %.2fx", s2Growth, s3Growth)
+	if s2Growth <= s3Growth {
+		t.Errorf("S2's traffic must grow faster with n than S3's (%.2fx vs %.2fx)", s2Growth, s3Growth)
+	}
+	if s2Growth < 2.2 {
+		t.Errorf("S2 grew only %.2fx from n=4 to n=12; expected near-quadratic growth", s2Growth)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(Scenario{N: 3}); err == nil {
+		t.Error("zero duration must be rejected")
+	}
+	bad := Scenario{N: 3, Duration: time.Minute, QoS: qos.Spec{DetectionTime: -1}}
+	if _, err := Run(bad); err == nil {
+		t.Error("invalid QoS must be rejected")
+	}
+}
+
+func TestExperimentDispatch(t *testing.T) {
+	if _, err := RunExperiment("nope", Options{}); err == nil {
+		t.Error("unknown figure id must error")
+	}
+	ids := Experiments()
+	if len(ids) != 7 {
+		t.Errorf("Experiments() = %v", ids)
+	}
+	// A tiny real dispatch: figure 8 with minuscule cells exercises the
+	// whole table pipeline.
+	exp, err := RunExperiment("headline", Options{Duration: 30 * time.Second, Warmup: 5 * time.Second, N: 4, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exp.Cells) != 3 {
+		t.Fatalf("headline cells = %d, want 3", len(exp.Cells))
+	}
+	s := exp.String()
+	for _, want := range []string{"headline", "S1 (omega-id)", "S2 (omega-lc)", "S3 (omega-l)", "Pleader"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("table output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestLinkModelString(t *testing.T) {
+	if got := (LinkModel{MeanDelay: 100 * time.Millisecond, Loss: 0.1}).String(); got != "(100ms, 0.1)" {
+		t.Errorf("String = %q", got)
+	}
+	if got := (LinkModel{MeanDelay: 25 * time.Microsecond}).String(); got != "(0.025ms, 0)" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestCandidateSubsetElection(t *testing.T) {
+	// Restricting the election to 3 candidates out of 8 (the paper's t+1
+	// candidates feature): leaders must only ever be candidates.
+	res, err := Run(Scenario{
+		N:             8,
+		Candidates:    3,
+		Algorithm:     stableleader.OmegaL,
+		Link:          LinkModel{MeanDelay: 10 * time.Millisecond, Loss: 0.01},
+		ProcessFaults: &Faults{MTBF: 3 * time.Minute, MTTR: 5 * time.Second},
+		Duration:      20 * time.Minute,
+		Seed:          12,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.Pleader < 0.9 {
+		t.Errorf("availability %.4f with a candidate subset; want functioning elections", res.Metrics.Pleader)
+	}
+	if res.Metrics.Demotions != 0 {
+		t.Errorf("unjustified demotions = %d with candidate subset", res.Metrics.Demotions)
+	}
+}
+
+// TestStartupGraceAblation pins the motivation for the startup grace: a
+// recovering process that immediately proclaims itself leader opens a
+// split-leadership window — it joins the group disagreeing with everyone —
+// which shows up as lost availability when recoveries are frequent and
+// fast. With the grace the process discovers the incumbent first. (The
+// mistake-rate metric is protected separately by incarnation-aware
+// accounting; both variants must show zero unjustified demotions.)
+func TestStartupGraceAblation(t *testing.T) {
+	base := Scenario{
+		N:             8,
+		Algorithm:     stableleader.OmegaL,
+		Link:          LinkModel{MeanDelay: 25 * time.Microsecond},
+		ProcessFaults: &Faults{MTBF: 90 * time.Second, MTTR: 300 * time.Millisecond},
+		Duration:      30 * time.Minute,
+		Seed:          21,
+	}
+	with := base
+	without := base
+	without.DisableStartupGrace = true
+	rWith, err := Run(with)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rWithout, err := Run(without)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("with grace:    %v", rWith.Metrics)
+	t.Logf("without grace: %v", rWithout.Metrics)
+	if rWith.Metrics.Demotions != 0 || rWithout.Metrics.Demotions != 0 {
+		t.Errorf("unjustified demotions: with=%d without=%d, want 0 for both",
+			rWith.Metrics.Demotions, rWithout.Metrics.Demotions)
+	}
+	if rWith.Metrics.Pleader <= rWithout.Metrics.Pleader {
+		t.Errorf("grace should improve availability under fast recoveries: with=%.4f without=%.4f",
+			rWith.Metrics.Pleader, rWithout.Metrics.Pleader)
+	}
+}
+
+// TestStabilityAcrossSeeds sweeps the paper's central claim over many
+// independent runs: in lossy networks with the paper's fault rates, the
+// stable services never demote a live leader, whatever the randomness. One
+// seed could be lucky; ten make a statement (≈ 7 simulated hours each for
+// S2 and S3, ≈ 800 workstation crashes total).
+func TestStabilityAcrossSeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-minute simulation sweep")
+	}
+	for _, algo := range []stableleader.Algorithm{stableleader.OmegaLC, stableleader.OmegaL} {
+		algo := algo
+		t.Run(algo.String(), func(t *testing.T) {
+			for seed := int64(1); seed <= 10; seed++ {
+				res, err := Run(Scenario{
+					N:             12,
+					Algorithm:     algo,
+					Link:          LinkModel{MeanDelay: 10 * time.Millisecond, Loss: 0.1},
+					ProcessFaults: &Faults{MTBF: 600 * time.Second, MTTR: 5 * time.Second},
+					Duration:      40 * time.Minute,
+					Seed:          seed,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Metrics.Demotions != 0 {
+					t.Errorf("seed %d: %d unjustified demotions (λu=%.2f/h); the paper reports zero",
+						seed, res.Metrics.Demotions, res.Metrics.MistakesPerHour)
+				}
+				if res.Metrics.Pleader < 0.99 {
+					t.Errorf("seed %d: availability %.4f, want ≥ 0.99", seed, res.Metrics.Pleader)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,71 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	stableleader "stableleader"
+)
+
+// TestSmokeStableNetwork checks the whole stack end to end on a clean LAN:
+// every algorithm must elect a leader quickly and keep it for the whole run
+// with no demotions and availability near 1.
+func TestSmokeStableNetwork(t *testing.T) {
+	for _, algo := range []stableleader.Algorithm{
+		stableleader.OmegaL, stableleader.OmegaLC, stableleader.OmegaID,
+	} {
+		algo := algo
+		t.Run(algo.String(), func(t *testing.T) {
+			res, err := Run(Scenario{
+				Name:      "smoke",
+				N:         5,
+				Algorithm: algo,
+				Duration:  2 * time.Minute,
+				Seed:      42,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			m := res.Metrics
+			if m.Pleader < 0.999 {
+				t.Errorf("Pleader = %.6f, want >= 0.999", m.Pleader)
+			}
+			if m.Demotions != 0 {
+				t.Errorf("demotions = %d, want 0", m.Demotions)
+			}
+			if m.TrSamples != 0 {
+				t.Errorf("Tr samples = %d, want 0 (no crashes injected)", m.TrSamples)
+			}
+			t.Logf("%s: %v cpu=%.4f%% traffic=%.2fKB/s msgs=%.1f/s events=%d wall=%v",
+				algo, m, res.CPUPercent, res.KBPerSec, res.MsgsPerSec,
+				res.EventsSimulated, res.WallTime)
+		})
+	}
+}
+
+// TestSmokeCrashRecovery checks that leader crashes are detected and
+// recovered within the QoS bound in a small cluster.
+func TestSmokeCrashRecovery(t *testing.T) {
+	res, err := Run(Scenario{
+		Name:          "smoke-crash",
+		N:             5,
+		Algorithm:     stableleader.OmegaL,
+		Duration:      10 * time.Minute,
+		ProcessFaults: &Faults{MTBF: 2 * time.Minute, MTTR: 5 * time.Second},
+		Seed:          7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := res.Metrics
+	if m.TrSamples == 0 {
+		t.Fatal("expected leader crashes to be observed")
+	}
+	if m.TrMean <= 0 || m.TrMean > 2*time.Second {
+		t.Errorf("TrMean = %v, want within (0, 2s]", m.TrMean)
+	}
+	if m.Pleader < 0.95 {
+		t.Errorf("Pleader = %.4f, want >= 0.95", m.Pleader)
+	}
+	t.Logf("%v cpu=%.4f%% traffic=%.2fKB/s wall=%v", m, res.CPUPercent, res.KBPerSec, res.WallTime)
+}

@@ -1,0 +1,42 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	stableleader "stableleader"
+)
+
+func TestPaperScaleCheck(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-minute paper-scale validation")
+	}
+	for _, tc := range []struct {
+		algo stableleader.Algorithm
+		link LinkModel
+	}{
+		{stableleader.OmegaID, LinkModel{MeanDelay: 100 * time.Millisecond, Loss: 0.1}},
+		{stableleader.OmegaLC, LinkModel{MeanDelay: 100 * time.Millisecond, Loss: 0.1}},
+		{stableleader.OmegaL, LinkModel{MeanDelay: 100 * time.Millisecond, Loss: 0.1}},
+		{stableleader.OmegaID, LinkModel{MeanDelay: 25 * time.Microsecond, Loss: 0}},
+		{stableleader.OmegaLC, LinkModel{MeanDelay: 25 * time.Microsecond, Loss: 0}},
+		{stableleader.OmegaL, LinkModel{MeanDelay: 25 * time.Microsecond, Loss: 0}},
+	} {
+		res, err := Run(Scenario{
+			N:             12,
+			Algorithm:     tc.algo,
+			Link:          tc.link,
+			ProcessFaults: &Faults{MTBF: 600 * time.Second, MTTR: 5 * time.Second},
+			Duration:      1 * time.Hour,
+			Seed:          11,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := res.Metrics
+		t.Logf("%-8s %-14s Tr=%7.3fs±%.3f (n=%2d) λu=%5.2f/h Pleader=%.4f%% cpu=%.3f%% kb/s=%6.2f msgs/s=%6.1f events=%9d wall=%v",
+			tc.algo, tc.link, m.TrMean.Seconds(), m.TrCI95.Seconds(), m.TrSamples,
+			m.MistakesPerHour, 100*m.Pleader, res.CPUPercent, res.KBPerSec, res.MsgsPerSec,
+			res.EventsSimulated, res.WallTime)
+	}
+}

@@ -1,0 +1,138 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"stableleader/id"
+)
+
+// InprocOptions shape the behaviour of the in-process network.
+type InprocOptions struct {
+	// Loss is the iid probability that a datagram is dropped.
+	Loss float64
+	// MeanDelay is the mean of an exponential delivery delay; zero
+	// delivers (asynchronously) as fast as possible.
+	MeanDelay time.Duration
+	// Seed seeds the loss/delay randomness; zero derives from the clock.
+	Seed int64
+}
+
+// Inproc is an in-memory datagram network connecting any number of
+// endpoints in one process: the quickest way to run a whole group in a
+// single binary (examples, tests) or to inject controlled loss and delay
+// in front of the real service.
+type Inproc struct {
+	mu   sync.Mutex
+	eps  map[id.Process]*inprocEndpoint
+	opts InprocOptions
+	rng  *rand.Rand
+}
+
+// NewInproc creates an in-process network. opts may be nil for a perfect
+// network.
+func NewInproc(opts *InprocOptions) *Inproc {
+	o := InprocOptions{}
+	if opts != nil {
+		o = *opts
+	}
+	seed := o.Seed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	return &Inproc{
+		eps:  make(map[id.Process]*inprocEndpoint),
+		opts: o,
+		rng:  rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Endpoint attaches (or returns the existing attachment of) process p.
+func (h *Inproc) Endpoint(p id.Process) Transport {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	ep, ok := h.eps[p]
+	if !ok {
+		ep = &inprocEndpoint{hub: h, self: p}
+		h.eps[p] = ep
+	}
+	return ep
+}
+
+// deliver routes one datagram, applying loss and delay.
+func (h *Inproc) deliver(to id.Process, payload []byte) {
+	h.mu.Lock()
+	if h.opts.Loss > 0 && h.rng.Float64() < h.opts.Loss {
+		h.mu.Unlock()
+		return
+	}
+	var delay time.Duration
+	if h.opts.MeanDelay > 0 {
+		delay = time.Duration(h.rng.ExpFloat64() * float64(h.opts.MeanDelay))
+	}
+	h.mu.Unlock()
+
+	buf := make([]byte, len(payload))
+	copy(buf, payload)
+	dispatch := func() {
+		h.mu.Lock()
+		ep := h.eps[to]
+		var fn func([]byte)
+		if ep != nil {
+			fn = ep.handler
+		}
+		h.mu.Unlock()
+		if fn != nil {
+			fn(buf)
+		}
+	}
+	if delay > 0 {
+		time.AfterFunc(delay, dispatch)
+	} else {
+		go dispatch()
+	}
+}
+
+// inprocEndpoint is one process's attachment to the hub.
+type inprocEndpoint struct {
+	hub     *Inproc
+	self    id.Process
+	handler func([]byte)
+	closed  bool
+}
+
+var _ Transport = (*inprocEndpoint)(nil)
+
+// Send implements Transport.
+func (e *inprocEndpoint) Send(to id.Process, payload []byte) error {
+	e.hub.mu.Lock()
+	closed := e.closed
+	e.hub.mu.Unlock()
+	if closed {
+		return fmt.Errorf("inproc %q: %w", e.self, errClosed)
+	}
+	e.hub.deliver(to, payload)
+	return nil
+}
+
+// Receive implements Transport.
+func (e *inprocEndpoint) Receive(h func(payload []byte)) {
+	e.hub.mu.Lock()
+	e.handler = h
+	e.hub.mu.Unlock()
+}
+
+// Close implements Transport.
+func (e *inprocEndpoint) Close() error {
+	e.hub.mu.Lock()
+	e.closed = true
+	e.handler = nil
+	delete(e.hub.eps, e.self)
+	e.hub.mu.Unlock()
+	return nil
+}
+
+var errClosed = errors.New("transport closed")

@@ -1,0 +1,25 @@
+// Package transport carries the service's datagrams between processes.
+//
+// The service treats transports as unreliable, unordered datagram carriers
+// — exactly the assumption of the paper's protocols — so implementations
+// never need retries or acknowledgements. Two transports are provided: an
+// in-process hub (examples, tests, single-binary clusters) and UDP (real
+// deployments). Payloads are opaque: the service encodes its own messages
+// (see internal/wire) and identifies senders from the payload itself.
+package transport
+
+import "stableleader/id"
+
+// Transport is one process's attachment to the network.
+type Transport interface {
+	// Send transmits payload to the process named to. Best effort: an
+	// error means the datagram was certainly not sent; nil means it was
+	// handed to the network, which may still lose it.
+	Send(to id.Process, payload []byte) error
+	// Receive installs the delivery callback. The callback may be invoked
+	// concurrently and must not retain payload after returning. Receive
+	// must be called before any delivery is expected and at most once.
+	Receive(h func(payload []byte))
+	// Close detaches from the network and stops deliveries.
+	Close() error
+}

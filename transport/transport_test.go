@@ -1,0 +1,213 @@
+package transport
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"stableleader/id"
+)
+
+// recorder collects delivered payloads thread-safely.
+type recorder struct {
+	mu   sync.Mutex
+	got  [][]byte
+	cond *sync.Cond
+}
+
+func newRecorder() *recorder {
+	r := &recorder{}
+	r.cond = sync.NewCond(&r.mu)
+	return r
+}
+
+func (r *recorder) handler(p []byte) {
+	r.mu.Lock()
+	r.got = append(r.got, p)
+	r.cond.Broadcast()
+	r.mu.Unlock()
+}
+
+// waitN blocks until n payloads arrived or the timeout passes.
+func (r *recorder) waitN(t *testing.T, n int, timeout time.Duration) [][]byte {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for len(r.got) < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("got %d payloads, want %d", len(r.got), n)
+		}
+		r.mu.Unlock()
+		time.Sleep(time.Millisecond)
+		r.mu.Lock()
+	}
+	return append([][]byte(nil), r.got...)
+}
+
+func (r *recorder) count() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.got)
+}
+
+func TestInprocDelivery(t *testing.T) {
+	hub := NewInproc(nil)
+	a := hub.Endpoint("a")
+	b := hub.Endpoint("b")
+	rec := newRecorder()
+	b.Receive(rec.handler)
+	if err := a.Send("b", []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	got := rec.waitN(t, 1, time.Second)
+	if string(got[0]) != "hello" {
+		t.Errorf("payload = %q", got[0])
+	}
+}
+
+func TestInprocPayloadIsolation(t *testing.T) {
+	hub := NewInproc(nil)
+	a := hub.Endpoint("a")
+	b := hub.Endpoint("b")
+	rec := newRecorder()
+	b.Receive(rec.handler)
+	buf := []byte("mutate-me")
+	if err := a.Send("b", buf); err != nil {
+		t.Fatal(err)
+	}
+	buf[0] = 'X' // sender reuses its buffer immediately
+	got := rec.waitN(t, 1, time.Second)
+	if string(got[0]) != "mutate-me" {
+		t.Errorf("delivery aliased the sender's buffer: %q", got[0])
+	}
+}
+
+func TestInprocUnknownDestinationDropsSilently(t *testing.T) {
+	hub := NewInproc(nil)
+	a := hub.Endpoint("a")
+	if err := a.Send("ghost", []byte("x")); err != nil {
+		t.Fatalf("datagram transports drop unknown destinations silently, got %v", err)
+	}
+}
+
+func TestInprocLoss(t *testing.T) {
+	hub := NewInproc(&InprocOptions{Loss: 1.0, Seed: 1})
+	a := hub.Endpoint("a")
+	b := hub.Endpoint("b")
+	rec := newRecorder()
+	b.Receive(rec.handler)
+	for i := 0; i < 50; i++ {
+		_ = a.Send("b", []byte("x"))
+	}
+	time.Sleep(50 * time.Millisecond)
+	if rec.count() != 0 {
+		t.Errorf("loss=1.0 delivered %d payloads", rec.count())
+	}
+}
+
+func TestInprocDelay(t *testing.T) {
+	hub := NewInproc(&InprocOptions{MeanDelay: 20 * time.Millisecond, Seed: 1})
+	a := hub.Endpoint("a")
+	b := hub.Endpoint("b")
+	rec := newRecorder()
+	b.Receive(rec.handler)
+	start := time.Now()
+	const n = 40
+	for i := 0; i < n; i++ {
+		_ = a.Send("b", []byte("x"))
+	}
+	rec.waitN(t, n, 5*time.Second)
+	if e := time.Since(start); e < 5*time.Millisecond {
+		t.Errorf("all deliveries completed in %v; delay seems unapplied", e)
+	}
+}
+
+func TestInprocClose(t *testing.T) {
+	hub := NewInproc(nil)
+	a := hub.Endpoint("a")
+	b := hub.Endpoint("b")
+	rec := newRecorder()
+	b.Receive(rec.handler)
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_ = a.Send("b", []byte("x"))
+	time.Sleep(20 * time.Millisecond)
+	if rec.count() != 0 {
+		t.Error("closed endpoint received a payload")
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send("b", []byte("x")); err == nil {
+		t.Error("send on a closed endpoint should fail")
+	}
+}
+
+func TestUDPRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real sockets in -short mode")
+	}
+	ua, err := NewUDP("127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ua.Close()
+	ub, err := NewUDP("127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ub.Close()
+	if err := ua.SetPeer("b", ub.LocalAddr().String()); err != nil {
+		t.Fatal(err)
+	}
+	if err := ub.SetPeer("a", ua.LocalAddr().String()); err != nil {
+		t.Fatal(err)
+	}
+	reca, recb := newRecorder(), newRecorder()
+	ua.Receive(reca.handler)
+	ub.Receive(recb.handler)
+	if err := ua.Send("b", []byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	got := recb.waitN(t, 1, 2*time.Second)
+	if string(got[0]) != "ping" {
+		t.Errorf("payload = %q", got[0])
+	}
+	if err := ub.Send("a", []byte("pong")); err != nil {
+		t.Fatal(err)
+	}
+	got = reca.waitN(t, 1, 2*time.Second)
+	if string(got[0]) != "pong" {
+		t.Errorf("payload = %q", got[0])
+	}
+}
+
+func TestUDPErrors(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real sockets in -short mode")
+	}
+	if _, err := NewUDP("not-an-address", nil); err == nil {
+		t.Error("bad listen address should fail")
+	}
+	if _, err := NewUDP("127.0.0.1:0", map[id.Process]string{"x": "bad::addr::"}); err == nil {
+		t.Error("bad peer address should fail")
+	}
+	u, err := NewUDP("127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := u.Send("unknown", []byte("x")); err == nil {
+		t.Error("send to an unknown peer should fail")
+	}
+	if err := u.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := u.Close(); err != nil {
+		t.Errorf("double close should be idempotent, got %v", err)
+	}
+	if err := u.Send("unknown", []byte("x")); err == nil {
+		t.Error("send after close should fail")
+	}
+}

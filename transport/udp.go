@@ -1,0 +1,121 @@
+package transport
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"stableleader/id"
+)
+
+// maxDatagram bounds received datagrams; service messages are far smaller.
+const maxDatagram = 64 * 1024
+
+// UDP is the real-network transport: one UDP socket per process plus a
+// static address book mapping process ids to peer addresses, mirroring the
+// deployment style of the paper's testbed (a fixed set of workstations).
+type UDP struct {
+	conn *net.UDPConn
+
+	mu      sync.RWMutex
+	book    map[id.Process]*net.UDPAddr
+	handler func([]byte)
+	closed  bool
+}
+
+// NewUDP opens a socket on listen (e.g. ":7400" or "10.0.0.3:7400") and
+// resolves the peer address book, e.g. {"b": "10.0.0.4:7400"}.
+func NewUDP(listen string, peers map[id.Process]string) (*UDP, error) {
+	laddr, err := net.ResolveUDPAddr("udp", listen)
+	if err != nil {
+		return nil, fmt.Errorf("transport: resolve listen %q: %w", listen, err)
+	}
+	conn, err := net.ListenUDP("udp", laddr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %q: %w", listen, err)
+	}
+	u := &UDP{conn: conn, book: make(map[id.Process]*net.UDPAddr, len(peers))}
+	for p, addr := range peers {
+		a, err := net.ResolveUDPAddr("udp", addr)
+		if err != nil {
+			_ = conn.Close()
+			return nil, fmt.Errorf("transport: resolve peer %q=%q: %w", p, addr, err)
+		}
+		u.book[p] = a
+	}
+	go u.readLoop()
+	return u, nil
+}
+
+// LocalAddr returns the bound socket address.
+func (u *UDP) LocalAddr() net.Addr { return u.conn.LocalAddr() }
+
+// SetPeer adds or updates one peer address.
+func (u *UDP) SetPeer(p id.Process, addr string) error {
+	a, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return fmt.Errorf("transport: resolve peer %q=%q: %w", p, addr, err)
+	}
+	u.mu.Lock()
+	u.book[p] = a
+	u.mu.Unlock()
+	return nil
+}
+
+// readLoop pumps datagrams into the handler until the socket closes.
+func (u *UDP) readLoop() {
+	buf := make([]byte, maxDatagram)
+	for {
+		n, _, err := u.conn.ReadFromUDP(buf)
+		if err != nil {
+			return
+		}
+		u.mu.RLock()
+		h := u.handler
+		u.mu.RUnlock()
+		if h == nil {
+			continue
+		}
+		payload := make([]byte, n)
+		copy(payload, buf[:n])
+		h(payload)
+	}
+}
+
+// Send implements Transport.
+func (u *UDP) Send(to id.Process, payload []byte) error {
+	u.mu.RLock()
+	addr, ok := u.book[to]
+	closed := u.closed
+	u.mu.RUnlock()
+	if closed {
+		return fmt.Errorf("udp: %w", errClosed)
+	}
+	if !ok {
+		return fmt.Errorf("transport: no address for process %q", to)
+	}
+	_, err := u.conn.WriteToUDP(payload, addr)
+	return err
+}
+
+// Receive implements Transport.
+func (u *UDP) Receive(h func(payload []byte)) {
+	u.mu.Lock()
+	u.handler = h
+	u.mu.Unlock()
+}
+
+// Close implements Transport.
+func (u *UDP) Close() error {
+	u.mu.Lock()
+	if u.closed {
+		u.mu.Unlock()
+		return nil
+	}
+	u.closed = true
+	u.handler = nil
+	u.mu.Unlock()
+	return u.conn.Close()
+}
+
+var _ Transport = (*UDP)(nil)
