@@ -9,12 +9,19 @@
 //	leaderd -id b -listen :7402 -peer a=127.0.0.1:7401 -peer c=127.0.0.1:7403 -group demo
 //	leaderd -id c -listen :7403 -peer a=127.0.0.1:7401 -peer b=127.0.0.1:7402 -group demo
 //
-// Flags control the election algorithm (-algo omega-l|omega-lc|omega-id),
+// Flags control the election algorithm (-algorithm omega-l|omega-lc|omega-id),
 // candidacy (-candidate=false for a passive observer), and the failure
-// detection QoS (-tdu, -tmr, -pa).
+// detection QoS (-tdu, -tmr, -pa). -events widens the log from leadership
+// changes to the full event stream (membership, suspicion, QoS
+// reconfiguration).
+//
+// On SIGINT or SIGTERM the daemon leaves its group gracefully — a LEAVE is
+// announced so peers re-elect immediately instead of waiting for failure
+// detection — and then shuts down.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -29,6 +36,9 @@ import (
 	"stableleader/qos"
 	"stableleader/transport"
 )
+
+// shutdownTimeout bounds the graceful departure on SIGINT/SIGTERM.
+const shutdownTimeout = 5 * time.Second
 
 // peerFlags collects repeated -peer id=host:port flags.
 type peerFlags map[id.Process]string
@@ -50,12 +60,14 @@ func main() {
 		self      = flag.String("id", "", "this process's unique id (required)")
 		listen    = flag.String("listen", ":7400", "UDP listen address")
 		group     = flag.String("group", "demo", "group to join")
-		algoName  = flag.String("algo", "omega-l", "election algorithm: omega-l, omega-lc, omega-id")
+		algoName  = flag.String("algorithm", "omega-l", "election algorithm: omega-l, omega-lc, omega-id (or s3, s2, s1)")
 		candidate = flag.Bool("candidate", true, "compete for leadership")
+		events    = flag.Bool("events", false, "log the full event stream, not just leadership changes")
 		tdu       = flag.Duration("tdu", time.Second, "QoS: crash detection time bound (TdU)")
 		tmr       = flag.Duration("tmr", 100*24*time.Hour, "QoS: mistake recurrence lower bound (TmrL)")
 		pa        = flag.Float64("pa", 0.99999988, "QoS: query accuracy lower bound (PaL)")
 	)
+	flag.StringVar(algoName, "algo", *algoName, "alias for -algorithm")
 	flag.Var(peers, "peer", "peer address as id=host:port (repeatable)")
 	flag.Parse()
 
@@ -73,7 +85,7 @@ func main() {
 	if err != nil {
 		log.Fatalf("leaderd: %v", err)
 	}
-	svc, err := stableleader.New(stableleader.Config{ID: id.Process(*self), Transport: tr})
+	svc, err := stableleader.New(id.Process(*self), tr)
 	if err != nil {
 		log.Fatalf("leaderd: %v", err)
 	}
@@ -82,46 +94,70 @@ func main() {
 	for p := range peers {
 		seeds = append(seeds, p)
 	}
-	grp, err := svc.Join(id.Group(*group), stableleader.JoinOptions{
-		Candidate: *candidate,
-		Algorithm: algo,
-		QoS: qos.Spec{
+	// ctx ends on SIGINT/SIGTERM; everything blocking hangs off it.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	joinOpts := []stableleader.JoinOption{
+		stableleader.WithAlgorithm(algo),
+		stableleader.WithQoS(qos.Spec{
 			DetectionTime:     *tdu,
 			MistakeRecurrence: *tmr,
 			QueryAccuracy:     *pa,
-		},
-		Seeds: seeds,
-	})
+		}),
+		stableleader.WithSeeds(seeds...),
+	}
+	if *candidate {
+		joinOpts = append(joinOpts, stableleader.AsCandidate())
+	}
+	grp, err := svc.Join(ctx, id.Group(*group), joinOpts...)
 	if err != nil {
 		log.Fatalf("leaderd: join: %v", err)
 	}
 
-	log.Printf("leaderd: %s joined group %q on %s (algo=%s candidate=%v peers=%d)",
+	log.Printf("leaderd: %s joined group %q on %s (algorithm=%s candidate=%v peers=%d)",
 		*self, *group, tr.LocalAddr(), algo, *candidate, len(peers))
 
-	sigc := make(chan os.Signal, 1)
-	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
-	for {
-		select {
-		case info, ok := <-grp.Changes():
-			if !ok {
-				return
-			}
-			if info.Elected {
+	watchOpts := []stableleader.WatchOption{stableleader.WithInitialState()}
+	if !*events {
+		watchOpts = append(watchOpts,
+			stableleader.WithEventFilter(stableleader.KindLeaderChanged))
+	}
+	for ev := range grp.Watch(ctx, watchOpts...) {
+		switch e := ev.(type) {
+		case stableleader.LeaderChanged:
+			if e.Info.Elected {
 				mark := ""
-				if info.Leader == id.Process(*self) {
+				if e.Info.Leader == id.Process(*self) {
 					mark = "  (that's me)"
 				}
-				log.Printf("leader of %q is now %s%s", info.Group, info.Leader, mark)
+				log.Printf("leader of %q is now %s%s", e.Info.Group, e.Info.Leader, mark)
 			} else {
-				log.Printf("group %q has no leader (election in progress)", info.Group)
+				log.Printf("group %q has no leader (election in progress)", e.Info.Group)
 			}
-		case <-sigc:
-			log.Printf("leaderd: leaving group and shutting down")
-			if err := svc.Close(true); err != nil {
-				log.Printf("leaderd: close: %v", err)
-			}
-			return
+		case stableleader.MemberJoined:
+			log.Printf("member %s joined %q (candidate=%v)", e.Member, e.Group, e.Candidate)
+		case stableleader.MemberLeft:
+			log.Printf("member %s left %q", e.Member, e.Group)
+		case stableleader.MemberSuspected:
+			log.Printf("member %s of %q suspected", e.Member, e.Group)
+		case stableleader.MemberTrusted:
+			log.Printf("member %s of %q trusted", e.Member, e.Group)
+		case stableleader.QoSReconfigured:
+			log.Printf("link from %s reconfigured: η=%v δ=%v", e.Member, e.Interval, e.Timeout)
 		}
+	}
+
+	// The stream closed: the signal context was cancelled. Restore the
+	// default signal disposition first so a second SIGINT/SIGTERM
+	// force-quits instead of being swallowed, then leave the group
+	// gracefully so peers re-elect immediately, bounded by a fresh
+	// timeout (the signal context is already dead).
+	stop()
+	log.Printf("leaderd: leaving group and shutting down")
+	closeCtx, cancel := context.WithTimeout(context.Background(), shutdownTimeout)
+	defer cancel()
+	if err := svc.Close(closeCtx); err != nil {
+		log.Printf("leaderd: close: %v", err)
 	}
 }

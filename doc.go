@@ -40,15 +40,25 @@
 //
 // # Quick start
 //
+//	ctx := context.Background()
 //	tr := transport.NewInproc(nil)
-//	svc, _ := stableleader.New(stableleader.Config{ID: "a", Transport: tr.Endpoint("a")})
-//	grp, _ := svc.Join("payments", stableleader.JoinOptions{
-//		Candidate: true,
-//		Seeds:     []id.Process{"b", "c"},
-//	})
-//	for info := range grp.Changes() {
-//		fmt.Println("leader is now", info.Leader)
+//	svc, _ := stableleader.New("a", tr.Endpoint("a"))
+//	grp, _ := svc.Join(ctx, "payments",
+//		stableleader.AsCandidate(),
+//		stableleader.WithSeeds("b", "c"),
+//	)
+//	for ev := range grp.Watch(ctx) {
+//		if lc, ok := ev.(stableleader.LeaderChanged); ok {
+//			fmt.Println("leader is now", lc.Info.Leader)
+//		}
 //	}
+//
+// Every blocking method takes a context and returns promptly with ctx.Err()
+// on cancellation. Watch is the interrupt mode of the paper generalised to
+// a typed event stream: any number of subscribers per group, each with its
+// own buffer, receiving leadership changes, membership joins and leaves,
+// failure detector suspicion edges and QoS reconfigurations. Query mode is
+// Group.Leader; Group.Status exposes the failure detection state.
 //
 // The experiments of the paper are reproduced in package stableleader/sim;
 // see DESIGN.md and EXPERIMENTS.md.

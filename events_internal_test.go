@@ -1,0 +1,131 @@
+package stableleader
+
+import (
+	"testing"
+	"time"
+
+	"stableleader/id"
+)
+
+// mkLeader builds a distinguishable LeaderChanged event.
+func mkLeader(n int) Event {
+	return LeaderChanged{Info: LeaderInfo{
+		Group:       "g",
+		Leader:      id.Process(rune('a' + n)),
+		Incarnation: int64(n),
+		Elected:     true,
+		At:          time.Unix(int64(n), 0),
+	}}
+}
+
+// TestSubscriberDropOldest pins the slow-subscriber contract at the unit
+// level: with a full buffer, offer evicts the oldest undelivered event and
+// never blocks, so the receiver always drains the freshest suffix.
+func TestSubscriberDropOldest(t *testing.T) {
+	sub := &subscriber{ch: make(chan Event, 2)}
+	for i := 0; i < 5; i++ {
+		sub.offer(mkLeader(i))
+	}
+	if got := len(sub.ch); got != 2 {
+		t.Fatalf("buffered %d events, want 2", got)
+	}
+	first := (<-sub.ch).(LeaderChanged)
+	second := (<-sub.ch).(LeaderChanged)
+	if first.Info.Incarnation != 3 || second.Info.Incarnation != 4 {
+		t.Errorf("retained incarnations (%d, %d), want the freshest (3, 4)",
+			first.Info.Incarnation, second.Info.Incarnation)
+	}
+}
+
+// TestSubscriberFilter pins the mask semantics: zero admits everything,
+// otherwise only the requested kinds pass.
+func TestSubscriberFilter(t *testing.T) {
+	all := &subscriber{ch: make(chan Event, 8)}
+	all.offer(mkLeader(0))
+	all.offer(MemberJoined{Group: "g", Member: "b"})
+	if len(all.ch) != 2 {
+		t.Errorf("unfiltered subscriber buffered %d events, want 2", len(all.ch))
+	}
+
+	only := &subscriber{ch: make(chan Event, 8), mask: 1 << uint(KindMemberJoined)}
+	only.offer(mkLeader(0))
+	only.offer(MemberJoined{Group: "g", Member: "b"})
+	only.offer(MemberSuspected{Group: "g", Member: "b"})
+	if len(only.ch) != 1 {
+		t.Fatalf("filtered subscriber buffered %d events, want 1", len(only.ch))
+	}
+	if ev := <-only.ch; ev.Kind() != KindMemberJoined {
+		t.Errorf("filtered subscriber got %v", ev.Kind())
+	}
+}
+
+// TestWatchFilterUnknownKindMatchesNothing pins the filter's failure mode:
+// an out-of-range kind must narrow the stream to nothing, not silently
+// widen it to everything.
+func TestWatchFilterUnknownKindMatchesNothing(t *testing.T) {
+	cfg := watchConfig{}
+	WithEventFilter(EventKind(200))(&cfg)
+	sub := &subscriber{ch: make(chan Event, 4), mask: cfg.mask}
+	sub.offer(mkLeader(0))
+	sub.offer(MemberJoined{Group: "g", Member: "b"})
+	if len(sub.ch) != 0 {
+		t.Errorf("filter on an unknown kind delivered %d events, want 0", len(sub.ch))
+	}
+
+	mixed := watchConfig{}
+	WithEventFilter(EventKind(200), KindMemberJoined)(&mixed)
+	sub2 := &subscriber{ch: make(chan Event, 4), mask: mixed.mask}
+	sub2.offer(mkLeader(0))
+	sub2.offer(MemberJoined{Group: "g", Member: "b"})
+	if len(sub2.ch) != 1 {
+		t.Errorf("mixed filter delivered %d events, want just the valid kind", len(sub2.ch))
+	}
+}
+
+// TestEventKindStrings keeps the log labels in sync with the kinds.
+func TestEventKindStrings(t *testing.T) {
+	want := map[EventKind]string{
+		KindLeaderChanged:   "leader-changed",
+		KindMemberJoined:    "member-joined",
+		KindMemberLeft:      "member-left",
+		KindMemberSuspected: "member-suspected",
+		KindMemberTrusted:   "member-trusted",
+		KindQoSReconfigured: "qos-reconfigured",
+		EventKind(200):      "unknown",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("EventKind(%d).String() = %q, want %q", k, k.String(), s)
+		}
+	}
+}
+
+// TestEventAccessors verifies every concrete event reports kind, group and
+// time coherently through the Event interface.
+func TestEventAccessors(t *testing.T) {
+	at := time.Unix(42, 0)
+	events := []Event{
+		LeaderChanged{Info: LeaderInfo{Group: "g", Leader: "p", At: at}},
+		MemberJoined{Group: "g", Member: "p", At: at},
+		MemberLeft{Group: "g", Member: "p", At: at},
+		MemberSuspected{Group: "g", Member: "p", At: at},
+		MemberTrusted{Group: "g", Member: "p", At: at},
+		QoSReconfigured{Group: "g", Member: "p", At: at},
+	}
+	kinds := map[EventKind]bool{}
+	for _, ev := range events {
+		if ev.GroupID() != "g" {
+			t.Errorf("%T.GroupID() = %q", ev, ev.GroupID())
+		}
+		if !ev.When().Equal(at) {
+			t.Errorf("%T.When() = %v", ev, ev.When())
+		}
+		if kinds[ev.Kind()] {
+			t.Errorf("duplicate kind %v", ev.Kind())
+		}
+		kinds[ev.Kind()] = true
+	}
+	if len(kinds) != 6 {
+		t.Errorf("covered %d kinds, want 6", len(kinds))
+	}
+}

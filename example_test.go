@@ -1,6 +1,7 @@
 package stableleader_test
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -14,6 +15,7 @@ import (
 // Example shows the shortest path to an elected leader: two services on an
 // in-process network join the same group and watch leadership.
 func Example() {
+	ctx := context.Background()
 	hub := transport.NewInproc(nil)
 	spec := qos.Spec{ // detect crashes within 200ms
 		DetectionTime:     200 * time.Millisecond,
@@ -23,14 +25,16 @@ func Example() {
 	seeds := []id.Process{"a", "b"}
 	var groups []*stableleader.Group
 	for _, name := range seeds {
-		svc, err := stableleader.New(stableleader.Config{ID: name, Transport: hub.Endpoint(name)})
+		svc, err := stableleader.New(name, hub.Endpoint(name))
 		if err != nil {
 			log.Fatal(err)
 		}
-		defer svc.Close(true)
-		grp, err := svc.Join("demo", stableleader.JoinOptions{
-			Candidate: true, QoS: spec, Seeds: seeds,
-		})
+		defer svc.Close(ctx)
+		grp, err := svc.Join(ctx, "demo",
+			stableleader.AsCandidate(),
+			stableleader.WithQoS(spec),
+			stableleader.WithSeeds(seeds...),
+		)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -38,8 +42,8 @@ func Example() {
 	}
 	// Query mode: poll until both agree on an elected leader.
 	for {
-		a, _ := groups[0].Leader()
-		b, _ := groups[1].Leader()
+		a, _ := groups[0].Leader(ctx)
+		b, _ := groups[1].Leader(ctx)
 		if a.Elected && b.Elected && a.Leader == b.Leader {
 			fmt.Println("agreed on a leader:", a.Leader == "a" || a.Leader == "b")
 			return
@@ -49,31 +53,32 @@ func Example() {
 	// Output: agreed on a leader: true
 }
 
-// ExampleGroup_Changes demonstrates interrupt-mode notifications: the
-// channel delivers a LeaderInfo on every change of the local view.
-func ExampleGroup_Changes() {
+// ExampleGroup_Watch demonstrates interrupt-mode notifications: the event
+// stream delivers a LeaderChanged on every change of the local view.
+func ExampleGroup_Watch() {
+	ctx := context.Background()
 	hub := transport.NewInproc(nil)
-	svc, err := stableleader.New(stableleader.Config{ID: "solo", Transport: hub.Endpoint("solo")})
+	svc, err := stableleader.New("solo", hub.Endpoint("solo"))
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer svc.Close(true)
-	grp, err := svc.Join("demo", stableleader.JoinOptions{
-		Candidate: true,
-		QoS: qos.Spec{
+	defer svc.Close(ctx)
+	grp, err := svc.Join(ctx, "demo",
+		stableleader.AsCandidate(),
+		stableleader.WithQoS(qos.Spec{
 			DetectionTime:     50 * time.Millisecond,
 			MistakeRecurrence: time.Hour,
 			QueryAccuracy:     0.999,
-		},
-	})
+		}),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
 	// A lone candidate elects itself once its startup grace confirms no
 	// incumbent exists.
-	for info := range grp.Changes() {
-		if info.Elected {
-			fmt.Println("leader:", info.Leader)
+	for ev := range grp.Watch(ctx, stableleader.WithEventFilter(stableleader.KindLeaderChanged)) {
+		if lc := ev.(stableleader.LeaderChanged); lc.Info.Elected {
+			fmt.Println("leader:", lc.Info.Leader)
 			return
 		}
 	}

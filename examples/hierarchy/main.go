@@ -3,7 +3,7 @@
 //
 // Nine processes sit in three regions. Each region elects a regional
 // leader in its own group. Every process also joins a global group, but
-// only as a *listener* (candidate=false); the regional leaders join the
+// only as a *listener* (no candidacy); the regional leaders join the
 // global group as candidates. The service then maintains a two-level
 // hierarchy: a leader per region and one global leader among the regional
 // leaders, with non-candidates following passively — exactly the
@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sort"
@@ -25,6 +26,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	hub := transport.NewInproc(nil)
 	regions := map[id.Group][]id.Process{
 		"region/eu":   {"eu-1", "eu-2", "eu-3"},
@@ -49,14 +51,16 @@ func main() {
 
 	for region, members := range regions {
 		for _, name := range members {
-			svc, err := stableleader.New(stableleader.Config{ID: name, Transport: hub.Endpoint(name)})
+			svc, err := stableleader.New(name, hub.Endpoint(name))
 			if err != nil {
 				log.Fatal(err)
 			}
 			services[name] = svc
-			rg, err := svc.Join(region, stableleader.JoinOptions{
-				Candidate: true, QoS: spec, Seeds: members,
-			})
+			rg, err := svc.Join(ctx, region,
+				stableleader.AsCandidate(),
+				stableleader.WithQoS(spec),
+				stableleader.WithSeeds(members...),
+			)
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -69,7 +73,7 @@ func main() {
 	// group as a passive listener.
 	leaders := map[id.Group]id.Process{}
 	for region, members := range regions {
-		leaders[region] = waitLeader(collect(regional, members))
+		leaders[region] = waitLeader(ctx, collect(regional, members))
 	}
 	for name, svc := range services {
 		isRegionalLeader := false
@@ -78,16 +82,21 @@ func main() {
 				isRegionalLeader = true
 			}
 		}
-		gg, err := svc.Join("global", stableleader.JoinOptions{
-			Candidate: isRegionalLeader, QoS: spec, Seeds: everyone,
-		})
+		opts := []stableleader.JoinOption{
+			stableleader.WithQoS(spec),
+			stableleader.WithSeeds(everyone...),
+		}
+		if isRegionalLeader {
+			opts = append(opts, stableleader.AsCandidate())
+		}
+		gg, err := svc.Join(ctx, "global", opts...)
 		if err != nil {
 			log.Fatal(err)
 		}
 		global[name] = gg
 	}
 
-	globalLeader := waitLeader(global)
+	globalLeader := waitLeader(ctx, global)
 	fmt.Println("two-level hierarchy established:")
 	for region := range regions {
 		marker := ""
@@ -103,7 +112,7 @@ func main() {
 	// listeners receive the result without competing — the paper's first
 	// scaling approach.
 	for _, svc := range services {
-		_ = svc.Close(true)
+		_ = svc.Close(ctx)
 	}
 }
 
@@ -117,12 +126,12 @@ func collect(all map[id.Process]*stableleader.Group, names []id.Process) map[id.
 }
 
 // waitLeader polls until all handles agree on an elected leader.
-func waitLeader(groups map[id.Process]*stableleader.Group) id.Process {
+func waitLeader(ctx context.Context, groups map[id.Process]*stableleader.Group) id.Process {
 	for {
 		var leader id.Process
 		agreed, first := true, true
 		for _, g := range groups {
-			li, err := g.Leader()
+			li, err := g.Leader(ctx)
 			if err != nil || !li.Elected {
 				agreed = false
 				break

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sync"
@@ -36,8 +37,8 @@ type replica struct {
 }
 
 // tryIncrement applies the increment iff this replica currently leads.
-func (r *replica) tryIncrement() (string, bool) {
-	li, err := r.grp.Leader()
+func (r *replica) tryIncrement(ctx context.Context) (string, bool) {
+	li, err := r.grp.Leader(ctx)
 	if err != nil || !li.Elected || li.Leader != r.name {
 		return "", false
 	}
@@ -50,6 +51,7 @@ func (r *replica) tryIncrement() (string, bool) {
 }
 
 func main() {
+	ctx := context.Background()
 	hub := transport.NewInproc(nil)
 	names := []id.Process{"r1", "r2", "r3"}
 	spec := qos.Spec{
@@ -60,13 +62,15 @@ func main() {
 
 	replicas := make(map[id.Process]*replica)
 	for _, name := range names {
-		svc, err := stableleader.New(stableleader.Config{ID: name, Transport: hub.Endpoint(name)})
+		svc, err := stableleader.New(name, hub.Endpoint(name))
 		if err != nil {
 			log.Fatal(err)
 		}
-		grp, err := svc.Join("counter", stableleader.JoinOptions{
-			Candidate: true, QoS: spec, Seeds: names,
-		})
+		grp, err := svc.Join(ctx, "counter",
+			stableleader.AsCandidate(),
+			stableleader.WithQoS(spec),
+			stableleader.WithSeeds(names...),
+		)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -78,7 +82,7 @@ func main() {
 	apply := func(n int) {
 		for i := 0; i < n; {
 			for _, r := range replicas {
-				if entry, ok := r.tryIncrement(); ok {
+				if entry, ok := r.tryIncrement(ctx); ok {
 					fmt.Printf("  applied %s\n", entry)
 					i++
 					if i >= n {
@@ -96,14 +100,14 @@ func main() {
 	// Find and crash the current leader.
 	var leader id.Process
 	for _, r := range replicas {
-		if li, err := r.grp.Leader(); err == nil && li.Elected {
+		if li, err := r.grp.Leader(ctx); err == nil && li.Elected {
 			leader = li.Leader
 			break
 		}
 	}
 	fmt.Printf("\ncrashing leader %s...\n\n", leader)
 	lost := replicas[leader]
-	_ = lost.svc.Close(false)
+	_ = lost.svc.Crash()
 	delete(replicas, leader)
 
 	fmt.Println("phase 2: writes resume under the new leader (note the fence change)")
@@ -118,6 +122,6 @@ func main() {
 	fmt.Printf("  %s (crashed): %v\n", lost.name, lost.applied)
 
 	for _, r := range replicas {
-		_ = r.svc.Close(true)
+		_ = r.svc.Close(ctx)
 	}
 }

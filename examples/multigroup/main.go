@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -23,6 +24,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	hub := transport.NewInproc(nil)
 	names := []id.Process{"n1", "n2", "n3", "n4"}
 
@@ -41,41 +43,45 @@ func main() {
 	fastGroups := map[id.Process]*stableleader.Group{}
 	cheapGroups := map[id.Process]*stableleader.Group{}
 	for _, name := range names {
-		svc, err := stableleader.New(stableleader.Config{ID: name, Transport: hub.Endpoint(name)})
+		svc, err := stableleader.New(name, hub.Endpoint(name))
 		if err != nil {
 			log.Fatal(err)
 		}
 		services[name] = svc
-		if fastGroups[name], err = svc.Join("fast", stableleader.JoinOptions{
-			Candidate: true, QoS: fast, Seeds: names,
-		}); err != nil {
+		if fastGroups[name], err = svc.Join(ctx, "fast",
+			stableleader.AsCandidate(),
+			stableleader.WithQoS(fast),
+			stableleader.WithSeeds(names...),
+		); err != nil {
 			log.Fatal(err)
 		}
-		if cheapGroups[name], err = svc.Join("cheap", stableleader.JoinOptions{
-			Candidate: true, QoS: cheap, Seeds: names,
-		}); err != nil {
+		if cheapGroups[name], err = svc.Join(ctx, "cheap",
+			stableleader.AsCandidate(),
+			stableleader.WithQoS(cheap),
+			stableleader.WithSeeds(names...),
+		); err != nil {
 			log.Fatal(err)
 		}
 	}
 
-	fastLeader := waitLeader(fastGroups)
-	cheapLeader := waitLeader(cheapGroups)
+	fastLeader := waitLeader(ctx, fastGroups)
+	cheapLeader := waitLeader(ctx, cheapGroups)
 	fmt.Printf("group \"fast\"  (TdU=200ms): leader %s\n", fastLeader)
 	fmt.Printf("group \"cheap\" (TdU=2s):    leader %s\n", cheapLeader)
 
 	// Crash the fast group's leader and time both groups' reactions: the
 	// fast group must recover roughly 10x sooner.
 	fmt.Printf("\ncrashing %s (leader of both groups on this topology)...\n", fastLeader)
-	_ = services[fastLeader].Close(false)
+	_ = services[fastLeader].Crash()
 	dead := fastLeader
 	delete(services, dead)
 	delete(fastGroups, dead)
 	delete(cheapGroups, dead)
 
 	start := time.Now()
-	newFast := waitLeaderExcluding(fastGroups, dead)
+	newFast := waitLeaderExcluding(ctx, fastGroups, dead)
 	tFast := time.Since(start)
-	newCheap := waitLeaderExcluding(cheapGroups, dead)
+	newCheap := waitLeaderExcluding(ctx, cheapGroups, dead)
 	tCheap := time.Since(start)
 	fmt.Printf("  fast  recovered to %s in %v\n", newFast, tFast.Round(time.Millisecond))
 	fmt.Printf("  cheap recovered to %s in %v\n", newCheap, tCheap.Round(time.Millisecond))
@@ -83,20 +89,20 @@ func main() {
 	fmt.Println("estimators were shared between the groups (Section 4 cost sharing).")
 
 	for _, svc := range services {
-		_ = svc.Close(true)
+		_ = svc.Close(ctx)
 	}
 }
 
-func waitLeader(groups map[id.Process]*stableleader.Group) id.Process {
-	return waitLeaderExcluding(groups, "")
+func waitLeader(ctx context.Context, groups map[id.Process]*stableleader.Group) id.Process {
+	return waitLeaderExcluding(ctx, groups, "")
 }
 
-func waitLeaderExcluding(groups map[id.Process]*stableleader.Group, not id.Process) id.Process {
+func waitLeaderExcluding(ctx context.Context, groups map[id.Process]*stableleader.Group, not id.Process) id.Process {
 	for {
 		var leader id.Process
 		agreed, first := true, true
 		for _, g := range groups {
-			li, err := g.Leader()
+			li, err := g.Leader(ctx)
 			if err != nil || !li.Elected {
 				agreed = false
 				break

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -20,6 +21,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	hub := transport.NewInproc(nil)
 	names := []id.Process{"alpha", "bravo", "charlie", "delta", "echo"}
 
@@ -33,15 +35,15 @@ func main() {
 	services := make(map[id.Process]*stableleader.Service)
 	groups := make(map[id.Process]*stableleader.Group)
 	for _, name := range names {
-		svc, err := stableleader.New(stableleader.Config{ID: name, Transport: hub.Endpoint(name)})
+		svc, err := stableleader.New(name, hub.Endpoint(name))
 		if err != nil {
 			log.Fatal(err)
 		}
-		grp, err := svc.Join("demo", stableleader.JoinOptions{
-			Candidate: true,
-			QoS:       spec,
-			Seeds:     names,
-		})
+		grp, err := svc.Join(ctx, "demo",
+			stableleader.AsCandidate(),
+			stableleader.WithQoS(spec),
+			stableleader.WithSeeds(names...),
+		)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -50,43 +52,43 @@ func main() {
 	}
 
 	fmt.Println("five processes joined group \"demo\"; waiting for the election...")
-	leader := waitLeader(groups, nil)
+	leader := waitLeader(ctx, groups, nil)
 	fmt.Printf("-> leader elected: %s\n\n", leader)
 
 	fmt.Printf("killing %s (no goodbye — a crash)...\n", leader)
-	_ = services[leader].Close(false)
+	_ = services[leader].Crash()
 	dead := leader
 	delete(services, dead)
 	delete(groups, dead)
 
 	start := time.Now()
-	leader = waitLeader(groups, func(p id.Process) bool { return p != dead })
+	leader = waitLeader(ctx, groups, func(p id.Process) bool { return p != dead })
 	fmt.Printf("-> new leader: %s (recovered in %v)\n\n", leader, time.Since(start).Round(time.Millisecond))
 
 	fmt.Printf("now %s leaves gracefully (LEAVE announcement, no detection needed)...\n", leader)
-	_ = groups[leader].Leave()
+	_ = groups[leader].Leave(ctx)
 	departed := leader
 	delete(groups, departed)
-	_ = services[departed].Close(false)
+	_ = services[departed].Crash()
 	delete(services, departed)
 
 	start = time.Now()
-	leader = waitLeader(groups, func(p id.Process) bool { return p != departed })
+	leader = waitLeader(ctx, groups, func(p id.Process) bool { return p != departed })
 	fmt.Printf("-> new leader: %s (handover in %v)\n", leader, time.Since(start).Round(time.Millisecond))
 
 	for _, svc := range services {
-		_ = svc.Close(true)
+		_ = svc.Close(ctx)
 	}
 }
 
 // waitLeader polls until every group handle agrees on one elected leader
 // accepted by ok (nil accepts all).
-func waitLeader(groups map[id.Process]*stableleader.Group, ok func(id.Process) bool) id.Process {
+func waitLeader(ctx context.Context, groups map[id.Process]*stableleader.Group, ok func(id.Process) bool) id.Process {
 	for {
 		var leader id.Process
 		agreed, first := true, true
 		for _, g := range groups {
-			li, err := g.Leader()
+			li, err := g.Leader(ctx)
 			if err != nil || !li.Elected {
 				agreed = false
 				break

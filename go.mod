@@ -1,0 +1,3 @@
+module stableleader
+
+go 1.24

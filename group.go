@@ -1,0 +1,250 @@
+package stableleader
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"stableleader/id"
+	"stableleader/internal/core"
+)
+
+// LeaderInfo describes the leadership of one group as seen locally.
+type LeaderInfo struct {
+	// Group is the group concerned.
+	Group id.Group
+	// Leader is the elected process (empty if Elected is false).
+	Leader id.Process
+	// Incarnation distinguishes successive lifetimes of the leader process.
+	Incarnation int64
+	// Elected is false while the group looks leaderless from this process
+	// (for example during an election).
+	Elected bool
+	// At is when this view was adopted.
+	At time.Time
+}
+
+// MemberStatus is one group member as seen by the local failure detection
+// layer: identity, candidacy, the detector's current trust verdict, and the
+// (η, δ) parameters its QoS configurator chose for the link.
+type MemberStatus struct {
+	ID          id.Process
+	Incarnation int64
+	Candidate   bool
+	Self        bool
+	Trusted     bool
+	// Interval (η) is the heartbeat rate requested from this member;
+	// Timeout (δ) the timeout shift applied to its heartbeats.
+	Interval time.Duration
+	Timeout  time.Duration
+}
+
+// Group is a handle on one joined group.
+type Group struct {
+	svc *Service
+	id  id.Group
+
+	mu      sync.Mutex
+	last    LeaderInfo
+	hasLast bool
+	subs    map[*subscriber]struct{}
+	closed  bool
+	left    bool
+	donec   chan struct{} // closed with the subscribers; ends Watch reapers
+}
+
+// newGroup builds the handle for group g.
+func newGroup(svc *Service, g id.Group) *Group {
+	return &Group{
+		svc:   svc,
+		id:    g,
+		subs:  make(map[*subscriber]struct{}),
+		donec: make(chan struct{}),
+	}
+}
+
+// ID returns the group identifier.
+func (g *Group) ID() id.Group { return g.id }
+
+// publish fans one event out to every subscriber. It runs on the service
+// event loop (one publisher at a time); the mutex orders it against
+// subscription and teardown.
+func (g *Group) publish(ev Event) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if lc, ok := ev.(LeaderChanged); ok {
+		g.last, g.hasLast = lc.Info, true
+	}
+	if g.closed {
+		return
+	}
+	for s := range g.subs {
+		s.offer(ev)
+	}
+}
+
+// Watch subscribes to the group's event stream: leadership changes,
+// membership joins and leaves, failure detector suspicion edges and QoS
+// reconfigurations (filterable with WithEventFilter). Any number of
+// subscribers may watch one group concurrently; each receives its own
+// copy of every event through its own buffer. Delivery never blocks the
+// service: a subscriber that falls behind loses the oldest undelivered
+// events, never the newest.
+//
+// The returned channel closes when ctx is cancelled, the group is left,
+// or the service closes. Watching an already-left group returns a closed
+// channel.
+func (g *Group) Watch(ctx context.Context, opts ...WatchOption) <-chan Event {
+	cfg := watchConfig{buffer: defaultWatchBuffer}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	sub := &subscriber{ch: make(chan Event, cfg.buffer), mask: cfg.mask}
+	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		close(sub.ch)
+		return sub.ch
+	}
+	g.subs[sub] = struct{}{}
+	if cfg.initial && g.hasLast {
+		sub.offer(LeaderChanged{Info: g.last})
+	}
+	g.mu.Unlock()
+
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if ctx.Done() != nil {
+		go func() {
+			select {
+			case <-ctx.Done():
+				g.unsubscribe(sub)
+			case <-g.donec:
+				// Teardown already closed every subscriber channel.
+			}
+		}()
+	}
+	return sub.ch
+}
+
+// unsubscribe detaches one subscriber and closes its channel.
+func (g *Group) unsubscribe(sub *subscriber) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if _, ok := g.subs[sub]; !ok {
+		return
+	}
+	delete(g.subs, sub)
+	close(sub.ch)
+}
+
+// closeSubscribers ends every Watch stream exactly once.
+func (g *Group) closeSubscribers() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.closed {
+		return
+	}
+	g.closed = true
+	for s := range g.subs {
+		close(s.ch)
+		delete(g.subs, s)
+	}
+	close(g.donec)
+}
+
+// Leader returns the current leader view — the paper's "query" mode. It
+// honours ctx for cancellation; on a closed service it falls back to the
+// last locally observed view when one exists.
+func (g *Group) Leader(ctx context.Context) (LeaderInfo, error) {
+	var li LeaderInfo
+	var lerr error
+	err := g.svc.call(ctx, func() {
+		cli, e := g.svc.node.Leader(g.id)
+		li, lerr = publicInfo(cli), e
+	})
+	if err != nil {
+		if errors.Is(err, ErrClosed) {
+			g.mu.Lock()
+			defer g.mu.Unlock()
+			if g.hasLast {
+				return g.last, nil
+			}
+		}
+		return LeaderInfo{}, err
+	}
+	return li, lerr
+}
+
+// Status queries the group's membership and failure detection state — the
+// query surface of the shared failure detector service underlying the
+// election (Section 4 of the paper). It honours ctx for cancellation.
+func (g *Group) Status(ctx context.Context) ([]MemberStatus, error) {
+	var out []MemberStatus
+	var serr error
+	err := g.svc.call(ctx, func() {
+		rows, e := g.svc.node.Status(g.id)
+		if e != nil {
+			serr = e
+			return
+		}
+		out = make([]MemberStatus, len(rows))
+		for i, r := range rows {
+			out[i] = MemberStatus{
+				ID:          r.ID,
+				Incarnation: r.Incarnation,
+				Candidate:   r.Candidate,
+				Self:        r.Self,
+				Trusted:     r.Trusted,
+				Interval:    r.Interval,
+				Timeout:     r.Timeout,
+			}
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, serr
+}
+
+// Leave departs the group gracefully: a LEAVE is announced so peers
+// re-elect immediately rather than waiting for failure detection. It
+// honours ctx for cancellation; the departure still completes in the
+// background if ctx expires first. Leave is idempotent.
+func (g *Group) Leave(ctx context.Context) error {
+	g.mu.Lock()
+	if g.left {
+		g.mu.Unlock()
+		return nil
+	}
+	g.left = true
+	g.mu.Unlock()
+	var lerr error
+	err := g.svc.call(ctx, func() { lerr = g.svc.node.Leave(g.id) })
+	if err != nil && !errors.Is(err, ErrClosed) {
+		// ctx expired before the loop ran the departure; finish it in the
+		// background (leaving twice is a harmless no-op).
+		g.svc.enqueue(func() { _ = g.svc.node.Leave(g.id) })
+	}
+	g.svc.mu.Lock()
+	delete(g.svc.groups, g.id)
+	g.svc.mu.Unlock()
+	g.closeSubscribers()
+	if err != nil {
+		return err
+	}
+	return lerr
+}
+
+// publicInfo converts the internal view type.
+func publicInfo(li core.LeaderInfo) LeaderInfo {
+	return LeaderInfo{
+		Group:       li.Group,
+		Leader:      li.Leader,
+		Incarnation: li.Incarnation,
+		Elected:     li.Elected,
+		At:          li.At,
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"stableleader/id"
 	"stableleader/internal/clock"
 	"stableleader/internal/election"
+	"stableleader/internal/group"
 	"stableleader/internal/linkest"
 	"stableleader/internal/wire"
 	"stableleader/qos"
@@ -86,6 +87,21 @@ type JoinOptions struct {
 	// invoked on the node's event loop whenever the local leader view
 	// changes. Query mode (Node.Leader) works regardless.
 	OnLeaderChange func(LeaderInfo)
+	// OnMembership, if set, reports one member entering (joined=true) or
+	// leaving (joined=false) this node's active view of the group. A
+	// restart (new incarnation of a known member) reports a leave of the
+	// old lifetime followed by a join of the new one. Invoked on the
+	// node's event loop.
+	OnMembership func(m group.Member, joined bool)
+	// OnTrustChange, if set, reports every failure detector edge for a
+	// fellow member: trusted=false when the member becomes suspected,
+	// trusted=true when trust is restored. Invoked on the node's event
+	// loop, before the election algorithm reacts to the edge.
+	OnTrustChange func(p id.Process, incarnation int64, trusted bool)
+	// OnReconfigured, if set, reports that the QoS configurator adopted
+	// new failure detection parameters (η, δ) for the link from p.
+	// Invoked on the node's event loop.
+	OnReconfigured func(p id.Process, params qos.Params)
 	// HelloInterval is the group maintenance gossip period (default 1s).
 	HelloInterval time.Duration
 	// GossipFanout is how many members each HELLO round targets (default 3).

@@ -9,6 +9,7 @@ import (
 	"stableleader/internal/fd"
 	"stableleader/internal/group"
 	"stableleader/internal/wire"
+	"stableleader/qos"
 )
 
 // Join announcement schedule: the initial JOIN plus retries beat message
@@ -53,6 +54,10 @@ type groupState struct {
 	active   bool
 	lastInfo LeaderInfo
 
+	// lastActive is the previous active membership view, kept so that
+	// membership changes can be reported as per-member deltas.
+	lastActive map[id.Process]group.Member
+
 	// membersCache memoises table.Active() between table changes; the
 	// election cores read the membership on every event.
 	membersCache   []group.Member
@@ -89,6 +94,12 @@ func (gs *groupState) start() {
 	})
 	gs.algo = election.New(gs.opts.Algorithm, gs)
 	gs.lastInfo = LeaderInfo{Group: gs.gid, At: gs.n.rt.Now()}
+	// Seed the delta baseline with the initial view (just ourselves) so
+	// OnMembership reports only changes after the join.
+	gs.lastActive = map[id.Process]group.Member{}
+	for _, m := range gs.table.Active() {
+		gs.lastActive[m.ID] = m
+	}
 	gs.algo.Start()
 	gs.syncPeers()
 	gs.joinsLeft = joinAnnounceCount
@@ -155,7 +166,7 @@ func (gs *groupState) SetActive(active bool) {
 		return
 	}
 	gs.active = active
-	for _, dest := range gs.sortedDests() {
+	for _, dest := range sortedKeys(gs.dests) {
 		ds := gs.dests[dest]
 		if active {
 			gs.sendAliveTo(dest, ds)
@@ -165,18 +176,6 @@ func (gs *groupState) SetActive(active bool) {
 			ds.timer = nil
 		}
 	}
-}
-
-// sortedDests returns the heartbeat destinations in deterministic order;
-// send order must not depend on map iteration for simulations to be
-// reproducible.
-func (gs *groupState) sortedDests() []id.Process {
-	out := make([]id.Process, 0, len(gs.dests))
-	for p := range gs.dests {
-		out = append(out, p)
-	}
-	sortProcs(out)
-	return out
 }
 
 // --- heartbeats --------------------------------------------------------
@@ -238,7 +237,7 @@ func (gs *groupState) syncPeers() {
 	}
 	// Drop peers that left (or whose incarnation was superseded: their
 	// monitor must restart from scratch).
-	for _, p := range sortedProcKeysMonitors(gs.monitors) {
+	for _, p := range sortedKeys(gs.monitors) {
 		entry := gs.monitors[p]
 		m, ok := want[p]
 		if ok && m.Incarnation == entry.inc {
@@ -247,7 +246,7 @@ func (gs *groupState) syncPeers() {
 		entry.mon.Stop()
 		delete(gs.monitors, p)
 	}
-	for _, p := range gs.sortedDests() {
+	for _, p := range sortedKeys(gs.dests) {
 		if _, ok := want[p]; ok {
 			continue
 		}
@@ -278,16 +277,6 @@ func (gs *groupState) syncPeers() {
 	}
 }
 
-// sortedProcKeysMonitors returns monitor keys in id order.
-func sortedProcKeysMonitors(m map[id.Process]*monitorEntry) []id.Process {
-	out := make([]id.Process, 0, len(m))
-	for p := range m {
-		out = append(out, p)
-	}
-	sortProcs(out)
-	return out
-}
-
 // newMonitor builds the failure detector for peer p.
 func (gs *groupState) newMonitor(p id.Process, inc int64) *monitorEntry {
 	entry := &monitorEntry{inc: inc}
@@ -298,6 +287,9 @@ func (gs *groupState) newMonitor(p id.Process, inc int64) *monitorEntry {
 		OnEdge: func(trusted bool) {
 			if gs.stopped {
 				return
+			}
+			if gs.opts.OnTrustChange != nil {
+				gs.opts.OnTrustChange(p, entry.inc, trusted)
 			}
 			if trusted {
 				gs.algo.HandleTrust(p, entry.inc)
@@ -313,6 +305,14 @@ func (gs *groupState) newMonitor(p id.Process, inc int64) *monitorEntry {
 				Incarnation: gs.n.inc,
 				Interval:    int64(interval),
 			})
+		},
+		OnReconfigure: func(params qos.Params) {
+			if gs.stopped {
+				return
+			}
+			if gs.opts.OnReconfigured != nil {
+				gs.opts.OnReconfigured(p, params)
+			}
 		},
 		ReconfigureInterval: gs.opts.ReconfigureInterval,
 	})
@@ -516,11 +516,43 @@ func (gs *groupState) handleRate(m *wire.Rate) {
 	}
 }
 
-// onMembershipChange reconciles peers and informs the algorithm.
+// onMembershipChange reconciles peers, reports membership deltas, and
+// informs the algorithm.
 func (gs *groupState) onMembershipChange() {
 	gs.syncPeers()
+	gs.reportMembershipDelta()
 	gs.algo.HandleMembership()
 	gs.afterEvent()
+}
+
+// reportMembershipDelta diffs the active view against the previous one and
+// fires OnMembership for each member that entered or left it. A member
+// superseded by a newer incarnation reports as leave-then-join.
+func (gs *groupState) reportMembershipDelta() {
+	cur := gs.Members() // sorted by id; also primes the memoised cache
+	next := make(map[id.Process]group.Member, len(cur))
+	for _, m := range cur {
+		next[m.ID] = m
+	}
+	if gs.opts.OnMembership == nil {
+		gs.lastActive = next
+		return
+	}
+	// Departures first (in id order, for reproducibility).
+	for _, p := range sortedKeys(gs.lastActive) {
+		old := gs.lastActive[p]
+		m, ok := next[p]
+		if !ok || m.Incarnation != old.Incarnation {
+			gs.opts.OnMembership(old, false)
+		}
+	}
+	for _, m := range cur {
+		old, ok := gs.lastActive[m.ID]
+		if !ok || old.Incarnation != m.Incarnation {
+			gs.opts.OnMembership(m, true)
+		}
+	}
+	gs.lastActive = next
 }
 
 // --- leadership notification ----------------------------------------------
@@ -594,10 +626,11 @@ func (gs *groupState) shutdown() {
 	}
 }
 
-// sortedKeys returns map keys in deterministic order.
-func sortedKeys(set map[id.Process]bool) []id.Process {
-	out := make([]id.Process, 0, len(set))
-	for p := range set {
+// sortedKeys returns a map's process-id keys in deterministic order; every
+// peer-set iteration must go through it for runs to be reproducible.
+func sortedKeys[V any](m map[id.Process]V) []id.Process {
+	out := make([]id.Process, 0, len(m))
+	for p := range m {
 		out = append(out, p)
 	}
 	sortProcs(out)

@@ -44,6 +44,11 @@ type Config struct {
 	// RequestRate asks the monitored process to send heartbeats at the
 	// given interval (the host wraps this into a RATE message).
 	RequestRate func(interval time.Duration)
+	// OnReconfigure, if set, is called whenever a reconfiguration step
+	// changed the monitor's (η, δ) parameters. Unlike RequestRate it is not
+	// threshold-gated: any parameter movement is reported, so hosts can
+	// surface the configurator's behaviour to observers.
+	OnReconfigure func(params qos.Params)
 	// ReconfigureInterval overrides DefaultReconfigureInterval when positive.
 	ReconfigureInterval time.Duration
 }
@@ -178,7 +183,11 @@ func (m *Monitor) scheduleReconfigure() {
 // observably not honouring the previous request (the RATE was lost on an
 // unreliable link, or the sender restarted and fell back to its default).
 func (m *Monitor) reconfigure() {
+	prev := m.params
 	m.params = qos.Configure(m.cfg.Spec, statsOf(m.cfg.Estimator))
+	if m.params != prev && m.cfg.OnReconfigure != nil {
+		m.cfg.OnReconfigure(m.params)
+	}
 	want := m.params.Interval
 	if m.requested <= 0 {
 		m.requested = want

@@ -1,6 +1,7 @@
 package stableleader
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -11,140 +12,66 @@ import (
 	"stableleader/internal/clock"
 	"stableleader/internal/core"
 	"stableleader/internal/election"
+	"stableleader/internal/group"
 	"stableleader/internal/wire"
 	"stableleader/qos"
 	"stableleader/transport"
 )
 
-// Algorithm selects the leader election core used within a group. See the
-// package documentation for the trade-offs.
-type Algorithm int
-
-// Available election algorithms.
-const (
-	// OmegaL is the communication-efficient algorithm (service S3 of the
-	// paper): eventually only the leader sends heartbeats.
-	OmegaL Algorithm = Algorithm(election.OmegaL)
-	// OmegaLC tolerates crashed links via leader forwarding (service S2).
-	OmegaLC Algorithm = Algorithm(election.OmegaLC)
-	// OmegaID is the unstable smallest-id baseline (service S1).
-	OmegaID Algorithm = Algorithm(election.OmegaID)
-)
-
-// String returns the paper's name for the algorithm.
-func (a Algorithm) String() string { return election.Kind(a).String() }
-
-// ParseAlgorithm converts a name ("omega-l", "omega-lc", "omega-id") into
-// an Algorithm.
-func ParseAlgorithm(s string) (Algorithm, error) {
-	switch s {
-	case "omega-l", "omegal", "s3", "S3":
-		return OmegaL, nil
-	case "omega-lc", "omegalc", "s2", "S2":
-		return OmegaLC, nil
-	case "omega-id", "omegaid", "s1", "S1":
-		return OmegaID, nil
-	default:
-		return 0, fmt.Errorf("stableleader: unknown algorithm %q", s)
-	}
-}
-
-// LeaderInfo describes the leadership of one group as seen locally.
-type LeaderInfo struct {
-	// Group is the group concerned.
-	Group id.Group
-	// Leader is the elected process (empty if Elected is false).
-	Leader id.Process
-	// Incarnation distinguishes successive lifetimes of the leader process.
-	Incarnation int64
-	// Elected is false while the group looks leaderless from this process
-	// (for example during an election).
-	Elected bool
-	// At is when this view was adopted.
-	At time.Time
-}
-
-// JoinOptions configures membership in one group.
-type JoinOptions struct {
-	// Candidate marks this process as willing to lead the group. Elections
-	// choose only among candidates; passive members observe leadership.
-	Candidate bool
-	// Algorithm selects the election core (default OmegaL).
-	Algorithm Algorithm
-	// QoS is the failure detection requirement inside the group; the
-	// zero value means qos.Default(), the paper's setting.
-	QoS qos.Spec
-	// Seeds are processes contacted with the initial JOIN announcement;
-	// membership then spreads by gossip.
-	Seeds []id.Process
-	// OnLeaderChange, if non-nil, is invoked (on the service's event loop)
-	// whenever the leader view changes — the paper's "interrupt" mode. The
-	// callback must not block. Group.Changes offers a channel alternative.
-	OnLeaderChange func(LeaderInfo)
-	// NotifyBuffer sizes the Changes channel (default 16). When the buffer
-	// is full the oldest unconsumed notification is dropped; Leader()
-	// always returns the current view regardless.
-	NotifyBuffer int
-	// HelloInterval is the membership gossip period (default 1s).
-	HelloInterval time.Duration
-	// GossipFanout is how many members each gossip round targets (default 3).
-	GossipFanout int
-}
-
-// Config configures a Service.
-type Config struct {
-	// ID is this process's unique identifier (required). Registering two
-	// live services with the same id on the same transport is an error the
-	// service cannot detect; identifiers must be managed by the deployment.
-	ID id.Process
-	// Transport carries datagrams to peers (required).
-	Transport transport.Transport
-	// Seed seeds the service's internal randomness (gossip peer choice).
-	// Zero means derive from the clock.
-	Seed int64
-}
+// ErrClosed is returned by operations on a closed Service.
+var ErrClosed = errors.New("stableleader: service closed")
 
 // Service is a real-time host for the leader election node: it owns the
 // event loop goroutine that serialises message delivery, timers and API
 // commands, mirroring the Command Handler architecture of the paper.
 type Service struct {
-	cfg  Config
+	self id.Process
+	tr   transport.Transport
 	node *core.Node
 
 	commands chan func()
 	done     chan struct{}
 	closing  chan struct{}
+	finished chan struct{} // closed after subscribers and transport are down
 
-	mu     sync.Mutex
-	groups map[id.Group]*Group
-	closed bool
+	mu       sync.Mutex
+	groups   map[id.Group]*Group
+	closed   bool
+	closeErr error // transport close outcome; readable once finished is closed
 }
 
-// ErrClosed is returned by operations on a closed Service.
-var ErrClosed = errors.New("stableleader: service closed")
-
-// New creates and starts a Service for the given process.
-func New(cfg Config) (*Service, error) {
-	if cfg.ID == "" {
-		return nil, errors.New("stableleader: Config.ID is required")
+// New creates and starts a Service for process self on the given
+// transport. Options refine construction; the zero-option call is a fully
+// functional service.
+func New(self id.Process, tr transport.Transport, opts ...Option) (*Service, error) {
+	if self == "" {
+		return nil, errors.New("stableleader: a process id is required")
 	}
-	if cfg.Transport == nil {
-		return nil, errors.New("stableleader: Config.Transport is required")
+	if tr == nil {
+		return nil, errors.New("stableleader: a transport is required")
 	}
-	seed := cfg.Seed
+	cfg := serviceConfig{}
+	for _, o := range opts {
+		if err := o(&cfg); err != nil {
+			return nil, err
+		}
+	}
+	seed := cfg.seed
 	if seed == 0 {
 		seed = time.Now().UnixNano()
 	}
 	s := &Service{
-		cfg:      cfg,
+		self:     self,
+		tr:       tr,
 		commands: make(chan func(), 256),
 		done:     make(chan struct{}),
 		closing:  make(chan struct{}),
+		finished: make(chan struct{}),
 		groups:   make(map[id.Group]*Group),
 	}
 	rt := &serviceRuntime{svc: s, rng: rand.New(rand.NewSource(seed))}
-	s.node = core.NewNode(cfg.ID, rt)
-	cfg.Transport.Receive(s.onDatagram)
+	s.node = core.NewNode(self, rt)
+	tr.Receive(s.onDatagram)
 	go s.loop()
 	return s, nil
 }
@@ -179,17 +106,31 @@ func (s *Service) enqueue(fn func()) {
 	}
 }
 
-// call runs fn on the event loop and waits for it.
-func (s *Service) call(fn func()) error {
+// call runs fn on the event loop and waits for it, honouring ctx: a
+// cancelled or expired context returns ctx.Err() promptly instead of
+// blocking on the loop. When call returns a context error the command may
+// or may not still execute; callers needing certainty enqueue idempotent
+// compensation.
+func (s *Service) call(ctx context.Context, fn func()) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	donec := make(chan struct{})
 	select {
 	case s.commands <- func() { fn(); close(donec) }:
+	case <-ctx.Done():
+		return ctx.Err()
 	case <-s.closing:
 		return ErrClosed
 	}
 	select {
 	case <-donec:
 		return nil
+	case <-ctx.Done():
+		return ctx.Err()
 	case <-s.done:
 		return ErrClosed
 	}
@@ -205,13 +146,22 @@ func (s *Service) onDatagram(payload []byte) {
 }
 
 // ID returns the service's process id.
-func (s *Service) ID() id.Process { return s.cfg.ID }
+func (s *Service) ID() id.Process { return s.self }
 
 // Incarnation returns this service instance's incarnation number.
 func (s *Service) Incarnation() int64 { return s.node.Incarnation() }
 
-// Join enters a group and returns its handle.
-func (s *Service) Join(g id.Group, opts JoinOptions) (*Group, error) {
+// Join enters group g and returns its handle. Joining is asynchronous by
+// nature — the group converges through gossip — but the local registration
+// itself honours ctx: a cancelled context returns ctx.Err() promptly (any
+// partially applied registration is rolled back in the background).
+func (s *Service) Join(ctx context.Context, g id.Group, opts ...JoinOption) (*Group, error) {
+	cfg := defaultJoinConfig()
+	for _, o := range opts {
+		if err := o(&cfg); err != nil {
+			return nil, err
+		}
+	}
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -221,25 +171,60 @@ func (s *Service) Join(g id.Group, opts JoinOptions) (*Group, error) {
 		s.mu.Unlock()
 		return nil, fmt.Errorf("stableleader: already joined %q", g)
 	}
-	buf := opts.NotifyBuffer
-	if buf <= 0 {
-		buf = 16
-	}
-	grp := &Group{svc: s, id: g, changes: make(chan LeaderInfo, buf)}
+	grp := newGroup(s, g)
 	s.groups[g] = grp
 	s.mu.Unlock()
 
 	var joinErr error
-	err := s.call(func() {
+	err := s.call(ctx, func() {
 		joinErr = s.node.Join(g, core.JoinOptions{
-			Candidate:     opts.Candidate,
-			Algorithm:     election.Kind(opts.Algorithm),
-			QoS:           opts.QoS,
-			Seeds:         opts.Seeds,
-			HelloInterval: opts.HelloInterval,
-			GossipFanout:  opts.GossipFanout,
+			Candidate:           cfg.candidate,
+			Algorithm:           election.Kind(cfg.algorithm),
+			QoS:                 cfg.spec,
+			Seeds:               cfg.seeds,
+			HelloInterval:       cfg.helloInterval,
+			GossipFanout:        cfg.gossipFanout,
+			ReconfigureInterval: cfg.reconfigureInterval,
 			OnLeaderChange: func(li core.LeaderInfo) {
-				grp.notify(publicInfo(li), opts.OnLeaderChange)
+				grp.publish(LeaderChanged{Info: publicInfo(li)})
+			},
+			OnMembership: func(m group.Member, joined bool) {
+				if joined {
+					grp.publish(MemberJoined{
+						Group:       g,
+						Member:      m.ID,
+						Incarnation: m.Incarnation,
+						Candidate:   m.Candidate,
+						At:          time.Now(),
+					})
+				} else {
+					grp.publish(MemberLeft{
+						Group:       g,
+						Member:      m.ID,
+						Incarnation: m.Incarnation,
+						At:          time.Now(),
+					})
+				}
+			},
+			OnTrustChange: func(p id.Process, inc int64, trusted bool) {
+				if trusted {
+					grp.publish(MemberTrusted{
+						Group: g, Member: p, Incarnation: inc, At: time.Now(),
+					})
+				} else {
+					grp.publish(MemberSuspected{
+						Group: g, Member: p, Incarnation: inc, At: time.Now(),
+					})
+				}
+			},
+			OnReconfigured: func(p id.Process, params qos.Params) {
+				grp.publish(QoSReconfigured{
+					Group:    g,
+					Member:   p,
+					Interval: params.Interval,
+					Timeout:  params.Timeout,
+					At:       time.Now(),
+				})
 			},
 		})
 	})
@@ -247,23 +232,68 @@ func (s *Service) Join(g id.Group, opts JoinOptions) (*Group, error) {
 		err = joinErr
 	}
 	if err != nil {
+		if !errors.Is(err, ErrClosed) && ctx != nil && ctx.Err() != nil {
+			// The context expired mid-flight: the join may still land on
+			// the loop after we report failure. Undo it; a leave of a
+			// never-joined group is a harmless no-op. Enqueued BEFORE the
+			// map delete so a concurrent re-Join of g serialises after
+			// the rollback rather than being torn down by it.
+			s.enqueue(func() { _ = s.node.Leave(g) })
+		}
 		s.mu.Lock()
 		delete(s.groups, g)
 		s.mu.Unlock()
+		grp.closeSubscribers()
 		return nil, err
 	}
 	return grp, nil
 }
 
-// Close shuts the service down. When leaveGroups is true, LEAVE messages
-// are announced first so peers re-elect immediately rather than waiting for
-// failure detection.
-func (s *Service) Close(leaveGroups bool) error {
+// Close shuts the service down gracefully: LEAVE messages are announced
+// for every joined group so peers re-elect immediately rather than waiting
+// for failure detection, then the event loop drains and the transport
+// closes. ctx bounds how long Close waits; on cancellation it returns
+// ctx.Err() promptly while the shutdown completes in the background.
+// Close is idempotent.
+func (s *Service) Close(ctx context.Context) error {
+	return s.shutdown(ctx, true)
+}
+
+// Crash shuts the service down abruptly, announcing nothing — crash
+// semantics, as a fault injector or test wants. Peers notice through
+// failure detection. Crash is idempotent with Close.
+func (s *Service) Crash() error {
+	return s.shutdown(context.Background(), false)
+}
+
+// shutdown implements Close and Crash.
+func (s *Service) shutdown(ctx context.Context, leave bool) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
-		<-s.done
-		return nil
+		// Repeat closer: done only once teardown truly completed (event
+		// loop exited, subscribers closed, transport closed), reporting
+		// the transport's close outcome so a nil return always means the
+		// listen address is free again. Deterministic: a finished
+		// service reports that outcome regardless of ctx; otherwise a
+		// dead ctx wins over waiting.
+		select {
+		case <-s.finished:
+			return s.closeErr
+		default:
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		select {
+		case <-s.finished:
+			return s.closeErr
+		case <-ctx.Done():
+			return ctx.Err()
+		}
 	}
 	s.closed = true
 	groups := make([]*Group, 0, len(s.groups))
@@ -272,173 +302,46 @@ func (s *Service) Close(leaveGroups bool) error {
 	}
 	s.mu.Unlock()
 
-	if leaveGroups {
-		_ = s.call(func() {
+	if leave {
+		leaveAll := func() {
 			for _, g := range groups {
 				_ = s.node.Leave(g.id)
 			}
-		})
+		}
+		if err := s.call(ctx, leaveAll); err != nil && !errors.Is(err, ErrClosed) {
+			// The context died before the loop ran the departures. Queue
+			// them anyway — the loop drains queued commands after closing,
+			// and leaving twice is a harmless no-op — so a graceful Close
+			// never silently degrades to crash semantics.
+			s.enqueue(leaveAll)
+		}
 	}
 	close(s.closing)
-	<-s.done
-	for _, g := range groups {
-		g.closeChanges()
-	}
-	return s.cfg.Transport.Close()
-}
 
-// publicInfo converts the internal view type.
-func publicInfo(li core.LeaderInfo) LeaderInfo {
-	return LeaderInfo{
-		Group:       li.Group,
-		Leader:      li.Leader,
-		Incarnation: li.Incarnation,
-		Elected:     li.Elected,
-		At:          li.At,
-	}
-}
-
-// Group is a handle on one joined group.
-type Group struct {
-	svc *Service
-	id  id.Group
-
-	mu      sync.Mutex
-	last    LeaderInfo
-	hasLast bool
-	changes chan LeaderInfo
-	closed  bool
-	left    bool
-}
-
-// ID returns the group identifier.
-func (g *Group) ID() id.Group { return g.id }
-
-// notify records and fans out a leader change.
-func (g *Group) notify(li LeaderInfo, callback func(LeaderInfo)) {
-	g.mu.Lock()
-	g.last, g.hasLast = li, true
-	if !g.closed {
-		for {
-			select {
-			case g.changes <- li:
-			default:
-				// Full: drop the oldest so the channel always ends on the
-				// freshest view.
-				select {
-				case <-g.changes:
-				default:
-				}
-				continue
-			}
-			break
+	// finish runs exactly once (only the first closer reaches here) and
+	// unblocks repeat closers by closing s.finished at the very end.
+	finish := func() error {
+		<-s.done
+		for _, g := range groups {
+			g.closeSubscribers()
 		}
-	}
-	g.mu.Unlock()
-	if callback != nil {
-		callback(li)
-	}
-}
-
-// Changes returns the interrupt-mode notification channel: one LeaderInfo
-// per leader view change. Slow consumers lose old entries, never new ones.
-// The channel closes when the group is left or the service closes.
-func (g *Group) Changes() <-chan LeaderInfo { return g.changes }
-
-// MemberStatus is one group member as seen by the local failure detection
-// layer: identity, candidacy, the detector's current trust verdict, and the
-// (η, δ) parameters its QoS configurator chose for the link.
-type MemberStatus struct {
-	ID          id.Process
-	Incarnation int64
-	Candidate   bool
-	Self        bool
-	Trusted     bool
-	// Interval (η) is the heartbeat rate requested from this member;
-	// Timeout (δ) the timeout shift applied to its heartbeats.
-	Interval time.Duration
-	Timeout  time.Duration
-}
-
-// Status queries the group's membership and failure detection state — the
-// query surface of the shared failure detector service underlying the
-// election (Section 4 of the paper).
-func (g *Group) Status() ([]MemberStatus, error) {
-	var out []MemberStatus
-	var serr error
-	err := g.svc.call(func() {
-		rows, e := g.svc.node.Status(g.id)
-		if e != nil {
-			serr = e
-			return
-		}
-		out = make([]MemberStatus, len(rows))
-		for i, r := range rows {
-			out[i] = MemberStatus{
-				ID:          r.ID,
-				Incarnation: r.Incarnation,
-				Candidate:   r.Candidate,
-				Self:        r.Self,
-				Trusted:     r.Trusted,
-				Interval:    r.Interval,
-				Timeout:     r.Timeout,
-			}
-		}
-	})
-	if err != nil {
-		return nil, err
-	}
-	return out, serr
-}
-
-// Leader returns the current leader view (the paper's "query" mode).
-func (g *Group) Leader() (LeaderInfo, error) {
-	var li LeaderInfo
-	var lerr error
-	err := g.svc.call(func() {
-		cli, e := g.svc.node.Leader(g.id)
-		li, lerr = publicInfo(cli), e
-	})
-	if err != nil {
-		// Service closed: fall back to the last observed view.
-		g.mu.Lock()
-		defer g.mu.Unlock()
-		if g.hasLast {
-			return g.last, nil
-		}
-		return LeaderInfo{}, err
-	}
-	return li, lerr
-}
-
-// Leave departs the group gracefully.
-func (g *Group) Leave() error {
-	g.mu.Lock()
-	if g.left {
-		g.mu.Unlock()
-		return nil
-	}
-	g.left = true
-	g.mu.Unlock()
-	var lerr error
-	err := g.svc.call(func() { lerr = g.svc.node.Leave(g.id) })
-	g.svc.mu.Lock()
-	delete(g.svc.groups, g.id)
-	g.svc.mu.Unlock()
-	g.closeChanges()
-	if err != nil {
+		err := s.tr.Close()
+		s.closeErr = err // sequenced before close(finished); readers wait on it
+		close(s.finished)
 		return err
 	}
-	return lerr
-}
-
-// closeChanges closes the notification channel exactly once.
-func (g *Group) closeChanges() {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	if !g.closed {
-		g.closed = true
-		close(g.changes)
+	if err := ctx.Err(); err != nil {
+		// Deterministic on an already-dead context: report the context
+		// error and complete the shutdown in the background.
+		go finish()
+		return err
+	}
+	select {
+	case <-s.done:
+		return finish()
+	case <-ctx.Done():
+		go finish()
+		return ctx.Err()
 	}
 }
 
@@ -462,7 +365,7 @@ func (r *serviceRuntime) AfterFunc(d time.Duration, fn func()) clock.Timer {
 
 // Send implements core.Runtime.
 func (r *serviceRuntime) Send(to id.Process, m wire.Message) {
-	_ = r.svc.cfg.Transport.Send(to, wire.Marshal(m))
+	_ = r.svc.tr.Send(to, wire.Marshal(m))
 }
 
 // Rand implements core.Runtime.

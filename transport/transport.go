@@ -20,6 +20,9 @@ type Transport interface {
 	// concurrently and must not retain payload after returning. Receive
 	// must be called before any delivery is expected and at most once.
 	Receive(h func(payload []byte))
-	// Close detaches from the network and stops deliveries.
+	// Close detaches from the network and stops deliveries. It may block
+	// until in-flight handler invocations return, so it must not be
+	// called from inside the Receive handler (or from anything the
+	// handler is blocked on): that self-deadlocks.
 	Close() error
 }

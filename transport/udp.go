@@ -17,6 +17,10 @@ const maxDatagram = 64 * 1024
 type UDP struct {
 	conn *net.UDPConn
 
+	// readerDone is closed when readLoop returns; Close waits on it so no
+	// handler invocation can be in flight once Close has returned.
+	readerDone chan struct{}
+
 	mu      sync.RWMutex
 	book    map[id.Process]*net.UDPAddr
 	handler func([]byte)
@@ -34,7 +38,11 @@ func NewUDP(listen string, peers map[id.Process]string) (*UDP, error) {
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen %q: %w", listen, err)
 	}
-	u := &UDP{conn: conn, book: make(map[id.Process]*net.UDPAddr, len(peers))}
+	u := &UDP{
+		conn:       conn,
+		readerDone: make(chan struct{}),
+		book:       make(map[id.Process]*net.UDPAddr, len(peers)),
+	}
 	for p, addr := range peers {
 		a, err := net.ResolveUDPAddr("udp", addr)
 		if err != nil {
@@ -64,16 +72,21 @@ func (u *UDP) SetPeer(p id.Process, addr string) error {
 
 // readLoop pumps datagrams into the handler until the socket closes.
 func (u *UDP) readLoop() {
+	defer close(u.readerDone)
 	buf := make([]byte, maxDatagram)
 	for {
 		n, _, err := u.conn.ReadFromUDP(buf)
 		if err != nil {
 			return
 		}
+		// Snapshot the handler under the lock and re-check closed: Close
+		// clears the handler before closing the socket, so a datagram that
+		// raced the shutdown is dropped here rather than delivered.
 		u.mu.RLock()
 		h := u.handler
+		closed := u.closed
 		u.mu.RUnlock()
-		if h == nil {
+		if h == nil || closed {
 			continue
 		}
 		payload := make([]byte, n)
@@ -98,24 +111,33 @@ func (u *UDP) Send(to id.Process, payload []byte) error {
 	return err
 }
 
-// Receive implements Transport.
+// Receive implements Transport. Installing a handler after Close is a
+// no-op: deliveries have already stopped for good.
 func (u *UDP) Receive(h func(payload []byte)) {
 	u.mu.Lock()
-	u.handler = h
+	if !u.closed {
+		u.handler = h
+	}
 	u.mu.Unlock()
 }
 
-// Close implements Transport.
+// Close implements Transport. It returns only after the read loop has
+// exited, so no handler invocation survives (or starts after) Close —
+// which also means Close must never be called from the handler itself
+// (see the Transport.Close contract).
 func (u *UDP) Close() error {
 	u.mu.Lock()
 	if u.closed {
 		u.mu.Unlock()
+		<-u.readerDone
 		return nil
 	}
 	u.closed = true
 	u.handler = nil
 	u.mu.Unlock()
-	return u.conn.Close()
+	err := u.conn.Close() // unblocks ReadFromUDP; readLoop then exits
+	<-u.readerDone
+	return err
 }
 
 var _ Transport = (*UDP)(nil)

@@ -1,0 +1,76 @@
+package transport
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestUDPCloseHandlerRace hammers the receive-after-Close window: traffic
+// floods an endpoint while it closes. Run under -race. The contract under
+// test: no handler invocation starts after Close returns.
+func TestUDPCloseHandlerRace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real sockets in -short mode")
+	}
+	for i := 0; i < 20; i++ {
+		sender, err := NewUDP("127.0.0.1:0", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		receiver, err := NewUDP("127.0.0.1:0", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sender.SetPeer("r", receiver.LocalAddr().String()); err != nil {
+			t.Fatal(err)
+		}
+
+		var closed atomic.Bool
+		receiver.Receive(func(p []byte) {
+			if closed.Load() {
+				t.Error("handler invoked after Close returned")
+			}
+		})
+
+		var wg sync.WaitGroup
+		stop := make(chan struct{})
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					_ = sender.Send("r", []byte("x"))
+				}
+			}
+		}()
+
+		if err := receiver.Close(); err != nil {
+			t.Fatal(err)
+		}
+		closed.Store(true)
+		close(stop)
+		wg.Wait()
+		_ = sender.Close()
+	}
+}
+
+// TestUDPReceiveAfterClose pins the no-op semantics of a late Receive.
+func TestUDPReceiveAfterClose(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real sockets in -short mode")
+	}
+	u, err := NewUDP("127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := u.Close(); err != nil {
+		t.Fatal(err)
+	}
+	u.Receive(func([]byte) { t.Error("handler installed after Close ran") })
+	// The read loop already exited; nothing can deliver. This mostly
+	// documents that the late install does not resurrect delivery.
+}
