@@ -205,6 +205,32 @@ func (e QoSReconfigured) When() time.Time { return e.At }
 
 func (QoSReconfigured) isEvent() {}
 
+// PacketStats is a point-in-time snapshot of the service's packet plane:
+// how many datagrams crossed the wire, how many protocol messages rode
+// inside them, and how much traffic the coalescing scheduler merged into
+// shared datagrams. MessagesOut/DatagramsOut is the outbound coalescing
+// factor; Bytes count one UDP/IP header per datagram. Obtain it from
+// Service.PacketStats; counters accumulate from service start.
+type PacketStats struct {
+	// DatagramsOut is the number of datagrams handed to the transport.
+	DatagramsOut int64
+	// BatchesOut is how many of those carried more than one message.
+	BatchesOut int64
+	// MessagesOut is the number of protocol messages sent, batched or bare.
+	MessagesOut int64
+	// CoalescedOut is the number of messages that shared a datagram with
+	// at least one other message.
+	CoalescedOut int64
+	// BytesOut is outbound wire bytes, UDP/IP headers included.
+	BytesOut int64
+	// DatagramsIn, BatchesIn, MessagesIn and BytesIn mirror the receive
+	// side.
+	DatagramsIn int64
+	BatchesIn   int64
+	MessagesIn  int64
+	BytesIn     int64
+}
+
 // subscriber is one Watch stream: a buffered channel plus a kind filter.
 // Delivery never blocks the event loop: when the buffer is full the oldest
 // undelivered event is dropped, so a slow consumer loses history but always

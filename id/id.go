@@ -15,3 +15,20 @@ type Process string
 // Group identifies a dynamic group of processes among which a leader is
 // elected. A process may belong to any number of groups concurrently.
 type Group string
+
+// SortedMapKeys returns m's keys in ascending order. Every peer- or
+// group-set iteration that can affect message order goes through it, so
+// simulation runs stay a pure function of their seed (insertion sort: the
+// sets are tiny).
+func SortedMapKeys[K ~string, V any](m map[K]V) []K {
+	out := make([]K, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

@@ -26,6 +26,8 @@ import (
 	"stableleader/internal/election"
 	"stableleader/internal/group"
 	"stableleader/internal/linkest"
+	"stableleader/internal/metrics"
+	"stableleader/internal/outbound"
 	"stableleader/internal/wire"
 	"stableleader/qos"
 )
@@ -147,20 +149,56 @@ type Node struct {
 	rt      Runtime
 	groups  map[id.Group]*groupState
 	est     map[id.Process]*estEntry
+	out     *outbound.Scheduler
+	pacers  map[id.Process]*pacer
 	stopped bool
+}
+
+// nodeConfig is the result of applying NodeOptions.
+type nodeConfig struct {
+	coalesce bool
+	counters *metrics.PacketCounters
+}
+
+// NodeOption configures a Node at construction.
+type NodeOption func(*nodeConfig)
+
+// WithCoalescing switches the outbound packet scheduler's coalescing on or
+// off (default on). Off means every message ships as its own datagram —
+// the pre-batching behaviour, kept for ablation experiments.
+func WithCoalescing(enabled bool) NodeOption {
+	return func(c *nodeConfig) { c.coalesce = enabled }
+}
+
+// WithPacketCounters installs the counter set the outbound scheduler
+// reports datagram/batch/coalescing accounting to.
+func WithPacketCounters(pc *metrics.PacketCounters) NodeOption {
+	return func(c *nodeConfig) { c.counters = pc }
 }
 
 // NewNode creates a node for process self. The incarnation is the start
 // time in nanoseconds, strictly increasing across restarts of the same
 // process.
-func NewNode(self id.Process, rt Runtime) *Node {
-	return &Node{
+func NewNode(self id.Process, rt Runtime, opts ...NodeOption) *Node {
+	cfg := nodeConfig{coalesce: true}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	n := &Node{
 		self:   self,
 		inc:    rt.Now().UnixNano(),
 		rt:     rt,
 		groups: make(map[id.Group]*groupState),
 		est:    make(map[id.Process]*estEntry),
+		pacers: make(map[id.Process]*pacer),
 	}
+	n.out = outbound.New(outbound.Config{
+		Clock:    rt,
+		Emit:     rt.Send,
+		Counters: cfg.counters,
+		Disabled: !cfg.coalesce,
+	})
+	return n
 }
 
 // Self returns the local process id.
@@ -280,8 +318,8 @@ func (n *Node) Status(g id.Group) ([]MemberStatus, error) {
 	return out, nil
 }
 
-// Stop halts the node abruptly (crash semantics: no LEAVE is sent). Use
-// Leave first for a graceful departure.
+// Stop halts the node abruptly (crash semantics: no LEAVE is sent, staged
+// outbound traffic is dropped). Use Leave first for a graceful departure.
 func (n *Node) Stop() {
 	if n.stopped {
 		return
@@ -291,14 +329,36 @@ func (n *Node) Stop() {
 		gs.shutdown()
 		delete(n.groups, g)
 	}
+	n.out.Stop()
 }
 
-// HandleMessage dispatches one received protocol message. Hosts call it on
-// the node's event loop.
+// HandleMessage dispatches one received datagram: a protocol message, or a
+// Batch envelope whose inner messages dispatch individually. Hosts call it
+// on the node's event loop.
 func (n *Node) HandleMessage(m wire.Message) {
 	if n.stopped || m == nil {
 		return
 	}
+	if b, ok := m.(*wire.Batch); ok {
+		for _, inner := range b.Msgs {
+			if n.stopped {
+				return // an inner message may tear the node down
+			}
+			if inner == nil {
+				continue
+			}
+			if _, nested := inner.(*wire.Batch); nested {
+				continue // batches never nest; drop hostile framing
+			}
+			n.handleOne(inner)
+		}
+		return
+	}
+	n.handleOne(m)
+}
+
+// handleOne dispatches a single protocol message.
+func (n *Node) handleOne(m wire.Message) {
 	if m.From() == n.self {
 		// A process never processes its own traffic (possible with
 		// broadcast transports).
@@ -322,4 +382,16 @@ func (n *Node) HandleMessage(m wire.Message) {
 	case *wire.Rate:
 		gs.handleRate(t)
 	}
+}
+
+// sendNow enqueues m for to on the urgent path: the destination's staging
+// buffer is flushed synchronously, m included, preserving per-peer order.
+func (n *Node) sendNow(to id.Process, m wire.Message) {
+	n.out.Enqueue(to, m, 0)
+}
+
+// sendLazy enqueues m for to on the coalescing path: m may wait up to the
+// link's coalescing delay for companions bound to the same peer.
+func (n *Node) sendLazy(to id.Process, m wire.Message) {
+	n.out.Enqueue(to, m, n.coalesceDelayFor(to))
 }

@@ -464,3 +464,86 @@ func TestStatusShowsSuspectedCrashedPeer(t *testing.T) {
 		}
 	}
 }
+
+// TestPacerSharesOneTimerAcrossGroups is the outbound packet plane's
+// timer-side claim: a node in G groups runs one heartbeat pacer per peer,
+// not G independent timers, and the per-group streams align onto one phase.
+func TestPacerSharesOneTimerAcrossGroups(t *testing.T) {
+	c := newCluster(t, simnet.LAN(), "a", "b")
+	na := c.start("a", defaultOpts(election.OmegaLC, true))
+	c.start("b", defaultOpts(election.OmegaLC, true))
+	groups := []id.Group{"g2", "g3", "g4"}
+	for _, g := range groups {
+		for _, p := range c.procs {
+			opts := defaultOpts(election.OmegaLC, true)
+			opts.Seeds = c.procs
+			if err := c.nodes[p].Join(g, opts); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	c.waitCommonLeader(5 * time.Second)
+	c.eng.RunFor(10 * time.Second)
+	pp := na.pacers["b"]
+	if pp == nil {
+		t.Fatal("a has no pacer toward b")
+	}
+	if len(na.pacers) != 1 {
+		t.Errorf("a runs %d pacers, want 1 (single peer)", len(na.pacers))
+	}
+	if got := len(pp.streams); got != 4 {
+		t.Fatalf("pacer carries %d streams, want 4 (one per group)", got)
+	}
+	// All equal-interval streams must have converged onto one wake-up.
+	var due time.Time
+	first := true
+	for _, st := range pp.streams {
+		if first {
+			due, first = st.due, false
+			continue
+		}
+		if !st.due.Equal(due) {
+			t.Errorf("streams not aligned: %v vs %v", st.due, due)
+		}
+	}
+}
+
+// TestCoalesceDelayTracksHeartbeatInterval checks the flush-policy
+// derivation: the coalescing delay follows the fastest heartbeat interval
+// toward the peer, capped at 2ms.
+func TestCoalesceDelayTracksHeartbeatInterval(t *testing.T) {
+	c := newCluster(t, simnet.LAN(), "a", "b")
+	na := c.start("a", defaultOpts(election.OmegaL, true))
+	c.start("b", defaultOpts(election.OmegaL, true))
+	c.waitCommonLeader(5 * time.Second)
+	// Default interval is TdU/5 = 200ms; an eighth is 25ms, capped at 2ms.
+	if got := na.coalesceDelayFor("b"); got != 2*time.Millisecond {
+		t.Errorf("coalesce delay = %v, want the 2ms cap", got)
+	}
+	// A peer never heartbeated gets the conservative default.
+	if got := na.coalesceDelayFor("nope"); got != time.Millisecond {
+		t.Errorf("default coalesce delay = %v, want 1ms", got)
+	}
+	// A fast RATE-requested interval drops the delay below the cap.
+	gs := na.groups[testGroup]
+	ds := gs.dests["b"]
+	ds.interval = 8 * time.Millisecond
+	na.pacers["b"].refresh()
+	if got := na.coalesceDelayFor("b"); got != time.Millisecond {
+		t.Errorf("coalesce delay = %v, want interval/8 = 1ms", got)
+	}
+}
+
+// TestStopCancelsPacers: a stopped node must leave no live pacer state
+// behind (timers are invalidated by generation and the stopped flag).
+func TestStopCancelsPacers(t *testing.T) {
+	c := newCluster(t, simnet.LAN(), "a", "b")
+	na := c.start("a", defaultOpts(election.OmegaL, true))
+	c.start("b", defaultOpts(election.OmegaL, true))
+	c.waitCommonLeader(5 * time.Second)
+	na.Stop()
+	if len(na.pacers) != 0 {
+		t.Errorf("%d pacers survive Stop", len(na.pacers))
+	}
+	c.eng.RunFor(5 * time.Second) // any stale timer callback must be inert
+}

@@ -31,9 +31,10 @@ type monitorEntry struct {
 	inc int64
 }
 
-// destState is the per-destination heartbeat schedule.
+// destState is the per-(group, destination) heartbeat stream state. The
+// timer that used to live here moved into the node-level pacer, which wakes
+// once per peer and services every group's stream in one burst.
 type destState struct {
-	timer    clock.Timer
 	interval time.Duration // requested via RATE; 0 means default
 	seq      uint64
 	lastSent time.Time
@@ -137,9 +138,11 @@ func (gs *groupState) Members() []group.Member {
 	return gs.membersCache
 }
 
-// SendAccuse implements election.Env.
+// SendAccuse implements election.Env. Accusations are latency-critical
+// (they close the window in which a demoted leader can flap back), so they
+// bypass coalescing and flush the peer's staged traffic with them.
 func (gs *groupState) SendAccuse(to id.Process, targetInc int64, phase uint32) {
-	gs.n.rt.Send(to, &wire.Accuse{
+	gs.n.sendNow(to, &wire.Accuse{
 		Group:             gs.gid,
 		Sender:            gs.n.self,
 		Incarnation:       gs.n.inc,
@@ -159,21 +162,19 @@ func (gs *groupState) StartupGrace() time.Duration {
 }
 
 // SetActive implements election.Env: it switches ALIVE emission on or off.
-// Activation sends an immediate heartbeat to every destination (election
-// rounds must not wait a full interval).
+// Activation registers a heartbeat stream per destination with the node's
+// pacer, which greets each immediately (election rounds must not wait a
+// full interval).
 func (gs *groupState) SetActive(active bool) {
 	if gs.active == active || gs.stopped {
 		return
 	}
 	gs.active = active
 	for _, dest := range sortedKeys(gs.dests) {
-		ds := gs.dests[dest]
 		if active {
-			gs.sendAliveTo(dest, ds)
-			gs.scheduleDest(dest, ds)
-		} else if ds.timer != nil {
-			ds.timer.Stop()
-			ds.timer = nil
+			gs.n.registerStream(gs, dest, gs.dests[dest])
+		} else {
+			gs.n.dropStream(gs.gid, dest)
 		}
 	}
 }
@@ -189,7 +190,7 @@ func (gs *groupState) intervalFor(ds *destState) time.Duration {
 	return gs.opts.QoS.DetectionTime / 5
 }
 
-// sendAliveTo emits one heartbeat to dest.
+// sendAliveTo emits one heartbeat to dest through the coalescing path.
 func (gs *groupState) sendAliveTo(dest id.Process, ds *destState) {
 	ds.seq++
 	ds.lastSent = gs.n.rt.Now()
@@ -202,24 +203,7 @@ func (gs *groupState) sendAliveTo(dest id.Process, ds *destState) {
 		Interval:    int64(gs.intervalFor(ds)),
 	}
 	gs.algo.FillAlive(m)
-	gs.n.rt.Send(dest, m)
-}
-
-// scheduleDest arms the next heartbeat toward dest.
-func (gs *groupState) scheduleDest(dest id.Process, ds *destState) {
-	if ds.timer != nil {
-		ds.timer.Stop()
-	}
-	ds.timer = gs.n.rt.AfterFunc(gs.intervalFor(ds), func() {
-		if gs.stopped || !gs.active {
-			return
-		}
-		if _, ok := gs.dests[dest]; !ok {
-			return
-		}
-		gs.sendAliveTo(dest, ds)
-		gs.scheduleDest(dest, ds)
-	})
+	gs.n.sendLazy(dest, m)
 }
 
 // --- peer bookkeeping ---------------------------------------------------
@@ -250,9 +234,7 @@ func (gs *groupState) syncPeers() {
 		if _, ok := want[p]; ok {
 			continue
 		}
-		if ds := gs.dests[p]; ds.timer != nil {
-			ds.timer.Stop()
-		}
+		gs.n.dropStream(gs.gid, p)
 		delete(gs.dests, p)
 	}
 	// Add new peers in id order.
@@ -268,10 +250,9 @@ func (gs *groupState) syncPeers() {
 			ds := &destState{}
 			gs.dests[p] = ds
 			if gs.active {
-				// Greet newcomers immediately so they adopt a leader
-				// without waiting a full heartbeat interval.
-				gs.sendAliveTo(p, ds)
-				gs.scheduleDest(p, ds)
+				// Registration greets the newcomer immediately so it
+				// adopts a leader without waiting a full interval.
+				gs.n.registerStream(gs, p, ds)
 			}
 		}
 	}
@@ -299,7 +280,7 @@ func (gs *groupState) newMonitor(p id.Process, inc int64) *monitorEntry {
 			gs.afterEvent()
 		},
 		RequestRate: func(interval time.Duration) {
-			gs.n.rt.Send(p, &wire.Rate{
+			gs.n.sendLazy(p, &wire.Rate{
 				Group:       gs.gid,
 				Sender:      gs.n.self,
 				Incarnation: gs.n.inc,
@@ -346,7 +327,7 @@ func (gs *groupState) announceJoin() {
 		Candidate:   gs.opts.Candidate,
 	}
 	for _, p := range sortedKeys(targets) {
-		gs.n.rt.Send(p, msg)
+		gs.n.sendLazy(p, msg)
 	}
 	if gs.joinsLeft > 0 {
 		gs.joinTimer = gs.n.rt.AfterFunc(joinAnnounceEvery, gs.announceJoin)
@@ -401,7 +382,7 @@ func (gs *groupState) sendHelloTo(p id.Process) {
 			Left:        r.Left,
 		}
 	}
-	gs.n.rt.Send(p, &wire.Hello{
+	gs.n.sendLazy(p, &wire.Hello{
 		Group:       gs.gid,
 		Sender:      gs.n.self,
 		Incarnation: gs.n.inc,
@@ -495,24 +476,11 @@ func (gs *groupState) handleRate(m *wire.Rate) {
 	}
 	ds.interval = interval
 	if gs.active {
-		// Re-arm relative to the last heartbeat actually sent: re-arming
-		// from "now" would silently stretch the gap on every rate change,
-		// and a monitor repeating its RATE could otherwise starve the
-		// very stream it is trying to speed up.
-		next := ds.lastSent.Add(interval).Sub(gs.n.rt.Now())
-		if ds.timer != nil {
-			ds.timer.Stop()
-		}
-		ds.timer = gs.n.rt.AfterFunc(next, func() {
-			if gs.stopped || !gs.active {
-				return
-			}
-			if _, ok := gs.dests[m.Sender]; !ok {
-				return
-			}
-			gs.sendAliveTo(m.Sender, ds)
-			gs.scheduleDest(m.Sender, ds)
-		})
+		// Re-anchor to the last heartbeat actually sent: re-arming from
+		// "now" would silently stretch the gap on every rate change, and a
+		// monitor repeating its RATE could otherwise starve the very
+		// stream it is trying to speed up.
+		gs.n.retimeStream(gs.gid, m.Sender, ds.lastSent.Add(interval))
 	}
 }
 
@@ -591,19 +559,21 @@ func (gs *groupState) afterEvent() {
 
 // --- lifecycle -------------------------------------------------------------
 
-// leave announces departure and tears the group down.
+// leave announces departure and tears the group down. LEAVE rides the
+// urgent path: peers must re-elect immediately, and the flush also drains
+// any traffic still staged for them.
 func (gs *groupState) leave() {
 	msg := &wire.Leave{Group: gs.gid, Sender: gs.n.self, Incarnation: gs.n.inc}
 	for _, m := range gs.table.Active() {
 		if m.ID != gs.n.self {
-			gs.n.rt.Send(m.ID, msg)
+			gs.n.sendNow(m.ID, msg)
 		}
 	}
 	gs.shutdown()
 }
 
-// shutdown stops all timers and monitors without announcing anything
-// (crash semantics).
+// shutdown stops all timers, heartbeat streams and monitors without
+// announcing anything (crash semantics).
 func (gs *groupState) shutdown() {
 	if gs.stopped {
 		return
@@ -613,10 +583,8 @@ func (gs *groupState) shutdown() {
 	for _, entry := range gs.monitors {
 		entry.mon.Stop()
 	}
-	for _, ds := range gs.dests {
-		if ds.timer != nil {
-			ds.timer.Stop()
-		}
+	for _, p := range sortedKeys(gs.dests) {
+		gs.n.dropStream(gs.gid, p)
 	}
 	if gs.helloTimer != nil {
 		gs.helloTimer.Stop()
@@ -626,22 +594,8 @@ func (gs *groupState) shutdown() {
 	}
 }
 
-// sortedKeys returns a map's process-id keys in deterministic order; every
-// peer-set iteration must go through it for runs to be reproducible.
-func sortedKeys[V any](m map[id.Process]V) []id.Process {
-	out := make([]id.Process, 0, len(m))
-	for p := range m {
-		out = append(out, p)
-	}
-	sortProcs(out)
-	return out
-}
-
-// sortProcs sorts process ids in place (insertion sort: peer sets are tiny).
-func sortProcs(out []id.Process) {
-	for i := 1; i < len(out); i++ {
-		for j := i; j > 0 && out[j] < out[j-1]; j-- {
-			out[j], out[j-1] = out[j-1], out[j]
-		}
-	}
+// sortedKeys returns a map's keys in deterministic order; every peer- or
+// group-set iteration must go through it for runs to be reproducible.
+func sortedKeys[K ~string, V any](m map[K]V) []K {
+	return id.SortedMapKeys(m)
 }

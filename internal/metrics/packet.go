@@ -1,0 +1,95 @@
+package metrics
+
+import "sync/atomic"
+
+// PacketCounters instruments the outbound packet plane and its receive
+// mirror: how many datagrams actually hit the wire, how many protocol
+// messages rode inside them, and how much of the traffic was coalesced into
+// shared datagrams. The counters are atomic so the single-threaded protocol
+// loop can write them while observers snapshot from any goroutine.
+//
+// The set quantifies the paper's "lightweight shared infrastructure" claim
+// end to end: MessagesOut/DatagramsOut is the coalescing factor, and
+// BytesOut counts one UDP/IP header per datagram — the honest version of
+// the per-workstation KB/s figures.
+type PacketCounters struct {
+	// DatagramsOut counts datagrams handed to the transport.
+	DatagramsOut atomic.Int64
+	// BatchesOut counts datagrams that carried more than one message.
+	BatchesOut atomic.Int64
+	// MessagesOut counts protocol messages emitted, batched or bare.
+	MessagesOut atomic.Int64
+	// CoalescedOut counts messages that shared a datagram with at least one
+	// other message: the traffic the batch envelope saved a datagram for.
+	CoalescedOut atomic.Int64
+	// BytesOut counts wire bytes sent, including one UDPOverhead per
+	// datagram.
+	BytesOut atomic.Int64
+
+	// DatagramsIn, BatchesIn, MessagesIn and BytesIn mirror the receive
+	// side, counted by the host when it decodes a datagram.
+	DatagramsIn atomic.Int64
+	BatchesIn   atomic.Int64
+	MessagesIn  atomic.Int64
+	BytesIn     atomic.Int64
+}
+
+// PacketStats is a point-in-time copy of PacketCounters.
+type PacketStats struct {
+	DatagramsOut int64
+	BatchesOut   int64
+	MessagesOut  int64
+	CoalescedOut int64
+	BytesOut     int64
+
+	DatagramsIn int64
+	BatchesIn   int64
+	MessagesIn  int64
+	BytesIn     int64
+}
+
+// Snapshot reads every counter. The fields are read individually, so a
+// snapshot taken mid-flush may be off by one message between columns; each
+// column is itself exact.
+func (c *PacketCounters) Snapshot() PacketStats {
+	return PacketStats{
+		DatagramsOut: c.DatagramsOut.Load(),
+		BatchesOut:   c.BatchesOut.Load(),
+		MessagesOut:  c.MessagesOut.Load(),
+		CoalescedOut: c.CoalescedOut.Load(),
+		BytesOut:     c.BytesOut.Load(),
+		DatagramsIn:  c.DatagramsIn.Load(),
+		BatchesIn:    c.BatchesIn.Load(),
+		MessagesIn:   c.MessagesIn.Load(),
+		BytesIn:      c.BytesIn.Load(),
+	}
+}
+
+// CountOut records one outbound datagram carrying msgs messages and bytes
+// wire bytes (UDP/IP overhead included).
+func (c *PacketCounters) CountOut(msgs int, bytes int) {
+	if c == nil {
+		return
+	}
+	c.DatagramsOut.Add(1)
+	c.MessagesOut.Add(int64(msgs))
+	c.BytesOut.Add(int64(bytes))
+	if msgs > 1 {
+		c.BatchesOut.Add(1)
+		c.CoalescedOut.Add(int64(msgs))
+	}
+}
+
+// CountIn records one inbound datagram carrying msgs messages and bytes
+// wire bytes (UDP/IP overhead included).
+func (c *PacketCounters) CountIn(msgs int, bytes int) {
+	if c == nil {
+		return
+	}
+	c.DatagramsIn.Add(1)
+	c.MessagesIn.Add(int64(msgs))
+	c.BytesIn.Add(int64(bytes))
+	if msgs > 1 {
+		c.BatchesIn.Add(1)
+	}
+}

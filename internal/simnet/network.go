@@ -41,14 +41,18 @@ type link struct {
 }
 
 // Counters accumulates per-workstation traffic and processing statistics.
-// Bytes include the UDP/IP header overhead, matching how the paper's
-// bandwidth figures count traffic on the wire.
+// Bytes are counted per datagram: one wire.UDPOverhead per datagram, so a
+// coalesced batch pays the UDP/IP header once — the honest version of the
+// paper's KB/s figures. Msgs counts protocol messages (a batch of k counts
+// k); Datagrams counts what actually crosses the wire.
 type Counters struct {
-	MsgsSent   int64
-	MsgsRecv   int64
-	BytesSent  int64
-	BytesRecv  int64
-	TimerFires int64
+	MsgsSent      int64
+	MsgsRecv      int64
+	DatagramsSent int64
+	DatagramsRecv int64
+	BytesSent     int64
+	BytesRecv     int64
+	TimerFires    int64
 }
 
 // Endpoint is a workstation attachment point. It persists across crashes
@@ -162,15 +166,22 @@ func (n *Network) LinkDown(from, to id.Process) bool {
 	return n.getLink(from, to).down
 }
 
-// Send transmits m from from to to across the simulated link. The sender is
-// charged for the datagram whether or not the network drops it.
+// Send transmits m — a single message or a coalesced *wire.Batch — from
+// from to to across the simulated link as ONE datagram: one UDP/IP header,
+// one loss draw, one delay draw. The sender is charged whether or not the
+// network drops it.
 func (n *Network) Send(from, to id.Process, m wire.Message) {
 	src := n.endpoints[from]
 	if src == nil || !src.up {
 		return
 	}
+	msgs := int64(1)
+	if b, ok := m.(*wire.Batch); ok {
+		msgs = int64(len(b.Msgs))
+	}
 	size := int64(m.WireSize() + wire.UDPOverhead)
-	src.counters.MsgsSent++
+	src.counters.MsgsSent += msgs
+	src.counters.DatagramsSent++
 	src.counters.BytesSent += size
 	l := n.getLink(from, to)
 	if l.down {
@@ -185,7 +196,8 @@ func (n *Network) Send(from, to id.Process, m wire.Message) {
 		if dst == nil || !dst.up || dst.handler == nil {
 			return
 		}
-		dst.counters.MsgsRecv++
+		dst.counters.MsgsRecv += msgs
+		dst.counters.DatagramsRecv++
 		dst.counters.BytesRecv += size
 		dst.handler.HandleMessage(m)
 	})

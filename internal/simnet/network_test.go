@@ -239,3 +239,42 @@ func TestNodeRuntimeCountsTimerFires(t *testing.T) {
 		t.Errorf("TimerFires = %d, want 1", got)
 	}
 }
+
+// TestBatchCountsAsOneDatagram pins the byte-exact accounting the paper's
+// KB/s figures rely on: a coalesced batch crosses the wire as one datagram
+// — one UDP/IP header, one loss draw — while still counting its inner
+// protocol messages individually.
+func TestBatchCountsAsOneDatagram(t *testing.T) {
+	eng, net, c := newPair(t, LAN())
+	batch := &wire.Batch{Msgs: []wire.Message{
+		&wire.Alive{Group: "g1", Sender: "a", Incarnation: 1, Seq: 1},
+		&wire.Alive{Group: "g2", Sender: "a", Incarnation: 1, Seq: 1},
+		&wire.Alive{Group: "g3", Sender: "a", Incarnation: 1, Seq: 1},
+	}}
+	net.Send("a", "b", batch)
+	eng.RunFor(time.Second)
+	wantBytes := int64(batch.WireSize() + wire.UDPOverhead)
+	a := net.Endpoint("a").Counters()
+	b := net.Endpoint("b").Counters()
+	if a.DatagramsSent != 1 || a.MsgsSent != 3 || a.BytesSent != wantBytes {
+		t.Errorf("sender counters = %+v, want 1 datagram / 3 msgs / %d bytes", a, wantBytes)
+	}
+	if b.DatagramsRecv != 1 || b.MsgsRecv != 3 || b.BytesRecv != wantBytes {
+		t.Errorf("receiver counters = %+v, want 1 datagram / 3 msgs / %d bytes", b, wantBytes)
+	}
+	// The batch costs strictly less wire than three bare datagrams.
+	var bare int64
+	for _, m := range batch.Msgs {
+		bare += int64(m.WireSize() + wire.UDPOverhead)
+	}
+	if wantBytes >= bare {
+		t.Errorf("batch costs %d bytes, three bare datagrams %d: coalescing must save wire", wantBytes, bare)
+	}
+	// Delivery hands the whole envelope to the node in one callback.
+	if len(c.msgs) != 1 {
+		t.Fatalf("delivered %d times, want 1", len(c.msgs))
+	}
+	if got, ok := c.msgs[0].(*wire.Batch); !ok || len(got.Msgs) != 3 {
+		t.Errorf("delivered %+v, want the 3-message batch", c.msgs[0])
+	}
+}

@@ -1,0 +1,253 @@
+package wire
+
+import (
+	"reflect"
+	"testing"
+)
+
+// sampleBatch coalesces one message of every protocol kind, the way the
+// outbound scheduler does for a peer in many groups.
+func sampleBatch() *Batch {
+	return &Batch{Msgs: sampleMessages()}
+}
+
+func TestBatchRoundTrip(t *testing.T) {
+	b := sampleBatch()
+	enc := Marshal(b)
+	if len(enc) != b.WireSize() {
+		t.Fatalf("WireSize = %d, len(Marshal) = %d", b.WireSize(), len(enc))
+	}
+	got, err := Unmarshal(enc)
+	if err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if !reflect.DeepEqual(b, got) {
+		t.Errorf("batch round trip mismatch:\n sent %+v\n got  %+v", b, got)
+	}
+	// The flattening entry point returns the inner messages.
+	msgs, err := UnmarshalBatch(enc)
+	if err != nil {
+		t.Fatalf("UnmarshalBatch: %v", err)
+	}
+	if !reflect.DeepEqual(msgs, b.Msgs) {
+		t.Errorf("UnmarshalBatch mismatch:\n want %+v\n got  %+v", b.Msgs, msgs)
+	}
+}
+
+func TestBatchSingleMessageFastPathIsByteCompatible(t *testing.T) {
+	// A datagram carrying one message is emitted bare: the scheduler's fast
+	// path must be byte-identical to the pre-batch wire format, so mixed
+	// clusters interoperate.
+	for _, m := range sampleMessages() {
+		enc := Marshal(m)
+		msgs, err := UnmarshalBatch(enc)
+		if err != nil {
+			t.Fatalf("%s: UnmarshalBatch of a bare message: %v", m.Kind(), err)
+		}
+		if len(msgs) != 1 || !reflect.DeepEqual(msgs[0], m) {
+			t.Errorf("%s: bare message did not flatten to itself: %+v", m.Kind(), msgs)
+		}
+	}
+}
+
+func TestBatchEmpty(t *testing.T) {
+	b := &Batch{}
+	enc := Marshal(b)
+	if len(enc) != b.WireSize() {
+		t.Fatalf("WireSize = %d, len(Marshal) = %d", b.WireSize(), len(enc))
+	}
+	got, err := Unmarshal(enc)
+	if err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if gb := got.(*Batch); len(gb.Msgs) != 0 {
+		t.Errorf("empty batch decoded to %d messages", len(gb.Msgs))
+	}
+}
+
+func TestBatchItemSizeMatchesEnvelopeGrowth(t *testing.T) {
+	b := &Batch{}
+	prev := b.WireSize()
+	for _, m := range sampleMessages() {
+		b.Msgs = append(b.Msgs, m)
+		if got, want := b.WireSize()-prev, ItemSize(m); got != want {
+			t.Errorf("%s: envelope grew by %d, ItemSize = %d", m.Kind(), got, want)
+		}
+		prev = b.WireSize()
+	}
+}
+
+func TestBatchRejectsCorruptEnvelopes(t *testing.T) {
+	valid := Marshal(sampleBatch())
+	cases := map[string][]byte{
+		"empty batch header":  {byte(KindBatch)},
+		"missing count":       {byte(KindBatch), BatchVersion},
+		"future version":      {byte(KindBatch), BatchVersion + 1, 0},
+		"zero version":        {byte(KindBatch), 0, 0},
+		"count beyond buffer": {byte(KindBatch), BatchVersion, 0xff, 0xff, 0x7f},
+		"zero-length inner":   {byte(KindBatch), BatchVersion, 1, 0},
+		"truncated inner":     valid[:len(valid)-3],
+		"inner length too long": {
+			byte(KindBatch), BatchVersion, 1, 40, byte(KindLeave), 1, 'g', 1, 's',
+		},
+	}
+	// A nested batch must be rejected, not recursed into.
+	inner := Marshal(&Leave{Group: "g", Sender: "s", Incarnation: 1})
+	nested := []byte{byte(KindBatch), BatchVersion, 1, byte(len(inner) + 3),
+		byte(KindBatch), BatchVersion, 1, byte(len(inner))}
+	nested = append(nested, inner...)
+	cases["nested batch"] = nested
+	// An inner message with trailing bytes inside its declared length must
+	// be rejected: inner framing is strict even though the top level is
+	// lenient for compatibility.
+	slack := []byte{byte(KindBatch), BatchVersion, 1, byte(len(inner) + 2)}
+	slack = append(slack, inner...)
+	slack = append(slack, 0, 0)
+	cases["inner trailing bytes"] = slack
+
+	for name, enc := range cases {
+		if _, err := Unmarshal(enc); err == nil {
+			t.Errorf("%s: decoded without error", name)
+		}
+		if _, err := NewDecoder().Unmarshal(enc); err == nil {
+			t.Errorf("%s: Decoder decoded without error", name)
+		}
+	}
+}
+
+// TestDecoderMatchesUnmarshal is the equivalence property between the two
+// codec surfaces: whatever Unmarshal produces, the pooled Decoder must
+// produce too, including across recycling.
+func TestDecoderMatchesUnmarshal(t *testing.T) {
+	dec := NewDecoder()
+	inputs := [][]byte{Marshal(sampleBatch())}
+	for _, m := range sampleMessages() {
+		inputs = append(inputs, Marshal(m))
+	}
+	for round := 0; round < 3; round++ { // later rounds hit the freelists
+		for _, enc := range inputs {
+			want, err := Unmarshal(enc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := dec.Unmarshal(enc)
+			if err != nil {
+				t.Fatalf("Decoder.Unmarshal: %v", err)
+			}
+			if !reflect.DeepEqual(want, got) {
+				t.Fatalf("round %d: decoder mismatch:\n want %+v\n got  %+v", round, want, got)
+			}
+			dec.Release(got)
+		}
+	}
+}
+
+func TestDecoderDecodeAppendFlattens(t *testing.T) {
+	dec := NewDecoder()
+	b := sampleBatch()
+	enc := Marshal(b)
+	var msgs []Message
+	for round := 0; round < 3; round++ {
+		var err error
+		msgs, err = dec.DecodeAppend(msgs[:0], enc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(msgs, b.Msgs) {
+			t.Fatalf("round %d: DecodeAppend mismatch: %+v", round, msgs)
+		}
+		for _, m := range msgs {
+			dec.Release(m)
+		}
+	}
+	// Errors leave dst unchanged.
+	msgs = msgs[:0]
+	msgs, err := dec.DecodeAppend(msgs, []byte{0xff})
+	if err == nil || len(msgs) != 0 {
+		t.Errorf("DecodeAppend on garbage: msgs=%v err=%v", msgs, err)
+	}
+}
+
+// TestDecoderRecycledHelloMatchesPlain pins a state-dependent equivalence
+// bug: after releasing a member-bearing Hello, the freelist holds a struct
+// with a non-nil empty Members slice; decoding a zero-member HELLO through
+// it must still yield nil Members, like the allocating path.
+func TestDecoderRecycledHelloMatchesPlain(t *testing.T) {
+	dec := NewDecoder()
+	withMembers := Marshal(&Hello{Group: "g", Sender: "s", Incarnation: 1,
+		Members: []MemberInfo{{ID: "m", Incarnation: 2}}})
+	m1, err := dec.Unmarshal(withMembers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec.Release(m1)
+	empty := Marshal(&Hello{Group: "g", Sender: "s", Incarnation: 1})
+	want, err := Unmarshal(empty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := dec.Unmarshal(empty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("recycled decode diverged:\n plain  %#v\n pooled %#v", want, got)
+	}
+}
+
+func TestDecoderInternsStrings(t *testing.T) {
+	dec := NewDecoder()
+	enc := Marshal(&Leave{Group: "grp", Sender: "proc", Incarnation: 1})
+	m1, err := dec.Unmarshal(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1 := m1.From()
+	dec.Release(m1)
+	m2, err := dec.Unmarshal(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Interned strings survive Release: the first decode's id must still be
+	// valid and share storage with the second's.
+	if s1 != "proc" || s1 != m2.From() {
+		t.Errorf("interned string corrupted: %q vs %q", s1, m2.From())
+	}
+}
+
+func TestBatchHeaderDelegation(t *testing.T) {
+	b := sampleBatch()
+	if b.From() != b.Msgs[0].From() || b.GroupID() != b.Msgs[0].GroupID() {
+		t.Error("batch header accessors must delegate to the first message")
+	}
+	empty := &Batch{}
+	if empty.From() != "" || empty.GroupID() != "" {
+		t.Error("empty batch must report empty header fields")
+	}
+	if KindBatch.String() != "BATCH" {
+		t.Errorf("KindBatch.String() = %q", KindBatch.String())
+	}
+}
+
+// TestMarshalAppendReusesBuffer pins the alloc-free marshal contract.
+func TestMarshalAppendReusesBuffer(t *testing.T) {
+	buf := make([]byte, 0, 4096)
+	for _, m := range append(sampleMessages(), Message(sampleBatch())) {
+		out := MarshalAppend(buf[:0], m)
+		if &out[0] != &buf[:1][0] {
+			t.Fatalf("%s: MarshalAppend reallocated despite sufficient capacity", m.Kind())
+		}
+		if !reflect.DeepEqual(out, Marshal(m)) {
+			t.Fatalf("%s: MarshalAppend differs from Marshal", m.Kind())
+		}
+	}
+}
+
+func TestMarshalNestedBatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("marshaling a nested batch must panic: the scheduler never builds one")
+		}
+	}()
+	Marshal(&Batch{Msgs: []Message{&Batch{}}})
+}

@@ -1,0 +1,180 @@
+package wire
+
+// Decoder is the allocation-free receive side of the codec: it decodes the
+// same formats as Unmarshal/UnmarshalBatch but interns the strings it
+// produces (process and group ids recur on every datagram) and recycles
+// message structs handed back through Release. After warm-up the decode
+// path performs no heap allocation.
+//
+// The contract mirrors single-threaded use: a Decoder is NOT safe for
+// concurrent use, and a message passed to Release must no longer be
+// referenced by the caller — strings read out of it remain valid (they are
+// interned, never recycled), struct and slice memory does not.
+type Decoder struct {
+	strings map[string]string
+
+	hellos  []*Hello
+	joins   []*Join
+	leaves  []*Leave
+	alives  []*Alive
+	accuses []*Accuse
+	rates   []*Rate
+	batches []*Batch
+}
+
+// maxIntern bounds the interning table. Ids are few in practice; a flood of
+// distinct names (hostile traffic) degrades to plain allocation instead of
+// growing the table without bound.
+const maxIntern = 4096
+
+// maxFree bounds each freelist; Release beyond it lets the GC take over.
+const maxFree = 256
+
+// NewDecoder returns an empty Decoder.
+func NewDecoder() *Decoder {
+	return &Decoder{strings: make(map[string]string)}
+}
+
+// Unmarshal decodes one datagram like the package-level Unmarshal, drawing
+// structs from the freelists and strings from the interning table.
+func (d *Decoder) Unmarshal(b []byte) (Message, error) {
+	r := reader{b: b, d: d}
+	return unmarshalDatagram(&r)
+}
+
+// DecodeAppend decodes one datagram and appends its messages — the inner
+// messages of a batch, or the single bare message — to dst, which may be a
+// recycled slice. On error dst is returned unchanged.
+func (d *Decoder) DecodeAppend(dst []Message, b []byte) ([]Message, error) {
+	m, err := d.Unmarshal(b)
+	if err != nil {
+		return dst, err
+	}
+	if t, ok := m.(*Batch); ok {
+		dst = append(dst, t.Msgs...)
+		t.Msgs = t.Msgs[:0]
+		d.putBatch(t)
+		return dst, nil
+	}
+	return append(dst, m), nil
+}
+
+// intern returns a string equal to raw, reusing a previous allocation when
+// the same bytes were seen before. The map index with a string conversion
+// compiles to a no-allocation lookup.
+func (d *Decoder) intern(raw []byte) string {
+	if s, ok := d.strings[string(raw)]; ok {
+		return s
+	}
+	s := string(raw)
+	if len(d.strings) < maxIntern {
+		d.strings[s] = s
+	}
+	return s
+}
+
+// Release recycles a message obtained from this Decoder. Releasing a
+// message that anything still references corrupts later decodes; the
+// protocol handlers copy what they keep, so hosts release right after
+// dispatch. Releasing a *Batch releases its inner messages too.
+func (d *Decoder) Release(m Message) {
+	switch t := m.(type) {
+	case *Hello:
+		members := t.Members[:0]
+		*t = Hello{Members: members}
+		if len(d.hellos) < maxFree {
+			d.hellos = append(d.hellos, t)
+		}
+	case *Join:
+		*t = Join{}
+		if len(d.joins) < maxFree {
+			d.joins = append(d.joins, t)
+		}
+	case *Leave:
+		*t = Leave{}
+		if len(d.leaves) < maxFree {
+			d.leaves = append(d.leaves, t)
+		}
+	case *Alive:
+		*t = Alive{}
+		if len(d.alives) < maxFree {
+			d.alives = append(d.alives, t)
+		}
+	case *Accuse:
+		*t = Accuse{}
+		if len(d.accuses) < maxFree {
+			d.accuses = append(d.accuses, t)
+		}
+	case *Rate:
+		*t = Rate{}
+		if len(d.rates) < maxFree {
+			d.rates = append(d.rates, t)
+		}
+	case *Batch:
+		for _, inner := range t.Msgs {
+			d.Release(inner)
+		}
+		t.Msgs = t.Msgs[:0]
+		d.putBatch(t)
+	}
+}
+
+func (d *Decoder) putBatch(t *Batch) {
+	if len(d.batches) < maxFree {
+		d.batches = append(d.batches, t)
+	}
+}
+
+func (d *Decoder) getHello() *Hello {
+	if n := len(d.hellos); n > 0 {
+		t := d.hellos[n-1]
+		d.hellos = d.hellos[:n-1]
+		return t
+	}
+	return &Hello{}
+}
+
+func (d *Decoder) getJoin() *Join {
+	if n := len(d.joins); n > 0 {
+		t := d.joins[n-1]
+		d.joins = d.joins[:n-1]
+		return t
+	}
+	return &Join{}
+}
+
+func (d *Decoder) getLeave() *Leave {
+	if n := len(d.leaves); n > 0 {
+		t := d.leaves[n-1]
+		d.leaves = d.leaves[:n-1]
+		return t
+	}
+	return &Leave{}
+}
+
+func (d *Decoder) getAlive() *Alive {
+	if n := len(d.alives); n > 0 {
+		t := d.alives[n-1]
+		d.alives = d.alives[:n-1]
+		return t
+	}
+	return &Alive{}
+}
+
+func (d *Decoder) getAccuse() *Accuse {
+	if n := len(d.accuses); n > 0 {
+		t := d.accuses[n-1]
+		d.accuses = d.accuses[:n-1]
+		return t
+	}
+	return &Accuse{}
+}
+
+func (d *Decoder) getRate() *Rate {
+	if n := len(d.rates); n > 0 {
+		t := d.rates[n-1]
+		d.rates = d.rates[:n-1]
+		return t
+	}
+	return &Rate{}
+}

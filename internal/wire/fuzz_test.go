@@ -1,6 +1,7 @@
 package wire
 
 import (
+	"reflect"
 	"testing"
 )
 
@@ -13,14 +14,39 @@ func FuzzUnmarshal(f *testing.F) {
 	for _, m := range sampleMessages() {
 		f.Add(Marshal(m))
 	}
+	// Batch envelopes: a full multi-kind batch, a two-heartbeat batch, and
+	// corrupt headers (truncated count, nested batch, lying length prefix).
+	full := Marshal(sampleBatch())
+	f.Add(full)
+	f.Add(Marshal(&Batch{Msgs: []Message{
+		&Alive{Group: "g1", Sender: "s", Incarnation: 1, Seq: 9},
+		&Alive{Group: "g2", Sender: "s", Incarnation: 1, Seq: 9},
+	}}))
+	f.Add(full[:len(full)-2])
+	f.Add([]byte{byte(KindBatch)})
+	f.Add([]byte{byte(KindBatch), BatchVersion})
+	f.Add([]byte{byte(KindBatch), BatchVersion, 0xff, 0xff, 0x7f})
+	f.Add([]byte{byte(KindBatch), BatchVersion, 2, 1, byte(KindBatch), 1, 0})
+	f.Add([]byte{byte(KindBatch), BatchVersion, 1, 40, byte(KindLeave), 1, 'g', 1, 's'})
 	f.Add([]byte{})
 	f.Add([]byte{0xff, 0xff, 0xff})
 	f.Add([]byte{byte(KindHello), 0x01, 'g', 0x01, 's', 0, 0, 0, 0, 0, 0, 0, 0, 0xff})
+	dec := NewDecoder()
 	f.Fuzz(func(t *testing.T, data []byte) {
 		m, err := Unmarshal(data)
+		// The pooled Decoder must agree with the allocating path bit for
+		// bit: same error-or-success, same decoded value.
+		dm, derr := dec.Unmarshal(data)
+		if (err == nil) != (derr == nil) {
+			t.Fatalf("decoder disagreement: Unmarshal err=%v, Decoder err=%v", err, derr)
+		}
 		if err != nil {
 			return
 		}
+		if !reflect.DeepEqual(m, dm) {
+			t.Fatalf("decoder mismatch:\n plain  %+v\n pooled %+v", m, dm)
+		}
+		dec.Release(dm)
 		// A successfully decoded message must round-trip through the codec.
 		b := Marshal(m)
 		if len(b) != m.WireSize() {
@@ -32,6 +58,13 @@ func FuzzUnmarshal(f *testing.F) {
 		}
 		if m2.Kind() != m.Kind() || m2.From() != m.From() || m2.GroupID() != m.GroupID() {
 			t.Fatalf("round trip changed identity: %+v vs %+v", m, m2)
+		}
+		if bt, ok := m.(*Batch); ok {
+			// Batch identity goes deeper than the header: the re-decoded
+			// envelope must carry the same messages.
+			if !reflect.DeepEqual(bt, m2) {
+				t.Fatalf("batch round trip changed contents: %+v vs %+v", bt, m2)
+			}
 		}
 	})
 }

@@ -19,6 +19,17 @@
 //	ACCUSE  leader accusation (raises the target's accusation time)
 //	RATE    QoS feedback: the monitoring side asks the sender to emit
 //	        ALIVEs at the interval computed by the FD configurator
+//
+// A seventh kind, BATCH, is not a protocol message but a transport
+// envelope: the outbound packet scheduler coalesces every message bound for
+// one peer into a single datagram carrying a Batch. A datagram holding one
+// message is emitted bare (today's format), so mixed-version clusters keep
+// interoperating on the single-message fast path.
+//
+// Two codec surfaces exist: the convenient allocating one (Marshal,
+// Unmarshal, UnmarshalBatch) and the alloc-free one for hot paths
+// (MarshalAppend into a reused buffer, Decoder with string interning and
+// struct recycling via Release).
 package wire
 
 import (
@@ -40,6 +51,7 @@ const (
 	KindAlive
 	KindAccuse
 	KindRate
+	KindBatch
 )
 
 // String returns the conventional upper-case name of the kind.
@@ -57,6 +69,8 @@ func (k Kind) String() string {
 		return "ACCUSE"
 	case KindRate:
 		return "RATE"
+	case KindBatch:
+		return "BATCH"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}
@@ -72,6 +86,11 @@ var ErrTruncated = errors.New("wire: truncated message")
 
 // ErrUnknownKind reports an unrecognized kind byte.
 var ErrUnknownKind = errors.New("wire: unknown message kind")
+
+// ErrBadBatch reports a malformed batch envelope: an unsupported version,
+// a nested batch, or an inner message whose length prefix disagrees with
+// its encoding.
+var ErrBadBatch = errors.New("wire: malformed batch")
 
 // Message is implemented by every protocol message.
 type Message interface {
@@ -170,6 +189,22 @@ type Rate struct {
 	Interval    int64
 }
 
+// BatchVersion is the envelope version emitted by this build. Decoders
+// reject datagrams with a higher version rather than misparse them.
+const BatchVersion = 1
+
+// Batch is the coalescing envelope: one datagram carrying several protocol
+// messages bound for the same peer, possibly spanning groups. Its layout is
+//
+//	kind (KindBatch) | version | count uvarint | (len uvarint | message)*
+//
+// Batches never nest. All messages in a batch come from one sender, so
+// From and GroupID delegate to the first message; per-message headers stay
+// authoritative for dispatch.
+type Batch struct {
+	Msgs []Message
+}
+
 // Interface conformance checks.
 var (
 	_ Message = (*Hello)(nil)
@@ -178,6 +213,7 @@ var (
 	_ Message = (*Alive)(nil)
 	_ Message = (*Accuse)(nil)
 	_ Message = (*Rate)(nil)
+	_ Message = (*Batch)(nil)
 )
 
 // Kind implements Message.
@@ -198,6 +234,9 @@ func (*Accuse) Kind() Kind { return KindAccuse }
 // Kind implements Message.
 func (*Rate) Kind() Kind { return KindRate }
 
+// Kind implements Message.
+func (*Batch) Kind() Kind { return KindBatch }
+
 // From implements Message.
 func (m *Hello) From() id.Process { return m.Sender }
 
@@ -216,6 +255,14 @@ func (m *Accuse) From() id.Process { return m.Sender }
 // From implements Message.
 func (m *Rate) From() id.Process { return m.Sender }
 
+// From implements Message: the first inner message's sender.
+func (m *Batch) From() id.Process {
+	if len(m.Msgs) == 0 {
+		return ""
+	}
+	return m.Msgs[0].From()
+}
+
 // GroupID implements Message.
 func (m *Hello) GroupID() id.Group { return m.Group }
 
@@ -233,6 +280,15 @@ func (m *Accuse) GroupID() id.Group { return m.Group }
 
 // GroupID implements Message.
 func (m *Rate) GroupID() id.Group { return m.Group }
+
+// GroupID implements Message: the first inner message's group. A batch may
+// span groups; dispatch reads each inner message's own header.
+func (m *Batch) GroupID() id.Group {
+	if len(m.Msgs) == 0 {
+		return ""
+	}
+	return m.Msgs[0].GroupID()
+}
 
 // strSize is the encoded size of a length-prefixed string.
 func strSize(s string) int { return uvarintLen(uint64(len(s))) + len(s) }
@@ -282,6 +338,29 @@ func (m *Accuse) WireSize() int { return headerSize(m.Group, m.Sender) + 8 + 4 +
 // WireSize implements Message.
 func (m *Rate) WireSize() int { return headerSize(m.Group, m.Sender) + 8 }
 
+// WireSize implements Message.
+func (m *Batch) WireSize() int {
+	n := 2 + uvarintLen(uint64(len(m.Msgs))) // kind + version + count
+	for _, inner := range m.Msgs {
+		sz := inner.WireSize()
+		n += uvarintLen(uint64(sz)) + sz
+	}
+	return n
+}
+
+// ItemSize is the number of bytes a message occupies inside a batch
+// envelope: its length prefix plus its encoding. The outbound scheduler
+// uses it to enforce the datagram size threshold incrementally.
+func ItemSize(m Message) int {
+	sz := m.WireSize()
+	return uvarintLen(uint64(sz)) + sz
+}
+
+// BatchOverhead is the fixed envelope cost of a small batch (kind byte,
+// version byte, one-byte count): what coalescing adds on top of the
+// back-to-back messages themselves.
+const BatchOverhead = 3
+
 // writer appends big-endian fields to a byte slice.
 type writer struct{ b []byte }
 
@@ -305,11 +384,13 @@ func (w *writer) boolean(v bool) {
 }
 
 // reader consumes big-endian fields from a byte slice, latching the first
-// error so call sites stay linear.
+// error so call sites stay linear. A non-nil d makes string decoding intern
+// through the Decoder and message construction draw from its freelists.
 type reader struct {
 	b   []byte
 	off int
 	err error
+	d   *Decoder
 }
 
 func (r *reader) fail() {
@@ -370,16 +451,39 @@ func (r *reader) str() string {
 		r.fail()
 		return ""
 	}
-	s := string(r.b[r.off : r.off+int(n)])
+	raw := r.b[r.off : r.off+int(n)]
 	r.off += int(n)
-	return s
+	if r.d != nil {
+		return r.d.intern(raw)
+	}
+	return string(raw)
 }
 
 func (r *reader) boolean() bool { return r.u8() != 0 }
 
 // Marshal encodes m into a fresh byte slice.
 func Marshal(m Message) []byte {
-	w := writer{b: make([]byte, 0, m.WireSize())}
+	return MarshalAppend(make([]byte, 0, m.WireSize()), m)
+}
+
+// MarshalAppend encodes m at the end of dst and returns the extended slice.
+// Reusing dst across calls makes the send hot path allocation-free.
+func MarshalAppend(dst []byte, m Message) []byte {
+	if t, ok := m.(*Batch); ok {
+		w := writer{b: dst}
+		w.kind(KindBatch)
+		w.u8(BatchVersion)
+		w.uvarint(uint64(len(t.Msgs)))
+		for _, inner := range t.Msgs {
+			if inner.Kind() == KindBatch {
+				panic("wire: Marshal of a nested Batch")
+			}
+			w.uvarint(uint64(inner.WireSize()))
+			w.b = MarshalAppend(w.b, inner)
+		}
+		return w.b
+	}
+	w := writer{b: dst}
 	w.kind(m.Kind())
 	w.str(string(m.GroupID()))
 	w.str(string(m.From()))
@@ -430,18 +534,106 @@ func Marshal(m Message) []byte {
 	return w.b
 }
 
-// Unmarshal decodes one message from b.
+// Unmarshal decodes one datagram from b: either a single message or a
+// Batch envelope (returned as a *Batch).
 func Unmarshal(b []byte) (Message, error) {
 	r := reader{b: b}
+	return unmarshalDatagram(&r)
+}
+
+// UnmarshalBatch decodes one datagram and flattens it: a Batch envelope
+// yields its inner messages, a bare message yields a one-element slice.
+// This is the receive-side entry point hosts use, tolerant of both wire
+// formats (the single-message fast path is byte-identical to the pre-batch
+// protocol).
+func UnmarshalBatch(b []byte) ([]Message, error) {
+	m, err := Unmarshal(b)
+	if err != nil {
+		return nil, err
+	}
+	if t, ok := m.(*Batch); ok {
+		return t.Msgs, nil
+	}
+	return []Message{m}, nil
+}
+
+// unmarshalDatagram dispatches on the first byte: batch envelope or single
+// message.
+func unmarshalDatagram(r *reader) (Message, error) {
+	if r.off < len(r.b) && Kind(r.b[r.off]) == KindBatch {
+		return unmarshalBatchEnvelope(r)
+	}
+	return unmarshalOne(r)
+}
+
+// unmarshalBatchEnvelope decodes a Batch. Inner messages must not nest
+// batches and must consume exactly their declared length.
+func unmarshalBatchEnvelope(r *reader) (Message, error) {
+	r.u8() // kind, already known to be KindBatch
+	version := r.u8()
+	if r.err != nil {
+		return nil, r.err
+	}
+	if version == 0 || version > BatchVersion {
+		return nil, fmt.Errorf("%w: version %d", ErrBadBatch, version)
+	}
+	count := r.uvarint()
+	if r.err != nil {
+		return nil, r.err
+	}
+	if count > uint64(len(r.b)-r.off) {
+		// Every inner message costs at least one length byte; a count
+		// larger than the remaining payload is certainly corrupt. Reject
+		// before allocating.
+		return nil, fmt.Errorf("%w: count %d exceeds payload", ErrBadBatch, count)
+	}
+	t := r.newBatch(int(count))
+	for i := uint64(0); i < count; i++ {
+		l := r.uvarint()
+		if r.err != nil {
+			return nil, r.err
+		}
+		if l == 0 {
+			return nil, fmt.Errorf("%w: empty inner message", ErrBadBatch)
+		}
+		if l > uint64(len(r.b)-r.off) {
+			return nil, ErrTruncated
+		}
+		end := r.off + int(l)
+		if Kind(r.b[r.off]) == KindBatch {
+			return nil, fmt.Errorf("%w: nested batch", ErrBadBatch)
+		}
+		inner := reader{b: r.b[:end], off: r.off, d: r.d}
+		m, err := unmarshalOne(&inner)
+		if err != nil {
+			return nil, err
+		}
+		if inner.off != end {
+			return nil, fmt.Errorf("%w: inner message shorter than its length prefix", ErrBadBatch)
+		}
+		r.off = end
+		t.Msgs = append(t.Msgs, m)
+	}
+	if len(t.Msgs) == 0 {
+		// Canonical empty form, identical across the allocating and pooled
+		// decoders (a recycled batch would otherwise carry a non-nil slice).
+		t.Msgs = nil
+	}
+	return t, nil
+}
+
+// unmarshalOne decodes a single non-batch message.
+func unmarshalOne(r *reader) (Message, error) {
 	kind := Kind(r.u8())
 	group := id.Group(r.str())
 	sender := id.Process(r.str())
 	var m Message
 	switch kind {
 	case KindHello:
-		t := &Hello{Group: group, Sender: sender, Incarnation: r.i64()}
+		t := r.newHello()
+		t.Group, t.Sender, t.Incarnation = group, sender, r.i64()
 		n := r.uvarint()
-		if r.err == nil && n > uint64(len(b)) {
+		if r.err == nil && n > uint64(len(r.b)) {
 			// A member row occupies at least two bytes; a count larger than
 			// the buffer is certainly corrupt. Reject before allocating.
 			return nil, ErrTruncated
@@ -453,13 +645,24 @@ func Unmarshal(b []byte) (Message, error) {
 			mb.Left = flags&2 != 0
 			t.Members = append(t.Members, mb)
 		}
+		if len(t.Members) == 0 {
+			// Canonical empty form: a recycled struct carries a non-nil
+			// zero-length slice, which must not be observable (the pooled
+			// and allocating decoders agree bit for bit).
+			t.Members = nil
+		}
 		m = t
 	case KindJoin:
-		m = &Join{Group: group, Sender: sender, Incarnation: r.i64(), Candidate: r.boolean()}
+		t := r.newJoin()
+		t.Group, t.Sender, t.Incarnation, t.Candidate = group, sender, r.i64(), r.boolean()
+		m = t
 	case KindLeave:
-		m = &Leave{Group: group, Sender: sender, Incarnation: r.i64()}
+		t := r.newLeave()
+		t.Group, t.Sender, t.Incarnation = group, sender, r.i64()
+		m = t
 	case KindAlive:
-		t := &Alive{Group: group, Sender: sender, Incarnation: r.i64()}
+		t := r.newAlive()
+		t.Group, t.Sender, t.Incarnation = group, sender, r.i64()
 		t.Seq = r.uvarint()
 		t.SendTime = r.i64()
 		t.Interval = r.i64()
@@ -472,15 +675,17 @@ func Unmarshal(b []byte) (Message, error) {
 		}
 		m = t
 	case KindAccuse:
-		m = &Accuse{
-			Group: group, Sender: sender,
-			Incarnation:       r.i64(),
-			TargetIncarnation: r.i64(),
-			Phase:             r.u32(),
-			At:                r.i64(),
-		}
+		t := r.newAccuse()
+		t.Group, t.Sender = group, sender
+		t.Incarnation = r.i64()
+		t.TargetIncarnation = r.i64()
+		t.Phase = r.u32()
+		t.At = r.i64()
+		m = t
 	case KindRate:
-		m = &Rate{Group: group, Sender: sender, Incarnation: r.i64(), Interval: r.i64()}
+		t := r.newRate()
+		t.Group, t.Sender, t.Incarnation, t.Interval = group, sender, r.i64(), r.i64()
+		m = t
 	default:
 		if r.err != nil {
 			return nil, r.err
@@ -491,4 +696,60 @@ func Unmarshal(b []byte) (Message, error) {
 		return nil, r.err
 	}
 	return m, nil
+}
+
+// Allocation hooks: fresh structs without a Decoder, recycled ones with.
+
+func (r *reader) newHello() *Hello {
+	if r.d != nil {
+		return r.d.getHello()
+	}
+	return &Hello{}
+}
+
+func (r *reader) newJoin() *Join {
+	if r.d != nil {
+		return r.d.getJoin()
+	}
+	return &Join{}
+}
+
+func (r *reader) newLeave() *Leave {
+	if r.d != nil {
+		return r.d.getLeave()
+	}
+	return &Leave{}
+}
+
+func (r *reader) newAlive() *Alive {
+	if r.d != nil {
+		return r.d.getAlive()
+	}
+	return &Alive{}
+}
+
+func (r *reader) newAccuse() *Accuse {
+	if r.d != nil {
+		return r.d.getAccuse()
+	}
+	return &Accuse{}
+}
+
+func (r *reader) newRate() *Rate {
+	if r.d != nil {
+		return r.d.getRate()
+	}
+	return &Rate{}
+}
+
+func (r *reader) newBatch(capacity int) *Batch {
+	if r.d != nil {
+		if n := len(r.d.batches); n > 0 {
+			t := r.d.batches[n-1]
+			r.d.batches = r.d.batches[:n-1]
+			return t
+		}
+		return &Batch{}
+	}
+	return &Batch{Msgs: make([]Message, 0, capacity)}
 }

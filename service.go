@@ -13,6 +13,7 @@ import (
 	"stableleader/internal/core"
 	"stableleader/internal/election"
 	"stableleader/internal/group"
+	"stableleader/internal/metrics"
 	"stableleader/internal/wire"
 	"stableleader/qos"
 	"stableleader/transport"
@@ -33,6 +34,18 @@ type Service struct {
 	done     chan struct{}
 	closing  chan struct{}
 	finished chan struct{} // closed after subscribers and transport are down
+
+	// counters instruments the packet plane; written by the outbound
+	// scheduler (event loop) and onDatagram (transport goroutines),
+	// snapshot by PacketStats from anywhere.
+	counters metrics.PacketCounters
+
+	// dec is the pooled wire decoder for the receive hot path. decMu
+	// serialises it: transports may deliver concurrently, and releases
+	// happen on the event loop.
+	decMu     sync.Mutex
+	dec       *wire.Decoder
+	msgSlices [][]wire.Message // recycled DecodeAppend destination slices
 
 	mu       sync.Mutex
 	groups   map[id.Group]*Group
@@ -67,10 +80,11 @@ func New(self id.Process, tr transport.Transport, opts ...Option) (*Service, err
 		done:     make(chan struct{}),
 		closing:  make(chan struct{}),
 		finished: make(chan struct{}),
+		dec:      wire.NewDecoder(),
 		groups:   make(map[id.Group]*Group),
 	}
 	rt := &serviceRuntime{svc: s, rng: rand.New(rand.NewSource(seed))}
-	s.node = core.NewNode(self, rt)
+	s.node = core.NewNode(self, rt, core.WithPacketCounters(&s.counters))
 	tr.Receive(s.onDatagram)
 	go s.loop()
 	return s, nil
@@ -136,17 +150,63 @@ func (s *Service) call(ctx context.Context, fn func()) error {
 	}
 }
 
-// onDatagram decodes and dispatches one received datagram.
+// onDatagram decodes and dispatches one received datagram — a bare message
+// or a batch envelope. Decoding happens here (the transport reuses the
+// payload buffer after we return) through the pooled Decoder; the decoded
+// messages are handed to the event loop and recycled once dispatched. The
+// protocol handlers copy everything they keep, so the recycle-after-handle
+// contract holds by construction.
 func (s *Service) onDatagram(payload []byte) {
-	m, err := wire.Unmarshal(payload)
-	if err != nil {
-		return // garbage on the wire is dropped, as a UDP service must
+	s.decMu.Lock()
+	var msgs []wire.Message
+	if n := len(s.msgSlices); n > 0 {
+		msgs = s.msgSlices[n-1][:0]
+		s.msgSlices = s.msgSlices[:n-1]
 	}
-	s.enqueue(func() { s.node.HandleMessage(m) })
+	msgs, err := s.dec.DecodeAppend(msgs, payload)
+	s.decMu.Unlock()
+	if err != nil || len(msgs) == 0 {
+		// Garbage on the wire is dropped, as a UDP service must.
+		s.recycle(msgs, false)
+		return
+	}
+	s.counters.CountIn(len(msgs), len(payload)+wire.UDPOverhead)
+	s.enqueue(func() {
+		for _, m := range msgs {
+			s.node.HandleMessage(m)
+		}
+		s.recycle(msgs, true)
+	})
+}
+
+// recycle returns a decoded message slice (and, when release is set, the
+// messages themselves) to the decoder pools.
+func (s *Service) recycle(msgs []wire.Message, release bool) {
+	if msgs == nil {
+		return
+	}
+	s.decMu.Lock()
+	if release {
+		for _, m := range msgs {
+			s.dec.Release(m)
+		}
+	}
+	if len(s.msgSlices) < 64 {
+		s.msgSlices = append(s.msgSlices, msgs[:0])
+	}
+	s.decMu.Unlock()
 }
 
 // ID returns the service's process id.
 func (s *Service) ID() id.Process { return s.self }
+
+// PacketStats snapshots the packet-plane counters: datagrams, batches and
+// coalesced messages in both directions. Safe from any goroutine.
+func (s *Service) PacketStats() PacketStats {
+	// A struct conversion, so a counter added to the internal set without
+	// a public mirror fails to compile instead of silently reporting zero.
+	return PacketStats(s.counters.Snapshot())
+}
 
 // Incarnation returns this service instance's incarnation number.
 func (s *Service) Incarnation() int64 { return s.node.Incarnation() }
@@ -363,9 +423,22 @@ func (r *serviceRuntime) AfterFunc(d time.Duration, fn func()) clock.Timer {
 	return time.AfterFunc(d, func() { r.svc.enqueue(fn) })
 }
 
-// Send implements core.Runtime.
+// sendBufPool recycles marshal buffers across sends: transports do not
+// retain the payload after Send returns (see the Transport contract), so
+// the buffer goes straight back into the pool and the send hot path stays
+// allocation-free.
+var sendBufPool = sync.Pool{
+	New: func() any { b := make([]byte, 0, 2048); return &b },
+}
+
+// Send implements core.Runtime. m is a bare message or a *wire.Batch the
+// outbound scheduler flushed; either way it is one datagram.
 func (r *serviceRuntime) Send(to id.Process, m wire.Message) {
-	_ = r.svc.tr.Send(to, wire.Marshal(m))
+	bp := sendBufPool.Get().(*[]byte)
+	buf := wire.MarshalAppend((*bp)[:0], m)
+	_ = r.svc.tr.Send(to, buf)
+	*bp = buf[:0]
+	sendBufPool.Put(bp)
 }
 
 // Rand implements core.Runtime.

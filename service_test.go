@@ -400,3 +400,44 @@ func TestWatchBufferDropsOldestNeverNewest(t *testing.T) {
 		t.Errorf("retained notification %+v disagrees with current view %+v", last, q)
 	}
 }
+
+// TestPacketStatsCountCoalescedTraffic drives two services through several
+// groups on one hub and checks the packet-plane counters: traffic flows,
+// datagrams carry batches, and the coalescing factor shows up end to end
+// (send side batches, receive side unpacks the same envelopes).
+func TestPacketStatsCountCoalescedTraffic(t *testing.T) {
+	hub := transport.NewInproc(nil)
+	names := []id.Process{"a", "b"}
+	svcs := startServices(t, hub, names...)
+	defer func() {
+		for _, s := range svcs {
+			_ = s.Crash()
+		}
+	}()
+	joinAll(t, svcs, "g1", names)
+	joinAll(t, svcs, "g2", names)
+	joinAll(t, svcs, "g3", names)
+	joinAll(t, svcs, "g4", names)
+
+	deadline := time.Now().Add(5 * time.Second)
+	var st stableleader.PacketStats
+	for time.Now().Before(deadline) {
+		st = svcs["a"].PacketStats()
+		if st.BatchesOut > 0 && st.BatchesIn > 0 {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if st.DatagramsOut == 0 || st.MessagesOut == 0 || st.BytesOut == 0 {
+		t.Fatalf("no outbound traffic counted: %+v", st)
+	}
+	if st.BatchesOut == 0 || st.CoalescedOut == 0 {
+		t.Errorf("four groups toward one peer produced no batches: %+v", st)
+	}
+	if st.MessagesOut < st.DatagramsOut {
+		t.Errorf("messages (%d) below datagrams (%d): impossible", st.MessagesOut, st.DatagramsOut)
+	}
+	if st.BatchesIn == 0 || st.MessagesIn <= st.DatagramsIn {
+		t.Errorf("receive side saw no coalescing: %+v", st)
+	}
+}

@@ -281,9 +281,69 @@ func Headline(o Options) (*Experiment, error) {
 	return exp, err
 }
 
+// multigroupCap bounds the per-cell duration of the multigroup sweep: the
+// 64-group cells simulate tens of thousands of messages per second, and
+// the datagram-rate comparison reaches steady state within minutes.
+const multigroupCap = 10 * time.Minute
+
+// Multigroup measures the outbound packet plane: every workstation joins
+// 1→64 groups sharing the same peer set (the paper's shared-infrastructure
+// deployment), with the coalescing scheduler on versus off. The figure of
+// merit is datagrams/s per node — what the batch envelope collapses — next
+// to KB/s (header savings) and msgs/s (protocol cost, which coalescing
+// must not inflate beyond the pacer's early-send slack).
+func Multigroup(o Options) (*Experiment, error) {
+	o = o.withDefaults()
+	if o.Duration > multigroupCap {
+		o.Duration = multigroupCap
+	}
+	exp := &Experiment{
+		ID:    "multigroup",
+		Title: "Outbound packet plane: groups-per-node sweep, coalescing on vs off",
+		Notes: "Expected: uncoalesced datagrams/s grows ~linearly with groups; coalescing collapses all same-peer traffic to ~one datagram per heartbeat interval (>=4x fewer datagrams at 16 groups), at slightly higher msgs/s from heartbeat alignment.",
+	}
+	seed := o.Seed
+	for _, variant := range []struct {
+		series  string
+		disable bool
+	}{{"coalesced", false}, {"uncoalesced", true}} {
+		for _, groups := range []int{1, 4, 16, 64} {
+			seed++
+			sc := Scenario{
+				Name:              fmt.Sprintf("multigroup/%s/groups=%d", variant.series, groups),
+				N:                 o.N,
+				Groups:            groups,
+				Algorithm:         stableleader.OmegaLC, // all-to-all heartbeats: the stress case
+				Link:              LAN().Link,
+				Duration:          o.Duration,
+				Warmup:            o.Warmup,
+				Seed:              seed,
+				DisableCoalescing: variant.disable,
+			}
+			res, err := Run(sc)
+			if err != nil {
+				return nil, fmt.Errorf("multigroup %s groups=%d: %w", variant.series, groups, err)
+			}
+			exp.Cells = append(exp.Cells, Cell{
+				Series:  variant.series,
+				Setting: fmt.Sprintf("groups=%d", groups),
+				Result:  res,
+			})
+			if o.Progress != nil {
+				fmt.Fprintf(o.Progress,
+					"%-10s %-12s %-10s dgrams/s=%8.1f msgs/s=%8.1f %8.2fKB/s (wall %v)\n",
+					exp.ID, variant.series, fmt.Sprintf("groups=%d", groups),
+					res.DatagramsPerSec, res.MsgsPerSec, res.KBPerSec,
+					res.WallTime.Round(time.Millisecond))
+			}
+		}
+	}
+	return exp, nil
+}
+
 // Experiments lists every available experiment id.
 func Experiments() []string {
-	return []string{"fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "headline"}
+	return []string{"fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "headline", "multigroup"}
 }
 
 // RunExperiment dispatches by figure id.
@@ -303,6 +363,8 @@ func RunExperiment(figID string, o Options) (*Experiment, error) {
 		return Figure8(o)
 	case "headline":
 		return Headline(o)
+	case "multigroup":
+		return Multigroup(o)
 	default:
 		return nil, fmt.Errorf("sim: unknown experiment %q (have %s)",
 			figID, strings.Join(Experiments(), ", "))
@@ -317,14 +379,15 @@ func (e *Experiment) String() string {
 	if e.Notes != "" {
 		fmt.Fprintf(&b, "   %s\n", e.Notes)
 	}
-	fmt.Fprintf(&b, "%-16s %-20s %9s %9s %9s %10s %8s %10s %8s\n",
-		"series", "setting", "Tr(s)", "±95%", "λu(/h)", "Pleader(%)", "CPU(%)", "KB/s", "msgs/s")
+	fmt.Fprintf(&b, "%-16s %-20s %9s %9s %9s %10s %8s %10s %8s %9s\n",
+		"series", "setting", "Tr(s)", "±95%", "λu(/h)", "Pleader(%)", "CPU(%)", "KB/s", "msgs/s", "dgrams/s")
 	for _, c := range e.Cells {
 		m := c.Result.Metrics
-		fmt.Fprintf(&b, "%-16s %-20s %9.3f %9.3f %9.2f %10.4f %8.3f %10.2f %8.1f\n",
+		fmt.Fprintf(&b, "%-16s %-20s %9.3f %9.3f %9.2f %10.4f %8.3f %10.2f %8.1f %9.1f\n",
 			c.Series, c.Setting,
 			m.TrMean.Seconds(), m.TrCI95.Seconds(), m.MistakesPerHour,
-			100*m.Pleader, c.Result.CPUPercent, c.Result.KBPerSec, c.Result.MsgsPerSec)
+			100*m.Pleader, c.Result.CPUPercent, c.Result.KBPerSec, c.Result.MsgsPerSec,
+			c.Result.DatagramsPerSec)
 	}
 	return b.String()
 }

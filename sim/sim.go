@@ -54,6 +54,11 @@ type Scenario struct {
 	// N is the number of workstations (each runs one service instance and
 	// one application process in the observed group).
 	N int
+	// Groups is how many groups every process joins (default 1). All
+	// groups share the same peer set — the paper's shared-infrastructure
+	// setting — and QoS metrics are observed on the first group; the
+	// others exist to load the shared packet plane.
+	Groups int
 	// Candidates is how many of the N processes compete for leadership
 	// (the first Candidates by id). Zero means all.
 	Candidates int
@@ -80,12 +85,19 @@ type Scenario struct {
 	// DisableStartupGrace removes the join-time self-claim suppression;
 	// for the ablation experiment only (see BenchmarkAblationStartupGrace).
 	DisableStartupGrace bool
+	// DisableCoalescing switches the outbound packet scheduler off: every
+	// message ships as its own datagram, the pre-batching wire behaviour.
+	// For the multigroup ablation experiment.
+	DisableCoalescing bool
 }
 
 // withDefaults fills unset fields.
 func (sc Scenario) withDefaults() Scenario {
 	if sc.N == 0 {
 		sc.N = 12
+	}
+	if sc.Groups <= 0 {
+		sc.Groups = 1
 	}
 	if sc.Candidates <= 0 || sc.Candidates > sc.N {
 		sc.Candidates = sc.N
@@ -120,20 +132,27 @@ type Result struct {
 	Metrics metrics.Report
 	// CPUPercent is the modelled CPU share per workstation.
 	CPUPercent float64
-	// KBPerSec is wire traffic (sent+received, headers included) per
-	// workstation per second, in KB/s.
+	// KBPerSec is wire traffic (sent+received, one UDP/IP header per
+	// datagram) per workstation per second, in KB/s.
 	KBPerSec float64
 	// MsgsPerSec is protocol messages (sent+received) per workstation per
-	// second.
+	// second; messages inside a coalesced batch count individually.
 	MsgsPerSec float64
+	// DatagramsPerSec is datagrams (sent+received) per workstation per
+	// second: the syscall/packet rate the coalescing plane minimises.
+	DatagramsPerSec float64
 	// EventsSimulated counts simulator callbacks executed.
 	EventsSimulated int64
 	// WallTime is how long the simulation took in real time.
 	WallTime time.Duration
 }
 
-// groupID is the group every scenario elects in.
+// groupID is the group every scenario elects in and observes.
 const groupID id.Group = "g"
+
+// extraGroup names the i-th additional group (zero-based) of a multigroup
+// scenario.
+func extraGroup(i int) id.Group { return id.Group(fmt.Sprintf("g%02d", i+2)) }
 
 // procName returns the id of workstation i (zero-based). Ids sort in
 // workstation order, which matters for OmegaID.
@@ -196,10 +215,11 @@ func Run(sc Scenario) (Result, error) {
 	report := obs.Finish(eng.Now())
 
 	// Cost accounting.
-	var msgs, bytes, events int64
+	var msgs, datagrams, bytes, events int64
 	for _, ep := range net.Endpoints() {
 		c := ep.Counters()
 		msgs += c.MsgsSent + c.MsgsRecv
+		datagrams += c.DatagramsSent + c.DatagramsRecv
 		bytes += c.BytesSent + c.BytesRecv
 		events += c.MsgsSent + c.MsgsRecv + c.TimerFires
 	}
@@ -211,6 +231,7 @@ func Run(sc Scenario) (Result, error) {
 		CPUPercent:      100 * float64(events) * PerEventCPUCost.Seconds() / (n * seconds),
 		KBPerSec:        float64(bytes) / n / seconds / 1024,
 		MsgsPerSec:      float64(msgs) / n / seconds,
+		DatagramsPerSec: float64(datagrams) / n / seconds,
 		EventsSimulated: eng.EventsFired(),
 		WallTime:        time.Since(wallStart),
 	}
@@ -236,7 +257,7 @@ func (cl *cluster) start(p id.Process, candidate bool) {
 	}
 	rt := simnet.NewNodeRuntime(cl.net, p)
 	cl.runtimes[p] = rt
-	node := core.NewNode(p, rt)
+	node := core.NewNode(p, rt, core.WithCoalescing(!cl.sc.DisableCoalescing))
 	cl.net.SetUp(p, true, node)
 	cl.obs.NodeUp(cl.eng.Now(), p, node.Incarnation())
 	// A join is considered complete when the service first answers a
@@ -248,7 +269,7 @@ func (cl *cluster) start(p id.Process, candidate bool) {
 			cl.obs.MarkJoined(cl.eng.Now(), p)
 		}
 	})
-	err := node.Join(groupID, core.JoinOptions{
+	opts := core.JoinOptions{
 		Candidate:           candidate,
 		Algorithm:           election.Kind(cl.sc.Algorithm),
 		QoS:                 cl.sc.QoS,
@@ -258,9 +279,19 @@ func (cl *cluster) start(p id.Process, candidate bool) {
 		OnLeaderChange: func(li core.LeaderInfo) {
 			cl.obs.LeaderView(cl.eng.Now(), p, li.Leader, li.Incarnation, li.Elected)
 		},
-	})
-	if err != nil {
+	}
+	if err := node.Join(groupID, opts); err != nil {
 		panic(fmt.Sprintf("sim: join failed for %s: %v", p, err))
+	}
+	// The additional groups of a multigroup scenario load the shared
+	// infrastructure (per-peer estimators, pacers, packet scheduler) with
+	// the same peer set but are not observed.
+	extra := opts
+	extra.OnLeaderChange = nil
+	for i := 0; i < cl.sc.Groups-1; i++ {
+		if err := node.Join(extraGroup(i), extra); err != nil {
+			panic(fmt.Sprintf("sim: join %s failed for %s: %v", extraGroup(i), p, err))
+		}
 	}
 }
 

@@ -11,10 +11,18 @@ package transport
 import "stableleader/id"
 
 // Transport is one process's attachment to the network.
+//
+// Payload buffers are reused on both sides of the contract: Send must not
+// retain payload after it returns (the service marshals into a pooled
+// buffer and reclaims it immediately), and Receive handlers must not
+// retain payload after they return (transports read into pooled buffers
+// and reuse them for the next datagram). Implementations that need the
+// bytes past the call — queueing, delayed delivery — must copy.
 type Transport interface {
 	// Send transmits payload to the process named to. Best effort: an
 	// error means the datagram was certainly not sent; nil means it was
-	// handed to the network, which may still lose it.
+	// handed to the network, which may still lose it. Send must not
+	// retain payload after returning.
 	Send(to id.Process, payload []byte) error
 	// Receive installs the delivery callback. The callback may be invoked
 	// concurrently and must not retain payload after returning. Receive

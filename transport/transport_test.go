@@ -22,8 +22,12 @@ func newRecorder() *recorder {
 }
 
 func (r *recorder) handler(p []byte) {
+	// The Receive contract forbids retaining p after returning (transports
+	// reuse pooled buffers), so record a copy.
+	c := make([]byte, len(p))
+	copy(c, p)
 	r.mu.Lock()
-	r.got = append(r.got, p)
+	r.got = append(r.got, c)
 	r.cond.Broadcast()
 	r.mu.Unlock()
 }

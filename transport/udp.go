@@ -3,6 +3,7 @@ package transport
 import (
 	"fmt"
 	"net"
+	"net/netip"
 	"sync"
 
 	"stableleader/id"
@@ -10,6 +11,17 @@ import (
 
 // maxDatagram bounds received datagrams; service messages are far smaller.
 const maxDatagram = 64 * 1024
+
+// payloadPool recycles receive buffers across read iterations (and across
+// UDP instances). The Receive contract forbids handlers from retaining the
+// payload, so a buffer goes back into the pool the moment the handler
+// returns: the receive path performs no per-datagram allocation.
+var payloadPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, maxDatagram)
+		return &b
+	},
+}
 
 // UDP is the real-network transport: one UDP socket per process plus a
 // static address book mapping process ids to peer addresses, mirroring the
@@ -22,7 +34,7 @@ type UDP struct {
 	readerDone chan struct{}
 
 	mu      sync.RWMutex
-	book    map[id.Process]*net.UDPAddr
+	book    map[id.Process]netip.AddrPort
 	handler func([]byte)
 	closed  bool
 }
@@ -41,10 +53,10 @@ func NewUDP(listen string, peers map[id.Process]string) (*UDP, error) {
 	u := &UDP{
 		conn:       conn,
 		readerDone: make(chan struct{}),
-		book:       make(map[id.Process]*net.UDPAddr, len(peers)),
+		book:       make(map[id.Process]netip.AddrPort, len(peers)),
 	}
 	for p, addr := range peers {
-		a, err := net.ResolveUDPAddr("udp", addr)
+		a, err := resolveAddrPort(addr)
 		if err != nil {
 			_ = conn.Close()
 			return nil, fmt.Errorf("transport: resolve peer %q=%q: %w", p, addr, err)
@@ -55,12 +67,26 @@ func NewUDP(listen string, peers map[id.Process]string) (*UDP, error) {
 	return u, nil
 }
 
+// resolveAddrPort resolves a host:port (names included) to a socket
+// address value. Storing netip.AddrPort instead of *net.UDPAddr keeps the
+// send path free of per-datagram sockaddr allocations.
+func resolveAddrPort(addr string) (netip.AddrPort, error) {
+	a, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return netip.AddrPort{}, err
+	}
+	ap := a.AddrPort()
+	// Unmap 4-in-6 forms (net.IP stores IPv4 in 16 bytes): an AF_INET
+	// socket rejects ::ffff:a.b.c.d destinations.
+	return netip.AddrPortFrom(ap.Addr().Unmap(), ap.Port()), nil
+}
+
 // LocalAddr returns the bound socket address.
 func (u *UDP) LocalAddr() net.Addr { return u.conn.LocalAddr() }
 
 // SetPeer adds or updates one peer address.
 func (u *UDP) SetPeer(p id.Process, addr string) error {
-	a, err := net.ResolveUDPAddr("udp", addr)
+	a, err := resolveAddrPort(addr)
 	if err != nil {
 		return fmt.Errorf("transport: resolve peer %q=%q: %w", p, addr, err)
 	}
@@ -70,13 +96,17 @@ func (u *UDP) SetPeer(p id.Process, addr string) error {
 	return nil
 }
 
-// readLoop pumps datagrams into the handler until the socket closes.
+// readLoop pumps datagrams into the handler until the socket closes. Each
+// iteration reads into a pooled buffer, hands it to the handler, and
+// returns it to the pool — zero copies and zero allocations per datagram
+// (the handler must not retain the payload, per the Receive contract).
 func (u *UDP) readLoop() {
 	defer close(u.readerDone)
-	buf := make([]byte, maxDatagram)
 	for {
-		n, _, err := u.conn.ReadFromUDP(buf)
+		bp := payloadPool.Get().(*[]byte)
+		n, _, err := u.conn.ReadFromUDPAddrPort(*bp)
 		if err != nil {
+			payloadPool.Put(bp)
 			return
 		}
 		// Snapshot the handler under the lock and re-check closed: Close
@@ -86,16 +116,15 @@ func (u *UDP) readLoop() {
 		h := u.handler
 		closed := u.closed
 		u.mu.RUnlock()
-		if h == nil || closed {
-			continue
+		if h != nil && !closed {
+			h((*bp)[:n])
 		}
-		payload := make([]byte, n)
-		copy(payload, buf[:n])
-		h(payload)
+		payloadPool.Put(bp)
 	}
 }
 
-// Send implements Transport.
+// Send implements Transport. The payload is written synchronously and not
+// retained, per the Transport contract.
 func (u *UDP) Send(to id.Process, payload []byte) error {
 	u.mu.RLock()
 	addr, ok := u.book[to]
@@ -107,7 +136,7 @@ func (u *UDP) Send(to id.Process, payload []byte) error {
 	if !ok {
 		return fmt.Errorf("transport: no address for process %q", to)
 	}
-	_, err := u.conn.WriteToUDP(payload, addr)
+	_, err := u.conn.WriteToUDPAddrPort(payload, addr)
 	return err
 }
 
@@ -135,7 +164,7 @@ func (u *UDP) Close() error {
 	u.closed = true
 	u.handler = nil
 	u.mu.Unlock()
-	err := u.conn.Close() // unblocks ReadFromUDP; readLoop then exits
+	err := u.conn.Close() // unblocks ReadFromUDPAddrPort; readLoop then exits
 	<-u.readerDone
 	return err
 }
