@@ -1,0 +1,156 @@
+// Command perfsnap records the repo's headline micro-benchmarks as a
+// machine-readable JSON snapshot, so successive PRs can diff the
+// performance trajectory of the hot paths instead of eyeballing bench
+// logs. It shells out to `go test -bench` for the benchmark sets named
+// below, parses the standard benchmark output, and writes one JSON file
+// (default BENCH_pr3.json, the snapshot this PR introduces).
+//
+// Usage:
+//
+//	go run ./cmd/perfsnap [-out BENCH_pr3.json] [-benchtime 1s]
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/exec"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// suite is one `go test -bench` invocation.
+type suite struct {
+	Pkg   string // package path relative to the module root
+	Bench string // -bench regexp
+}
+
+// suites are the hot-path benchmarks worth tracking across PRs: the
+// wait-free read plane against its loop-serialised baseline, the failure
+// detector's per-heartbeat cost, and the timer wheel primitives.
+var suites = []suite{
+	{Pkg: ".", Bench: "LeaderQuery|StatusQuery"},
+	{Pkg: "./internal/fd", Bench: "MonitorObserve"},
+	{Pkg: "./internal/timerwheel", Bench: "ScheduleRearm|AdvanceSteadyState"},
+}
+
+// result is one parsed benchmark line.
+type result struct {
+	Name        string  `json:"name"`
+	Pkg         string  `json:"pkg"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// snapshot is the file layout.
+type snapshot struct {
+	Schema     string             `json:"schema"`
+	Generated  string             `json:"generated"`
+	GoVersion  string             `json:"go_version"`
+	GOOS       string             `json:"goos"`
+	GOARCH     string             `json:"goarch"`
+	Benchmarks []result           `json:"benchmarks"`
+	Derived    map[string]float64 `json:"derived"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_pr3.json", "output file")
+	benchtime := flag.String("benchtime", "1s", "go test -benchtime value")
+	flag.Parse()
+
+	snap := snapshot{
+		Schema:    "stableleader-bench/v1",
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Derived:   map[string]float64{},
+	}
+	for _, s := range suites {
+		rs, err := runSuite(s, *benchtime)
+		if err != nil {
+			log.Fatalf("perfsnap: %s: %v", s.Pkg, err)
+		}
+		snap.Benchmarks = append(snap.Benchmarks, rs...)
+	}
+
+	// Derived headline ratios: how much the wait-free paths buy over the
+	// loop-serialised ones.
+	ns := map[string]float64{}
+	for _, r := range snap.Benchmarks {
+		ns[r.Name] = r.NsPerOp
+	}
+	if a, b := ns["LeaderQuery"], ns["LeaderQuerySync"]; a > 0 && b > 0 {
+		snap.Derived["leader_query_speedup_vs_sync"] = b / a
+	}
+	if a, b := ns["StatusQuery"], ns["StatusQuerySync"]; a > 0 && b > 0 {
+		snap.Derived["status_query_speedup_vs_sync"] = b / a
+	}
+
+	buf, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		log.Fatalf("perfsnap: %v", err)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		log.Fatalf("perfsnap: %v", err)
+	}
+	fmt.Printf("perfsnap: wrote %d benchmarks to %s\n", len(snap.Benchmarks), *out)
+}
+
+// runSuite executes one bench invocation and parses its output.
+func runSuite(s suite, benchtime string) ([]result, error) {
+	cmd := exec.Command("go", "test", "-run=NONE",
+		"-bench="+s.Bench, "-benchmem", "-benchtime="+benchtime, "-count=1", s.Pkg)
+	var outBuf bytes.Buffer
+	cmd.Stdout = &outBuf
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go test -bench: %w", err)
+	}
+	var rs []result
+	sc := bufio.NewScanner(&outBuf)
+	for sc.Scan() {
+		if r, ok := parseBenchLine(s.Pkg, sc.Text()); ok {
+			rs = append(rs, r)
+		}
+	}
+	if len(rs) == 0 {
+		return nil, fmt.Errorf("no benchmark lines matched %q", s.Bench)
+	}
+	return rs, sc.Err()
+}
+
+// parseBenchLine decodes one standard benchmark output line:
+//
+//	BenchmarkLeaderQuery-8   100000000   13.42 ns/op   0 B/op   0 allocs/op
+func parseBenchLine(pkg, line string) (result, bool) {
+	f := strings.Fields(line)
+	if len(f) < 8 || !strings.HasPrefix(f[0], "Benchmark") {
+		return result{}, false
+	}
+	name := strings.TrimPrefix(f[0], "Benchmark")
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		name = name[:i] // strip the GOMAXPROCS suffix
+	}
+	iters, err1 := strconv.ParseInt(f[1], 10, 64)
+	nsop, err2 := strconv.ParseFloat(f[2], 64)
+	bop, err3 := strconv.ParseInt(f[4], 10, 64)
+	aop, err4 := strconv.ParseInt(f[6], 10, 64)
+	if err1 != nil || err2 != nil || err3 != nil || err4 != nil ||
+		f[3] != "ns/op" || f[5] != "B/op" || f[7] != "allocs/op" {
+		return result{}, false
+	}
+	return result{
+		Name: name, Pkg: pkg,
+		Iterations: iters, NsPerOp: nsop, BytesPerOp: bop, AllocsPerOp: aop,
+	}, true
+}

@@ -1,0 +1,57 @@
+package stableleader
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"stableleader/internal/wire"
+	"stableleader/transport"
+)
+
+// TestInboundCountedAtDispatchNotReceipt is the regression test for the
+// inbound-counter drift: onDatagram used to count a datagram as delivered
+// before enqueueing it, so traffic arriving while the service was closing
+// — decoded but never dispatched — inflated the delivered counters. The
+// count now happens at dispatch on the event loop.
+func TestInboundCountedAtDispatchNotReceipt(t *testing.T) {
+	hub := transport.NewInproc(nil)
+	s, err := New("p1", hub.Endpoint("p1"), WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := wire.MarshalAppend(nil, &wire.Alive{
+		Group:       "g",
+		Sender:      "p2",
+		Incarnation: 1,
+		Seq:         1,
+		SendTime:    time.Now().UnixNano(),
+		Interval:    int64(100 * time.Millisecond),
+	})
+
+	// While running, a delivered datagram is counted (asynchronously, at
+	// dispatch).
+	s.onDatagram(payload)
+	deadline := time.Now().Add(5 * time.Second)
+	for s.PacketStats().DatagramsIn != 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("running service never counted the dispatched datagram: %+v", s.PacketStats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if got := s.PacketStats().MessagesIn; got != 1 {
+		t.Fatalf("MessagesIn = %d, want 1", got)
+	}
+
+	// Once closing, the datagram is decoded but dropped before dispatch —
+	// it must NOT be counted as delivered.
+	if err := s.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	s.onDatagram(payload)
+	// The drop is synchronous (enqueue bails on the closed closing
+	// channel), so the counters are already final.
+	if got := s.PacketStats(); got.DatagramsIn != 1 || got.MessagesIn != 1 {
+		t.Fatalf("closing service counted a dropped datagram as delivered: %+v", got)
+	}
+}

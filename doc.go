@@ -58,7 +58,10 @@
 // a typed event stream: any number of subscribers per group, each with its
 // own buffer, receiving leadership changes, membership joins and leaves,
 // failure detector suspicion edges and QoS reconfigurations. Query mode is
-// Group.Leader; Group.Status exposes the failure detection state.
+// Group.Leader; Group.Status exposes the failure detection state. Both are
+// wait-free by default — a single atomic load of the latest snapshot, safe
+// on every request at any fan-in — with WithSyncRead for loop-serialised
+// reads.
 //
 // The experiments of the paper are reproduced in package stableleader/sim;
 // see DESIGN.md and EXPERIMENTS.md.

@@ -3,7 +3,9 @@ package stableleader
 import (
 	"context"
 	"errors"
+	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"stableleader/id"
@@ -40,18 +42,43 @@ type MemberStatus struct {
 	Timeout  time.Duration
 }
 
+// leaderView is the copy-on-write leader snapshot behind the wait-free
+// read plane. A new view is published (never mutated) on the service
+// event loop at exactly the points the LeaderChanged interrupt fires.
+type leaderView struct {
+	info LeaderInfo
+	// observed distinguishes a real leadership observation from the
+	// join-time seed: the closed-service fallback only serves the former,
+	// mirroring the event stream's "last published view" semantics.
+	observed bool
+	// err, when non-nil, tombstones the view (the group was left).
+	err error
+}
+
+// statusView is the copy-on-write membership/FD snapshot behind
+// Group.Status. The slice is immutable once published.
+type statusView struct {
+	rows []MemberStatus
+	err  error // tombstone: the group was left
+}
+
 // Group is a handle on one joined group.
 type Group struct {
 	svc *Service
 	id  id.Group
 
-	mu      sync.Mutex
-	last    LeaderInfo
-	hasLast bool
-	subs    map[*subscriber]struct{}
-	closed  bool
-	left    bool
-	donec   chan struct{} // closed with the subscribers; ends Watch reapers
+	// leader and status are the atomic read plane: Leader and Status are
+	// single atomic loads against these, with no event-loop round-trip
+	// and no contention with protocol work. Writers (the event loop, plus
+	// Leave's tombstone) publish whole new views.
+	leader atomic.Pointer[leaderView]
+	status atomic.Pointer[statusView]
+
+	mu     sync.Mutex
+	subs   map[*subscriber]struct{}
+	closed bool
+	left   bool
+	donec  chan struct{} // closed with the subscribers; ends Watch reapers
 }
 
 // newGroup builds the handle for group g.
@@ -74,7 +101,7 @@ func (g *Group) publish(ev Event) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	if lc, ok := ev.(LeaderChanged); ok {
-		g.last, g.hasLast = lc.Info, true
+		g.leader.Store(&leaderView{info: lc.Info, observed: true})
 	}
 	if g.closed {
 		return
@@ -82,6 +109,36 @@ func (g *Group) publish(ev Event) {
 	for s := range g.subs {
 		s.offer(ev)
 	}
+}
+
+// seedLeader installs the initial leader view at join time, unless an
+// observation already beat it to the store (a leadership change fired
+// during the core join itself).
+func (g *Group) seedLeader(info LeaderInfo) {
+	g.leader.CompareAndSwap(nil, &leaderView{info: info})
+}
+
+// storeStatus publishes a status snapshot; the rows come from the core's
+// OnStatus hook on the event loop, already sorted and never re-mutated.
+func (g *Group) storeStatus(rows []core.MemberStatus) {
+	g.status.Store(&statusView{rows: publicStatusRows(rows)})
+}
+
+// publicStatusRows converts the internal status rows.
+func publicStatusRows(rows []core.MemberStatus) []MemberStatus {
+	out := make([]MemberStatus, len(rows))
+	for i, r := range rows {
+		out[i] = MemberStatus{
+			ID:          r.ID,
+			Incarnation: r.Incarnation,
+			Candidate:   r.Candidate,
+			Self:        r.Self,
+			Trusted:     r.Trusted,
+			Interval:    r.Interval,
+			Timeout:     r.Timeout,
+		}
+	}
+	return out
 }
 
 // Watch subscribes to the group's event stream: leadership changes,
@@ -108,8 +165,8 @@ func (g *Group) Watch(ctx context.Context, opts ...WatchOption) <-chan Event {
 		return sub.ch
 	}
 	g.subs[sub] = struct{}{}
-	if cfg.initial && g.hasLast {
-		sub.offer(LeaderChanged{Info: g.last})
+	if lv := g.leader.Load(); cfg.initial && lv != nil && lv.observed {
+		sub.offer(LeaderChanged{Info: lv.info})
 	}
 	g.mu.Unlock()
 
@@ -155,10 +212,50 @@ func (g *Group) closeSubscribers() {
 	close(g.donec)
 }
 
-// Leader returns the current leader view — the paper's "query" mode. It
-// honours ctx for cancellation; on a closed service it falls back to the
-// last locally observed view when one exists.
-func (g *Group) Leader(ctx context.Context) (LeaderInfo, error) {
+// Leader returns the current leader view — the paper's "query" mode, the
+// surface every application request path hits. By default it is a single
+// atomic load: wait-free, allocation-free, and contention-free against
+// protocol work. The view is the one most recently published by the
+// event loop; an event being processed concurrently with the load may
+// not be reflected yet (it is observable no later than its LeaderChanged
+// event on Watch). WithSyncRead serialises the read through the event
+// loop instead, for callers needing read-your-event-loop semantics.
+//
+// On a closed service Leader falls back to the last locally observed
+// view when one exists.
+func (g *Group) Leader(ctx context.Context, opts ...QueryOption) (LeaderInfo, error) {
+	if wantSyncRead(opts) {
+		return g.leaderSync(ctx)
+	}
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return LeaderInfo{}, err
+		}
+	}
+	lv := g.leader.Load()
+	select {
+	case <-g.svc.closing:
+		// Closed-service semantics match the loop path: the last observed
+		// view when there is one, ErrClosed otherwise.
+		if lv != nil && lv.observed && lv.err == nil {
+			return lv.info, nil
+		}
+		return LeaderInfo{}, ErrClosed
+	default:
+	}
+	if lv == nil {
+		// Unreachable through the public API (Join seeds the view before
+		// returning the handle), kept as a defensive fallback.
+		return g.leaderSync(ctx)
+	}
+	if lv.err != nil {
+		return LeaderInfo{}, lv.err
+	}
+	return lv.info, nil
+}
+
+// leaderSync is the loop-serialised leader query behind WithSyncRead.
+func (g *Group) leaderSync(ctx context.Context) (LeaderInfo, error) {
 	var li LeaderInfo
 	var lerr error
 	err := g.svc.call(ctx, func() {
@@ -167,10 +264,8 @@ func (g *Group) Leader(ctx context.Context) (LeaderInfo, error) {
 	})
 	if err != nil {
 		if errors.Is(err, ErrClosed) {
-			g.mu.Lock()
-			defer g.mu.Unlock()
-			if g.hasLast {
-				return g.last, nil
+			if lv := g.leader.Load(); lv != nil && lv.observed && lv.err == nil {
+				return lv.info, nil
 			}
 		}
 		return LeaderInfo{}, err
@@ -180,8 +275,41 @@ func (g *Group) Leader(ctx context.Context) (LeaderInfo, error) {
 
 // Status queries the group's membership and failure detection state — the
 // query surface of the shared failure detector service underlying the
-// election (Section 4 of the paper). It honours ctx for cancellation.
-func (g *Group) Status(ctx context.Context) ([]MemberStatus, error) {
+// election (Section 4 of the paper). By default it is a single atomic
+// load of the latest copy-on-write snapshot published by the event loop
+// (same staleness contract as Leader).
+//
+// The returned slice is the shared snapshot itself, not a copy: treat it
+// as strictly read-only. Mutating it (even reordering rows in place) is
+// a data race against every concurrent Status caller. Callers that need
+// a private, mutable copy must copy the rows, or use WithSyncRead, which
+// builds a fresh slice on the event loop per call.
+func (g *Group) Status(ctx context.Context, opts ...QueryOption) ([]MemberStatus, error) {
+	if wantSyncRead(opts) {
+		return g.statusSync(ctx)
+	}
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
+	select {
+	case <-g.svc.closing:
+		return nil, ErrClosed
+	default:
+	}
+	sv := g.status.Load()
+	if sv == nil {
+		return g.statusSync(ctx) // defensive; Join seeds the snapshot
+	}
+	if sv.err != nil {
+		return nil, sv.err
+	}
+	return sv.rows, nil
+}
+
+// statusSync is the loop-serialised status query behind WithSyncRead.
+func (g *Group) statusSync(ctx context.Context) ([]MemberStatus, error) {
 	var out []MemberStatus
 	var serr error
 	err := g.svc.call(ctx, func() {
@@ -190,18 +318,7 @@ func (g *Group) Status(ctx context.Context) ([]MemberStatus, error) {
 			serr = e
 			return
 		}
-		out = make([]MemberStatus, len(rows))
-		for i, r := range rows {
-			out[i] = MemberStatus{
-				ID:          r.ID,
-				Incarnation: r.Incarnation,
-				Candidate:   r.Candidate,
-				Self:        r.Self,
-				Trusted:     r.Trusted,
-				Interval:    r.Interval,
-				Timeout:     r.Timeout,
-			}
-		}
+		out = publicStatusRows(rows)
 	})
 	if err != nil {
 		return nil, err
@@ -221,12 +338,29 @@ func (g *Group) Leave(ctx context.Context) error {
 	}
 	g.left = true
 	g.mu.Unlock()
+	// leave departs on the loop and then tombstones the read plane, so
+	// wait-free reads after Leave report the same not-joined error the
+	// loop path would. Tombstoning ON the loop, after node.Leave, is what
+	// makes it final: every publication also runs on the loop, so none
+	// can overwrite it. (The closing check in Leader/Status still takes
+	// precedence, matching the loop path's ErrClosed-first ordering.)
+	tombstone := func() {
+		tomb := fmt.Errorf("%w: %q", core.ErrNotJoined, g.id)
+		g.leader.Store(&leaderView{err: tomb})
+		g.status.Store(&statusView{err: tomb})
+	}
 	var lerr error
-	err := g.svc.call(ctx, func() { lerr = g.svc.node.Leave(g.id) })
+	err := g.svc.call(ctx, func() {
+		lerr = g.svc.node.Leave(g.id)
+		tombstone()
+	})
 	if err != nil && !errors.Is(err, ErrClosed) {
 		// ctx expired before the loop ran the departure; finish it in the
 		// background (leaving twice is a harmless no-op).
-		g.svc.enqueue(func() { _ = g.svc.node.Leave(g.id) })
+		g.svc.enqueue(func() {
+			_ = g.svc.node.Leave(g.id)
+			tombstone()
+		})
 	}
 	g.svc.mu.Lock()
 	delete(g.svc.groups, g.id)

@@ -1,0 +1,239 @@
+package stableleader_test
+
+// Micro-benchmarks for the steady-state hot paths introduced by the
+// atomic read plane: Leader and Status as single atomic loads, against
+// the loop-serialised WithSyncRead path they replaced as the default.
+//
+// Run with:
+//
+//	go test -run=NONE -bench='LeaderQuery|StatusQuery' -benchmem .
+//
+// The alloc-freedom of the default paths is asserted by tests (not just
+// reported), so a regression fails CI rather than drifting in a profile.
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	stableleader "stableleader"
+	"stableleader/transport"
+)
+
+// newBenchGroup starts a single-candidate service on an in-process
+// transport and joins one group.
+func newBenchGroup(tb testing.TB) (*stableleader.Service, *stableleader.Group) {
+	tb.Helper()
+	hub := transport.NewInproc(nil)
+	svc, err := stableleader.New("bench-p1", hub.Endpoint("bench-p1"), stableleader.WithSeed(1))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	grp, err := svc.Join(context.Background(), "bench-g", stableleader.AsCandidate())
+	if err != nil {
+		tb.Fatal(err)
+	}
+	tb.Cleanup(func() { _ = svc.Close(context.Background()) })
+	return svc, grp
+}
+
+func BenchmarkLeaderQuery(b *testing.B) {
+	_, grp := newBenchGroup(b)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := grp.Leader(ctx); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkLeaderQuerySync(b *testing.B) {
+	_, grp := newBenchGroup(b)
+	ctx := context.Background()
+	sync := stableleader.WithSyncRead()
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := grp.Leader(ctx, sync); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkStatusQuery(b *testing.B) {
+	_, grp := newBenchGroup(b)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := grp.Status(ctx); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkStatusQuerySync(b *testing.B) {
+	_, grp := newBenchGroup(b)
+	ctx := context.Background()
+	sync := stableleader.WithSyncRead()
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := grp.Status(ctx, sync); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// TestLeaderQueryAllocFree pins the headline property of the read plane:
+// the default Leader query performs zero allocations.
+func TestLeaderQueryAllocFree(t *testing.T) {
+	_, grp := newBenchGroup(t)
+	ctx := context.Background()
+	if allocs := testing.AllocsPerRun(1000, func() {
+		if _, err := grp.Leader(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Fatalf("Leader allocated %.1f objects/op, want 0", allocs)
+	}
+}
+
+// TestStatusQueryAllocFree: Status serves the shared copy-on-write
+// snapshot, also without allocating.
+func TestStatusQueryAllocFree(t *testing.T) {
+	_, grp := newBenchGroup(t)
+	ctx := context.Background()
+	if allocs := testing.AllocsPerRun(1000, func() {
+		if _, err := grp.Status(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Fatalf("Status allocated %.1f objects/op, want 0", allocs)
+	}
+}
+
+// TestFastReadMatchesSyncRead drives a real election to completion and
+// checks the snapshot path converges to exactly what the loop-serialised
+// path reports.
+func TestFastReadMatchesSyncRead(t *testing.T) {
+	svc, grp := newBenchGroup(t)
+	ctx := context.Background()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		sli, err := grp.Leader(ctx, stableleader.WithSyncRead())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sli.Elected {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no leader elected within 10s")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	// The snapshot is published on the loop before the sync read above
+	// returned (the election edge fires OnLeaderChange inline), so the
+	// fast path must already agree.
+	fli, err := grp.Leader(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sli, err := grp.Leader(ctx, stableleader.WithSyncRead())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fli.Leader != sli.Leader || fli.Elected != sli.Elected || fli.Incarnation != sli.Incarnation {
+		t.Fatalf("fast read %+v disagrees with sync read %+v", fli, sli)
+	}
+	if fli.Leader != svc.ID() {
+		t.Fatalf("single candidate did not elect itself: %+v", fli)
+	}
+
+	fst, err := grp.Status(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sst, err := grp.Status(ctx, stableleader.WithSyncRead())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fst) != len(sst) {
+		t.Fatalf("fast Status has %d rows, sync %d", len(fst), len(sst))
+	}
+	for i := range fst {
+		if fst[i] != sst[i] {
+			t.Fatalf("status row %d: fast %+v, sync %+v", i, fst[i], sst[i])
+		}
+	}
+}
+
+// TestReadPlaneAfterLeaveAndClose pins the error semantics of the fast
+// path at the edges of the handle's lifecycle.
+func TestReadPlaneAfterLeaveAndClose(t *testing.T) {
+	hub := transport.NewInproc(nil)
+	svc, err := stableleader.New("p1", hub.Endpoint("p1"), stableleader.WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	grp, err := svc.Join(ctx, "g", stableleader.AsCandidate())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := grp.Leave(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := grp.Leader(ctx); err == nil {
+		t.Fatal("Leader on a left group must fail")
+	}
+	if _, err := grp.Status(ctx); err == nil {
+		t.Fatal("Status on a left group must fail")
+	}
+
+	// A second service: observe a leader, close, and check the fallback.
+	svc2, err := stableleader.New("p2", hub.Endpoint("p2"), stableleader.WithSeed(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	grp2, err := svc2.Join(ctx, "g2", stableleader.AsCandidate())
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		li, err := grp2.Leader(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if li.Elected {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no leader elected within 10s")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if err := svc2.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+	li, err := grp2.Leader(ctx)
+	if err != nil {
+		t.Fatalf("Leader after Close must fall back to the last view, got %v", err)
+	}
+	if !li.Elected || li.Leader != "p2" {
+		t.Fatalf("stale view after Close = %+v, want the observed election", li)
+	}
+	if _, err := grp2.Status(ctx); err == nil {
+		t.Fatal("Status after Close must fail (no stale-status fallback)")
+	}
+	_ = svc.Close(ctx)
+}

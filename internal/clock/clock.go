@@ -11,6 +11,19 @@ type Timer interface {
 	Stop() bool
 }
 
+// Rearmer is a reusable one-shot timer bound to a fixed callback: Reset
+// arms (or re-arms) it to fire once after d, Stop cancels the pending
+// fire. On wheel-backed clocks both operations are O(1) and allocation
+// free, which is what the steady-state hot paths (failure detector
+// deadlines, heartbeat pacing, coalescing flushes) need — they re-arm on
+// every heartbeat.
+type Rearmer interface {
+	Timer
+	// Reset schedules the callback to fire once after d, replacing any
+	// pending fire. It reports whether a pending fire was cancelled.
+	Reset(d time.Duration) bool
+}
+
 // Clock supplies the current time and one-shot timers. Implementations must
 // deliver AfterFunc callbacks on the owning node's event loop, never
 // concurrently with other callbacks of the same node.
@@ -20,4 +33,48 @@ type Clock interface {
 	// AfterFunc schedules fn to run once after d. A non-positive d schedules
 	// fn as soon as possible.
 	AfterFunc(d time.Duration, fn func()) Timer
+}
+
+// TimerFactory is implemented by clocks that can hand out re-armable
+// timers cheaper than Stop+AfterFunc — the real-time service backs them
+// with a hashed timer wheel driven by a single runtime timer, the
+// simulator with its event heap.
+type TimerFactory interface {
+	// NewTimer returns an unarmed Rearmer that runs fn on the owning
+	// node's event loop each time it fires.
+	NewTimer(fn func()) Rearmer
+}
+
+// NewTimer returns an unarmed re-armable timer for fn on c: the clock's
+// native implementation when c is a TimerFactory, or a portable
+// Stop+AfterFunc fallback otherwise (exactly the re-arm sequence callers
+// used to hand-roll, so plain test clocks keep working unchanged).
+func NewTimer(c Clock, fn func()) Rearmer {
+	if tf, ok := c.(TimerFactory); ok {
+		return tf.NewTimer(fn)
+	}
+	return &fallbackRearmer{c: c, fn: fn}
+}
+
+// fallbackRearmer implements Rearmer over any Clock.
+type fallbackRearmer struct {
+	c  Clock
+	fn func()
+	t  Timer
+}
+
+func (r *fallbackRearmer) Reset(d time.Duration) bool {
+	stopped := false
+	if r.t != nil {
+		stopped = r.t.Stop()
+	}
+	r.t = r.c.AfterFunc(d, r.fn)
+	return stopped
+}
+
+func (r *fallbackRearmer) Stop() bool {
+	if r.t == nil {
+		return false
+	}
+	return r.t.Stop()
 }

@@ -104,6 +104,13 @@ type JoinOptions struct {
 	// new failure detection parameters (η, δ) for the link from p.
 	// Invoked on the node's event loop.
 	OnReconfigured func(p id.Process, params qos.Params)
+	// OnStatus, if set, receives a freshly built snapshot of the group's
+	// complete membership/FD status (the rows Node.Status would return)
+	// whenever it changes: membership deltas, trust edges and QoS
+	// reconfigurations. The slice is never mutated after the call —
+	// hosts publish it copy-on-write to lock-free readers. Invoked on
+	// the node's event loop.
+	OnStatus func([]MemberStatus)
 	// HelloInterval is the group maintenance gossip period (default 1s).
 	HelloInterval time.Duration
 	// GossipFanout is how many members each HELLO round targets (default 3).
@@ -298,24 +305,7 @@ func (n *Node) Status(g id.Group) ([]MemberStatus, error) {
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrNotJoined, g)
 	}
-	members := gs.table.Active()
-	out := make([]MemberStatus, 0, len(members))
-	for _, m := range members {
-		st := MemberStatus{
-			ID:          m.ID,
-			Incarnation: m.Incarnation,
-			Candidate:   m.Candidate,
-			Self:        m.ID == n.self,
-			Trusted:     m.ID == n.self,
-		}
-		if entry, ok := gs.monitors[m.ID]; ok {
-			st.Trusted = entry.mon.Trusted()
-			p := entry.mon.Params()
-			st.Interval, st.Timeout = p.Interval, p.Timeout
-		}
-		out = append(out, st)
-	}
-	return out, nil
+	return gs.statusRows(), nil
 }
 
 // Stop halts the node abruptly (crash semantics: no LEAVE is sent, staged

@@ -65,8 +65,8 @@ type groupState struct {
 	membersVersion uint64
 	membersValid   bool
 
-	helloTimer clock.Timer
-	joinTimer  clock.Timer
+	helloTimer clock.Rearmer
+	joinTimer  clock.Rearmer
 	joinsLeft  int
 
 	stopped bool
@@ -75,7 +75,7 @@ type groupState struct {
 var _ election.Env = (*groupState)(nil)
 
 func newGroupState(n *Node, gid id.Group, opts JoinOptions) *groupState {
-	return &groupState{
+	gs := &groupState{
 		n:        n,
 		gid:      gid,
 		opts:     opts,
@@ -83,6 +83,9 @@ func newGroupState(n *Node, gid id.Group, opts JoinOptions) *groupState {
 		monitors: make(map[id.Process]*monitorEntry),
 		dests:    make(map[id.Process]*destState),
 	}
+	gs.helloTimer = clock.NewTimer(n.rt, gs.helloTick)
+	gs.joinTimer = clock.NewTimer(n.rt, gs.announceJoin)
+	return gs
 }
 
 // start runs the join sequence: seed the table with ourselves, start the
@@ -115,6 +118,7 @@ func (gs *groupState) start() {
 		}
 	})
 	gs.afterEvent()
+	gs.publishStatus()
 }
 
 // --- election.Env -----------------------------------------------------
@@ -278,6 +282,7 @@ func (gs *groupState) newMonitor(p id.Process, inc int64) *monitorEntry {
 				gs.algo.HandleSuspect(p)
 			}
 			gs.afterEvent()
+			gs.publishStatus()
 		},
 		RequestRate: func(interval time.Duration) {
 			gs.n.sendLazy(p, &wire.Rate{
@@ -294,6 +299,7 @@ func (gs *groupState) newMonitor(p id.Process, inc int64) *monitorEntry {
 			if gs.opts.OnReconfigured != nil {
 				gs.opts.OnReconfigured(p, params)
 			}
+			gs.publishStatus()
 		},
 		ReconfigureInterval: gs.opts.ReconfigureInterval,
 	})
@@ -330,7 +336,7 @@ func (gs *groupState) announceJoin() {
 		gs.n.sendLazy(p, msg)
 	}
 	if gs.joinsLeft > 0 {
-		gs.joinTimer = gs.n.rt.AfterFunc(joinAnnounceEvery, gs.announceJoin)
+		gs.joinTimer.Reset(joinAnnounceEvery)
 	}
 }
 
@@ -338,14 +344,16 @@ func (gs *groupState) announceJoin() {
 // across the group.
 func (gs *groupState) scheduleHello() {
 	jitter := 0.75 + 0.5*gs.n.rt.Rand().Float64()
-	d := time.Duration(float64(gs.opts.HelloInterval) * jitter)
-	gs.helloTimer = gs.n.rt.AfterFunc(d, func() {
-		if gs.stopped {
-			return
-		}
-		gs.gossip()
-		gs.scheduleHello()
-	})
+	gs.helloTimer.Reset(time.Duration(float64(gs.opts.HelloInterval) * jitter))
+}
+
+// helloTick is one gossip round; it re-arms itself.
+func (gs *groupState) helloTick() {
+	if gs.stopped {
+		return
+	}
+	gs.gossip()
+	gs.scheduleHello()
 }
 
 // gossip sends the membership table to a few random members.
@@ -491,6 +499,7 @@ func (gs *groupState) onMembershipChange() {
 	gs.reportMembershipDelta()
 	gs.algo.HandleMembership()
 	gs.afterEvent()
+	gs.publishStatus()
 }
 
 // reportMembershipDelta diffs the active view against the previous one and
@@ -524,6 +533,40 @@ func (gs *groupState) reportMembershipDelta() {
 }
 
 // --- leadership notification ----------------------------------------------
+
+// statusRows builds the group's membership/FD status, sorted by member
+// id: the rows behind Node.Status and the OnStatus snapshots.
+func (gs *groupState) statusRows() []MemberStatus {
+	members := gs.table.Active()
+	out := make([]MemberStatus, 0, len(members))
+	for _, m := range members {
+		st := MemberStatus{
+			ID:          m.ID,
+			Incarnation: m.Incarnation,
+			Candidate:   m.Candidate,
+			Self:        m.ID == gs.n.self,
+			Trusted:     m.ID == gs.n.self,
+		}
+		if entry, ok := gs.monitors[m.ID]; ok {
+			st.Trusted = entry.mon.Trusted()
+			p := entry.mon.Params()
+			st.Interval, st.Timeout = p.Interval, p.Timeout
+		}
+		out = append(out, st)
+	}
+	return out
+}
+
+// publishStatus hands the host a fresh status snapshot. Called at every
+// status-visible edge — membership deltas, trust edges, reconfigurations
+// — never per heartbeat, so the O(members) copy prices the rare event,
+// not the steady state.
+func (gs *groupState) publishStatus() {
+	if gs.stopped || gs.opts.OnStatus == nil {
+		return
+	}
+	gs.opts.OnStatus(gs.statusRows())
+}
 
 // currentInfo derives the LeaderInfo from the algorithm's present answer.
 func (gs *groupState) currentInfo() LeaderInfo {
@@ -586,12 +629,8 @@ func (gs *groupState) shutdown() {
 	for _, p := range sortedKeys(gs.dests) {
 		gs.n.dropStream(gs.gid, p)
 	}
-	if gs.helloTimer != nil {
-		gs.helloTimer.Stop()
-	}
-	if gs.joinTimer != nil {
-		gs.joinTimer.Stop()
-	}
+	gs.helloTimer.Stop()
+	gs.joinTimer.Stop()
 }
 
 // sortedKeys returns a map's keys in deterministic order; every peer- or

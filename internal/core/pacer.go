@@ -23,9 +23,11 @@ type pacer struct {
 	n       *Node
 	dest    id.Process
 	streams map[id.Group]*hbStream
-	timer   clock.Timer
-	gen     uint64 // invalidates stale timer callbacks
-	minIv   time.Duration
+	// timer is re-armable and lives as long as the pacer: the per-wake
+	// re-arm is an O(1) splice on wheel-backed clocks, so the pacer costs
+	// zero runtime-timer allocations in steady state.
+	timer clock.Rearmer
+	minIv time.Duration
 }
 
 // hbStream is one group's heartbeat schedule toward the pacer's peer.
@@ -40,6 +42,7 @@ func (n *Node) pacerFor(dest id.Process) *pacer {
 	pp := n.pacers[dest]
 	if pp == nil {
 		pp = &pacer{n: n, dest: dest, streams: make(map[id.Group]*hbStream)}
+		pp.timer = clock.NewTimer(n.rt, pp.tick)
 		n.pacers[dest] = pp
 	}
 	return pp
@@ -75,10 +78,9 @@ func (n *Node) dropStream(gid id.Group, dest id.Process) {
 	}
 	delete(pp.streams, gid)
 	if len(pp.streams) == 0 {
-		if pp.timer != nil {
-			pp.timer.Stop()
-		}
-		pp.gen++ // kill any in-flight callback
+		pp.timer.Stop()
+		// An already-queued callback is disarmed by tick's identity check
+		// (n.pacers no longer maps dest to this pacer).
 		delete(n.pacers, dest)
 		return
 	}
@@ -148,17 +150,18 @@ func (pp *pacer) rearm() {
 	if !ok {
 		return
 	}
-	pp.gen++
-	gen := pp.gen
-	if pp.timer != nil {
-		pp.timer.Stop()
+	pp.timer.Reset(e.Sub(pp.n.rt.Now()))
+}
+
+// tick is the timer callback. A stale callback (the pacer was dropped, or
+// the node stopped, after the fire was already queued) is discarded by
+// the identity check; a merely re-armed wake-up is harmless because fire
+// only sends streams actually due.
+func (pp *pacer) tick() {
+	if pp.n.stopped || pp.n.pacers[pp.dest] != pp {
+		return
 	}
-	pp.timer = pp.n.rt.AfterFunc(e.Sub(pp.n.rt.Now()), func() {
-		if pp.n.stopped || pp.gen != gen || pp.n.pacers[pp.dest] != pp {
-			return
-		}
-		pp.fire()
-	})
+	pp.fire()
 }
 
 // fire sends every stream due now — including streams due within a quarter

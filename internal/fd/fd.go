@@ -71,8 +71,12 @@ type Monitor struct {
 	// voiding the QoS guarantee.
 	observed time.Duration
 
-	deadlineTimer clock.Timer
-	reconfTimer   clock.Timer
+	// deadlineTimer and reconfTimer are re-armable: created once with the
+	// monitor and re-armed in place for its whole lifetime. On a
+	// wheel-backed clock a re-arm is an O(1) pointer splice — the monitor
+	// re-arms deadlineTimer on every heartbeat, the steady-state hot path.
+	deadlineTimer clock.Rearmer
+	reconfTimer   clock.Rearmer
 	stopped       bool
 }
 
@@ -85,12 +89,14 @@ func NewMonitor(cfg Config) *Monitor {
 		cfg.ReconfigureInterval = DefaultReconfigureInterval
 	}
 	m := &Monitor{cfg: cfg}
+	m.deadlineTimer = clock.NewTimer(cfg.Clock, m.expire)
+	m.reconfTimer = clock.NewTimer(cfg.Clock, m.reconfTick)
 	m.params = qos.Configure(cfg.Spec, statsOf(cfg.Estimator))
 	m.requested = m.params.Interval
 	if cfg.RequestRate != nil {
 		cfg.RequestRate(m.requested)
 	}
-	m.scheduleReconfigure()
+	m.reconfTimer.Reset(m.cfg.ReconfigureInterval)
 	return m
 }
 
@@ -136,11 +142,7 @@ func (m *Monitor) Observe(sendTime time.Time, interval time.Duration, now time.T
 
 // armDeadline (re)schedules the suspicion timer for the current deadline.
 func (m *Monitor) armDeadline(now time.Time) {
-	if m.deadlineTimer != nil {
-		m.deadlineTimer.Stop()
-	}
-	d := m.deadline.Sub(now)
-	m.deadlineTimer = m.cfg.Clock.AfterFunc(d, m.expire)
+	m.deadlineTimer.Reset(m.deadline.Sub(now))
 }
 
 // expire fires when the freshness deadline passes without a fresh heartbeat.
@@ -167,15 +169,13 @@ func (m *Monitor) edge(trusted bool) {
 	}
 }
 
-// scheduleReconfigure arms the periodic configurator run.
-func (m *Monitor) scheduleReconfigure() {
-	m.reconfTimer = m.cfg.Clock.AfterFunc(m.cfg.ReconfigureInterval, func() {
-		if m.stopped {
-			return
-		}
-		m.reconfigure()
-		m.scheduleReconfigure()
-	})
+// reconfTick is the periodic configurator run; it re-arms itself.
+func (m *Monitor) reconfTick() {
+	if m.stopped {
+		return
+	}
+	m.reconfigure()
+	m.reconfTimer.Reset(m.cfg.ReconfigureInterval)
 }
 
 // reconfigure recomputes (η, δ) from the latest link estimate and requests
@@ -215,10 +215,6 @@ func relativeDiff(a, b time.Duration) float64 {
 // Stop cancels all timers. The monitor must not be used afterwards.
 func (m *Monitor) Stop() {
 	m.stopped = true
-	if m.deadlineTimer != nil {
-		m.deadlineTimer.Stop()
-	}
-	if m.reconfTimer != nil {
-		m.reconfTimer.Stop()
-	}
+	m.deadlineTimer.Stop()
+	m.reconfTimer.Stop()
 }

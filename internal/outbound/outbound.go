@@ -62,9 +62,11 @@ type queue struct {
 	msgs     []wire.Message
 	bytes    int // sum of wire.ItemSize over msgs (envelope body)
 	deadline time.Time
-	timer    clock.Timer
-	armed    bool
-	gen      uint64 // invalidates stale timer callbacks
+	// timer is created once with the queue and re-armed per coalescing
+	// window — O(1) and allocation free on wheel-backed clocks, where the
+	// old per-window AfterFunc allocated a runtime timer every flush.
+	timer clock.Rearmer
+	armed bool
 }
 
 // Scheduler stages outbound messages per destination.
@@ -97,6 +99,7 @@ func (s *Scheduler) Enqueue(to id.Process, m wire.Message, maxDelay time.Duratio
 	q := s.queues[to]
 	if q == nil {
 		q = &queue{}
+		q.timer = clock.NewTimer(s.cfg.Clock, func() { s.flushExpired(to, q) })
 		s.queues[to] = q
 	}
 	item := wire.ItemSize(m)
@@ -113,30 +116,26 @@ func (s *Scheduler) Enqueue(to id.Process, m wire.Message, maxDelay time.Duratio
 	}
 	deadline := s.cfg.Clock.Now().Add(maxDelay)
 	if !q.armed || deadline.Before(q.deadline) {
-		s.arm(to, q, deadline, maxDelay)
+		q.deadline = deadline
+		q.armed = true
+		q.timer.Reset(maxDelay)
 	}
 }
 
-// arm (re)schedules the flush timer for q at deadline.
-func (s *Scheduler) arm(to id.Process, q *queue, deadline time.Time, d time.Duration) {
-	if q.timer != nil {
-		q.timer.Stop()
+// flushExpired is the flush-timer callback for one queue. A stale
+// callback (the queue was flushed and re-armed after the fire was
+// already queued) is discarded by the armed/deadline checks: a live arm
+// always has a future deadline, so a callback arriving before it is a
+// leftover of an earlier window.
+func (s *Scheduler) flushExpired(to id.Process, q *queue) {
+	if s.stopped || s.queues[to] != q || !q.armed {
+		return
 	}
-	q.gen++
-	gen := q.gen
-	q.deadline = deadline
-	q.armed = true
-	q.timer = s.cfg.Clock.AfterFunc(d, func() {
-		if s.stopped {
-			return
-		}
-		cur := s.queues[to]
-		if cur != q || !q.armed || q.gen != gen {
-			return // re-armed or flushed since; a newer timer owns the queue
-		}
-		q.armed = false
-		s.flush(to, q)
-	})
+	if s.cfg.Clock.Now().Before(q.deadline) {
+		return // re-armed since; the newer fire will come at q.deadline
+	}
+	q.armed = false
+	s.flush(to, q)
 }
 
 // Flush transmits whatever is staged for to, if anything.
@@ -193,9 +192,7 @@ func (s *Scheduler) Stop() {
 	s.stopped = true
 	for _, to := range id.SortedMapKeys(s.queues) {
 		q := s.queues[to]
-		if q.timer != nil {
-			q.timer.Stop()
-		}
+		q.timer.Stop()
 		q.armed = false
 		q.msgs = nil
 	}

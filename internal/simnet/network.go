@@ -241,6 +241,15 @@ func (r *NodeRuntime) AfterFunc(d time.Duration, fn func()) clock.Timer {
 	})
 }
 
+// NodeRuntime deliberately does NOT implement clock.TimerFactory: the
+// protocol's re-armable timers (clock.NewTimer) fall back to the portable
+// Stop-then-AfterFunc sequence over this AfterFunc — exactly the events
+// protocol code used to push onto the heap by hand, so virtual-time runs
+// are event-for-event identical whether callers re-arm through a Rearmer
+// or through raw AfterFunc (the property
+// timerwheel.TestWheelMatchesAfterFuncUnderVirtualTime locks in for the
+// wheel-backed real-time twin).
+
 // Send implements the protocol runtime's transmit operation.
 func (r *NodeRuntime) Send(to id.Process, m wire.Message) {
 	if r.dead {

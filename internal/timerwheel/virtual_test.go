@@ -1,0 +1,162 @@
+package timerwheel_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"stableleader/internal/simnet"
+	"stableleader/internal/timerwheel"
+)
+
+// simDriver runs a Wheel on the discrete-event engine the way the
+// real-time Service runs it on a runtime timer: one engine event armed at
+// Wheel.Next, advancing the wheel and re-arming when it fires. This is
+// the virtual-time twin of the serviceRuntime driver.
+type simDriver struct {
+	eng   *simnet.Engine
+	w     *timerwheel.Wheel
+	timer *simnet.Timer
+	armed time.Time
+}
+
+func (d *simDriver) kick() {
+	next, ok := d.w.Next()
+	if !ok {
+		if d.timer != nil {
+			d.timer.Stop()
+			d.timer = nil
+			d.armed = time.Time{}
+		}
+		return
+	}
+	if d.timer != nil && d.armed.Equal(next) {
+		return
+	}
+	if d.timer != nil {
+		d.timer.Stop()
+	}
+	d.armed = next
+	d.timer = d.eng.After(next.Sub(d.eng.Now()), func() {
+		d.timer = nil
+		d.armed = time.Time{}
+		d.w.Advance(d.eng.Now())
+		d.kick()
+	})
+}
+
+// fireLog records (deadline id, virtual instant) pairs in fire order.
+type fireLog []string
+
+func (l *fireLog) add(id int, at time.Time) {
+	*l = append(*l, fmt.Sprintf("%d@%v", id, at.Sub(simnet.Epoch())))
+}
+
+// TestWheelMatchesAfterFuncUnderVirtualTime is the determinism property
+// behind the timer-plane refactor: a randomized schedule of deadlines —
+// including re-arms and cancels, the failure detector's steady-state
+// behaviour — fires in exactly the same order, at exactly the same
+// virtual instants, whether the deadlines go through a wheel driven off
+// the event heap or directly through the heap's AfterFunc. Deadlines are
+// tick-aligned (the protocol's timing constants are all far coarser than
+// the 1ms tick); mutations are injected at half-tick instants so the two
+// paths' behaviour at every shared instant is well defined. With
+// identical fire sequences, a protocol run — and hence an election
+// outcome — cannot depend on which path scheduled its timers; the
+// simulation stays a pure function of its seed.
+func TestWheelMatchesAfterFuncUnderVirtualTime(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3, 17, 20080301} {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			wheelLog := runSchedule(seed, true)
+			heapLog := runSchedule(seed, false)
+			if len(wheelLog) != len(heapLog) {
+				t.Fatalf("wheel fired %d deadlines, AfterFunc fired %d", len(wheelLog), len(heapLog))
+			}
+			for i := range heapLog {
+				if wheelLog[i] != heapLog[i] {
+					t.Fatalf("fire %d diverged: wheel %s, AfterFunc %s", i, wheelLog[i], heapLog[i])
+				}
+			}
+			// Same seed, same path, second run: identical (a pure
+			// function of the seed).
+			again := runSchedule(seed, true)
+			for i := range wheelLog {
+				if wheelLog[i] != again[i] {
+					t.Fatalf("wheel run is not reproducible at fire %d: %s vs %s", i, wheelLog[i], again[i])
+				}
+			}
+		})
+	}
+}
+
+// runSchedule replays one seeded scenario: n deadlines scheduled up
+// front, then random re-arms and cancels injected at random half-tick
+// instants, all through either the wheel or direct AfterFunc.
+func runSchedule(seed int64, viaWheel bool) fireLog {
+	const tick = time.Millisecond
+	rng := rand.New(rand.NewSource(seed))
+	eng := simnet.NewEngine(seed)
+	w := timerwheel.New(eng.Now(), tick)
+	drv := &simDriver{eng: eng, w: w}
+
+	var log fireLog
+	const n = 120
+	entries := make([]*timerwheel.Entry, n)
+	timers := make([]*simnet.Timer, n)
+
+	// schedule (re)arms deadline i at the tick-aligned instant dticks
+	// ticks past the next boundary — always strictly in the future, so
+	// wheel round-up and heap AfterFunc fire at the identical instant.
+	schedule := func(i int, dticks int64) {
+		now := eng.Now()
+		elapsed := now.Sub(simnet.Epoch())
+		base := (elapsed + tick - 1) / tick
+		target := simnet.Epoch().Add(time.Duration(int64(base)+dticks) * tick)
+		id := i
+		fire := func() { log.add(id, eng.Now()) }
+		if viaWheel {
+			if entries[i] == nil {
+				entries[i] = timerwheel.NewEntry(fire)
+			}
+			w.Schedule(entries[i], target)
+			drv.kick()
+		} else {
+			if timers[i] != nil {
+				timers[i].Stop()
+			}
+			timers[i] = eng.After(target.Sub(now), fire)
+		}
+	}
+	cancel := func(i int) {
+		if viaWheel {
+			if entries[i] != nil {
+				w.Stop(entries[i])
+				drv.kick()
+			}
+		} else if timers[i] != nil {
+			timers[i].Stop()
+		}
+	}
+	dticks := func() int64 { return 1 + rng.Int63n(int64(10*time.Minute)/int64(tick)) }
+
+	for i := 0; i < n; i++ {
+		schedule(i, dticks())
+	}
+	// Inject churn at random half-tick instants: the engine's own event
+	// stream carries the mutations, exactly like protocol handlers
+	// re-arming their monitors mid-run. The rng draws happen at
+	// injection-schedule time, so both paths see identical mutations.
+	for j := 0; j < n; j++ {
+		i := rng.Intn(n)
+		at := time.Duration(rng.Int63n(int64(5*time.Minute)/int64(tick)))*tick + tick/2
+		if rng.Intn(4) == 0 {
+			eng.After(at, func() { cancel(i) })
+		} else {
+			d := dticks()
+			eng.After(at, func() { schedule(i, d) })
+		}
+	}
+	eng.RunUntil(simnet.Epoch().Add(24 * time.Hour))
+	return log
+}

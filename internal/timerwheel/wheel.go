@@ -1,0 +1,293 @@
+// Package timerwheel implements a hashed hierarchical timer wheel: the
+// deadline multiplexer behind the service's single runtime timer.
+//
+// The steady-state protocol re-arms a deadline per received heartbeat (the
+// failure detector's freshness rule) and per emitted heartbeat burst (the
+// pacer), at N peers × G groups × η ≈ 100 ms. Backing each of those with
+// its own runtime timer costs one runtime-timer allocation and one
+// scheduler interaction per re-arm. The wheel replaces all of them:
+// entries are intrusive doubly-linked list nodes owned by their callers,
+// so arm, re-arm and cancel are O(1) pointer splices with zero allocation
+// after setup, and one driver (the host event loop, or the simulator's
+// heap) advances the whole wheel.
+//
+// The layout is the classic hierarchy of hashed wheels (Varghese & Lauck
+// scheme 6, as in the Linux kernel and Netty): Levels wheels of Size
+// slots each, level l spanning Size^(l+1) ticks. An entry due within the
+// level-0 horizon sits in the slot of its exact tick; farther entries sit
+// in coarser wheels and cascade down as the clock crosses their window
+// boundary, landing in their exact level-0 slot before they are due.
+// Deadlines are rounded UP to the next tick boundary, so a timer never
+// fires early — at most one tick late.
+//
+// The wheel is not safe for concurrent use: the owner (an event loop)
+// must serialise Schedule/Stop/Advance, which also means callbacks fired
+// by Advance run on the loop and may freely re-arm their own entries.
+package timerwheel
+
+import "time"
+
+// Geometry of the hierarchy.
+const (
+	// Bits is the per-level slot index width.
+	Bits = 6
+	// Size is the number of slots per level.
+	Size = 1 << Bits
+	// Levels is the number of wheels in the hierarchy.
+	Levels = 4
+	// horizon is the farthest representable delta, in ticks (Size^Levels).
+	horizon = 1 << (Bits * Levels)
+)
+
+// DefaultTick is the default wheel resolution. One millisecond is two to
+// three decades below the protocol's timing constants (η ≈ 100 ms,
+// detection bounds ≈ 1 s), so the ≤1-tick rounding is invisible, while a
+// four-level wheel still spans 64 ms / 4.1 s / 4.4 min / 4.7 h windows —
+// the top level comfortably beyond any protocol deadline.
+const DefaultTick = time.Millisecond
+
+// Entry is one schedulable deadline: an intrusive list node owned by its
+// caller and reused across arms. Create it once with NewEntry and re-arm
+// it forever; a parked Entry costs nothing.
+type Entry struct {
+	fn     func()
+	expire int64 // absolute tick the entry is due at
+	slot   *slot // non-nil while queued
+	level  int8  // level of slot while queued
+	next   *Entry
+	prev   *Entry
+}
+
+// NewEntry returns an unarmed entry firing fn. The same entry must not be
+// scheduled on two wheels.
+func NewEntry(fn func()) *Entry { return &Entry{fn: fn} }
+
+// Pending reports whether the entry is currently scheduled.
+func (e *Entry) Pending() bool { return e.slot != nil }
+
+// slot is one bucket: an intrusive FIFO so same-tick entries fire in
+// arming order.
+type slot struct {
+	head *Entry
+	tail *Entry
+}
+
+func (s *slot) append(e *Entry) {
+	e.slot = s
+	e.next = nil
+	e.prev = s.tail
+	if s.tail != nil {
+		s.tail.next = e
+	} else {
+		s.head = e
+	}
+	s.tail = e
+}
+
+func (s *slot) remove(e *Entry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		s.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		s.tail = e.prev
+	}
+	e.slot, e.next, e.prev = nil, nil, nil
+}
+
+// Wheel is the hierarchy. All methods must be called from one goroutine.
+type Wheel struct {
+	tick  time.Duration
+	start time.Time
+	cur   int64 // every tick ≤ cur has been processed
+	count int   // pending entries
+	// perLevel lets the slot scans skip whole empty levels — in steady
+	// state most deadlines live in one or two levels.
+	perLevel [Levels]int
+	slots    [Levels][Size]slot
+}
+
+// New returns a wheel whose tick 0 is start. A non-positive tick uses
+// DefaultTick.
+func New(start time.Time, tick time.Duration) *Wheel {
+	if tick <= 0 {
+		tick = DefaultTick
+	}
+	return &Wheel{tick: tick, start: start}
+}
+
+// Tick returns the wheel's resolution.
+func (w *Wheel) Tick() time.Duration { return w.tick }
+
+// Len returns the number of pending entries.
+func (w *Wheel) Len() int { return w.count }
+
+// timeOf converts an absolute tick back to a time.
+func (w *Wheel) timeOf(tick int64) time.Time {
+	return w.start.Add(time.Duration(tick) * w.tick)
+}
+
+// Schedule arms (or re-arms) e to fire at the first tick boundary not
+// before at. A deadline at or before the wheel's current position fires on
+// the next Advance. O(1); allocation free.
+func (w *Wheel) Schedule(e *Entry, at time.Time) {
+	if e.slot != nil {
+		w.unlink(e)
+		w.count--
+	}
+	d := at.Sub(w.start)
+	expire := int64((d + w.tick - 1) / w.tick) // round up: never early
+	if expire <= w.cur {
+		expire = w.cur + 1
+	}
+	e.expire = expire
+	w.place(e)
+	w.count++
+}
+
+// place links e into the level and slot its delta selects. Entries beyond
+// the horizon park in the farthest top-level slot and cascade from there.
+func (w *Wheel) place(e *Entry) {
+	delta := e.expire - w.cur
+	idx := e.expire
+	if delta >= horizon {
+		idx = w.cur + horizon - 1
+	}
+	for l := 0; l < Levels; l++ {
+		if delta < 1<<(Bits*(l+1)) || l == Levels-1 {
+			w.slots[l][(idx>>(Bits*l))&(Size-1)].append(e)
+			e.level = int8(l)
+			w.perLevel[l]++
+			return
+		}
+	}
+}
+
+// unlink detaches a queued entry from its slot and level accounting (the
+// total count is the caller's, since cascades keep it unchanged).
+func (w *Wheel) unlink(e *Entry) {
+	w.perLevel[e.level]--
+	e.slot.remove(e)
+}
+
+// Stop cancels e, reporting whether it was pending. O(1).
+func (w *Wheel) Stop(e *Entry) bool {
+	if e.slot == nil {
+		return false
+	}
+	w.unlink(e)
+	w.count--
+	return true
+}
+
+// Advance moves the wheel up to now, firing every entry whose tick has
+// passed, in (tick, arming-order) order. Callbacks run inline and may
+// schedule or stop entries, including their own.
+func (w *Wheel) Advance(now time.Time) {
+	target := int64(now.Sub(w.start) / w.tick) // floor: tick not yet over
+	for w.cur < target {
+		if w.count == 0 {
+			// Nothing pending: jump. This is what keeps a long-idle
+			// wheel (or one resumed after a host suspend) cheap.
+			w.cur = target
+			return
+		}
+		// Skip runs of ticks with no due entry and no cascade boundary,
+		// so a large wall-clock gap (host suspend, VM pause) costs one
+		// slot scan per event rather than one loop iteration per
+		// millisecond of gap.
+		if next := w.nextEventTick(); next > w.cur+1 {
+			if next > target {
+				w.cur = target
+				return
+			}
+			w.cur = next - 1
+		}
+		w.cur++
+		if w.cur&(Size-1) == 0 {
+			// The level-0 wheel wrapped: pull the next window down,
+			// continuing upward only while each level's index wrapped too.
+			for l := 1; l < Levels; l++ {
+				idx := (w.cur >> (Bits * l)) & (Size - 1)
+				w.cascade(l, idx)
+				if idx != 0 {
+					break
+				}
+			}
+		}
+		w.fire(&w.slots[0][w.cur&(Size-1)])
+	}
+}
+
+// cascade re-places every entry of one coarse slot into finer wheels.
+func (w *Wheel) cascade(level int, idx int64) {
+	s := &w.slots[level][idx]
+	for s.head != nil {
+		e := s.head
+		w.unlink(e)
+		w.place(e)
+	}
+}
+
+// fire pops and runs every entry of a due level-0 slot. Entries are
+// unlinked before their callback runs, so callbacks can re-arm freely.
+func (w *Wheel) fire(s *slot) {
+	for s.head != nil {
+		e := s.head
+		w.unlink(e)
+		w.count--
+		e.fn()
+	}
+}
+
+// Next returns the earliest instant at which the wheel needs an Advance
+// call: the exact due time for entries within the level-0 horizon, or the
+// cascade boundary of the nearest occupied coarse slot (waking there is at
+// most one window early; the advance cascades and the next Next is
+// exact). The second return is false when nothing is pending.
+func (w *Wheel) Next() (time.Time, bool) {
+	if w.count == 0 {
+		return time.Time{}, false
+	}
+	return w.timeOf(w.nextEventTick()), true
+}
+
+// nextEventTick is the earliest tick at which anything happens: the exact
+// due tick of the nearest level-0 entry, or the cascade boundary of the
+// nearest occupied coarse slot. Must only be called with entries pending.
+func (w *Wheel) nextEventTick() int64 {
+	best := int64(-1)
+	for l := 0; l < Levels; l++ {
+		// Every occupied level is scanned: a coarse slot's cascade
+		// boundary (a multiple of its window size) can precede the finest
+		// pending entry, and sleeping past it would fire entries late.
+		if w.perLevel[l] == 0 {
+			continue
+		}
+		pos := w.cur >> (Bits * l)
+		for i := int64(1); i <= Size; i++ {
+			if w.slots[l][(pos+i)&(Size-1)].head == nil {
+				continue
+			}
+			// Level 0: the slot's unique tick in (cur, cur+Size].
+			// Level l: the tick at which the slot cascades down.
+			at := (pos + i) << (Bits * l)
+			if best < 0 || at < best {
+				best = at
+			}
+			break
+		}
+	}
+	if best < 0 {
+		// Pending entries exist but every slot looked empty: impossible by
+		// construction (count is maintained with the lists).
+		panic("timerwheel: count/slot bookkeeping diverged")
+	}
+	if best <= w.cur {
+		best = w.cur + 1
+	}
+	return best
+}

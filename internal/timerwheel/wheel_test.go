@@ -1,0 +1,354 @@
+package timerwheel
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+)
+
+var t0 = time.Date(2008, time.March, 1, 0, 0, 0, 0, time.UTC)
+
+func TestFiresInOrderAtExactTicks(t *testing.T) {
+	w := New(t0, time.Millisecond)
+	var got []int
+	for _, d := range []int{50, 10, 30, 20, 40} {
+		d := d
+		w.Schedule(NewEntry(func() { got = append(got, d) }), t0.Add(time.Duration(d)*time.Millisecond))
+	}
+	w.Advance(t0.Add(25 * time.Millisecond))
+	if want := []int{10, 20}; !equal(got, want) {
+		t.Fatalf("after 25ms fired %v, want %v", got, want)
+	}
+	w.Advance(t0.Add(time.Second))
+	if want := []int{10, 20, 30, 40, 50}; !equal(got, want) {
+		t.Fatalf("fired %v, want %v", got, want)
+	}
+	if w.Len() != 0 {
+		t.Fatalf("Len() = %d after all fired", w.Len())
+	}
+}
+
+func TestNeverFiresEarly(t *testing.T) {
+	w := New(t0, time.Millisecond)
+	fired := false
+	// 10.5ms rounds up to the 11ms tick.
+	w.Schedule(NewEntry(func() { fired = true }), t0.Add(10*time.Millisecond+500*time.Microsecond))
+	w.Advance(t0.Add(10*time.Millisecond + 900*time.Microsecond))
+	if fired {
+		t.Fatal("fired before its deadline tick")
+	}
+	w.Advance(t0.Add(11 * time.Millisecond))
+	if !fired {
+		t.Fatal("did not fire at the rounded-up tick")
+	}
+}
+
+func TestSameTickFIFO(t *testing.T) {
+	w := New(t0, time.Millisecond)
+	var got []int
+	at := t0.Add(7 * time.Millisecond)
+	for i := 0; i < 10; i++ {
+		i := i
+		w.Schedule(NewEntry(func() { got = append(got, i) }), at)
+	}
+	w.Advance(t0.Add(time.Second))
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-tick entries fired out of arming order: %v", got)
+		}
+	}
+}
+
+func TestStopAndRearm(t *testing.T) {
+	w := New(t0, time.Millisecond)
+	n := 0
+	e := NewEntry(func() { n++ })
+	w.Schedule(e, t0.Add(10*time.Millisecond))
+	if !e.Pending() || !w.Stop(e) {
+		t.Fatal("Stop of a pending entry must report true")
+	}
+	if e.Pending() || w.Stop(e) {
+		t.Fatal("Stop of a parked entry must report false")
+	}
+	w.Advance(t0.Add(20 * time.Millisecond))
+	if n != 0 {
+		t.Fatal("stopped entry fired")
+	}
+	// Re-arm moves the deadline; only the final one fires.
+	w.Schedule(e, t0.Add(30*time.Millisecond))
+	w.Schedule(e, t0.Add(50*time.Millisecond))
+	if w.Len() != 1 {
+		t.Fatalf("Len() = %d after re-arm, want 1", w.Len())
+	}
+	w.Advance(t0.Add(40 * time.Millisecond))
+	if n != 0 {
+		t.Fatal("superseded deadline fired")
+	}
+	w.Advance(t0.Add(60 * time.Millisecond))
+	if n != 1 {
+		t.Fatalf("fired %d times, want 1", n)
+	}
+}
+
+func TestPastDeadlineFiresOnNextAdvance(t *testing.T) {
+	w := New(t0, time.Millisecond)
+	w.Advance(t0.Add(100 * time.Millisecond))
+	fired := false
+	w.Schedule(NewEntry(func() { fired = true }), t0) // long past
+	w.Advance(t0.Add(101 * time.Millisecond))
+	if !fired {
+		t.Fatal("past-deadline entry did not fire on the next advance")
+	}
+}
+
+// TestCascadeLevels exercises deadlines in every level of the hierarchy,
+// including beyond the horizon.
+func TestCascadeLevels(t *testing.T) {
+	w := New(t0, time.Millisecond)
+	deltas := []time.Duration{
+		3 * time.Millisecond,   // level 0
+		200 * time.Millisecond, // level 1
+		10 * time.Second,       // level 2
+		30 * time.Minute,       // level 3
+		6 * time.Hour,          // beyond the ~4.66h horizon: parked, cascaded
+	}
+	fired := map[time.Duration]time.Time{}
+	now := t0
+	for _, d := range deltas {
+		d := d
+		w.Schedule(NewEntry(func() { fired[d] = now }), t0.Add(d))
+	}
+	// Advance in coarse steps, tracking "now" so callbacks can record it.
+	for now.Before(t0.Add(6*time.Hour + time.Minute)) {
+		now = now.Add(13 * time.Second)
+		w.Advance(now)
+	}
+	for _, d := range deltas {
+		at, ok := fired[d]
+		if !ok {
+			t.Fatalf("deadline +%v never fired", d)
+		}
+		if at.Before(t0.Add(d)) {
+			t.Fatalf("deadline +%v fired early at %v", d, at.Sub(t0))
+		}
+		if at.Sub(t0.Add(d)) > 14*time.Second {
+			t.Fatalf("deadline +%v fired %v late", d, at.Sub(t0.Add(d)))
+		}
+	}
+}
+
+func TestCallbackMayRearmItself(t *testing.T) {
+	w := New(t0, time.Millisecond)
+	n := 0
+	now := t0
+	var e *Entry
+	e = NewEntry(func() {
+		n++
+		if n < 5 {
+			w.Schedule(e, now.Add(10*time.Millisecond))
+		}
+	})
+	w.Schedule(e, t0.Add(10*time.Millisecond))
+	for i := 0; i < 200; i++ {
+		now = now.Add(time.Millisecond)
+		w.Advance(now)
+	}
+	if n != 5 {
+		t.Fatalf("periodic self-rearm fired %d times, want 5", n)
+	}
+}
+
+func TestNextTracksEarliestDeadline(t *testing.T) {
+	w := New(t0, time.Millisecond)
+	if _, ok := w.Next(); ok {
+		t.Fatal("Next on an empty wheel reported a deadline")
+	}
+	e1 := NewEntry(func() {})
+	w.Schedule(e1, t0.Add(40*time.Millisecond))
+	if next, _ := w.Next(); !next.Equal(t0.Add(40 * time.Millisecond)) {
+		t.Fatalf("Next = +%v, want +40ms", next.Sub(t0))
+	}
+	e2 := NewEntry(func() {})
+	w.Schedule(e2, t0.Add(15*time.Millisecond))
+	if next, _ := w.Next(); !next.Equal(t0.Add(15 * time.Millisecond)) {
+		t.Fatalf("Next = +%v, want +15ms", next.Sub(t0))
+	}
+	w.Stop(e2)
+	if next, _ := w.Next(); !next.Equal(t0.Add(40 * time.Millisecond)) {
+		t.Fatalf("Next after Stop = +%v, want +40ms", next.Sub(t0))
+	}
+	// A coarse-level entry reports its cascade boundary — never later than
+	// its deadline, so a driver sleeping on Next cannot fire it late.
+	e3 := NewEntry(func() {})
+	w.Schedule(e3, t0.Add(700*time.Millisecond)) // level 1
+	w.Stop(e1)
+	next, ok := w.Next()
+	if !ok || next.After(t0.Add(700*time.Millisecond)) {
+		t.Fatalf("Next for a level-1 entry = +%v, must be ≤ +700ms", next.Sub(t0))
+	}
+}
+
+// TestNextNeverSleepsPastADeadline is the property that makes a
+// wake-on-Next driver correct: advancing exactly at Next() instants fires
+// every entry within one tick of its deadline.
+func TestNextNeverSleepsPastADeadline(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	w := New(t0, time.Millisecond)
+	type rec struct{ due, fired time.Time }
+	recs := make([]*rec, 300)
+	now := t0
+	for i := range recs {
+		r := &rec{due: t0.Add(time.Duration(rng.Int63n(int64(90 * time.Minute))))}
+		recs[i] = r
+		w.Schedule(NewEntry(func() { r.fired = now }), r.due)
+	}
+	for {
+		next, ok := w.Next()
+		if !ok {
+			break
+		}
+		now = next
+		w.Advance(now)
+	}
+	for _, r := range recs {
+		if r.fired.IsZero() {
+			t.Fatal("an entry never fired")
+		}
+		if r.fired.Before(r.due) {
+			t.Fatalf("entry due +%v fired early at +%v", r.due.Sub(t0), r.fired.Sub(t0))
+		}
+		if late := r.fired.Sub(r.due); late > w.Tick() {
+			t.Fatalf("entry due +%v fired %v late (max one tick)", r.due.Sub(t0), late)
+		}
+	}
+}
+
+// TestRandomizedAgainstReference drives the wheel with a random mix of
+// schedules, re-arms and cancels and checks the surviving deadlines fire
+// in reference order, each within one tick.
+func TestRandomizedAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	w := New(t0, time.Millisecond)
+	now := t0
+
+	type item struct {
+		e     *Entry
+		due   time.Time // reference deadline; zero when cancelled
+		fired bool
+	}
+	items := make([]*item, 0, 512)
+	var fireOrder []*item
+
+	for step := 0; step < 5000; step++ {
+		switch op := rng.Intn(10); {
+		case op < 5 || len(items) == 0: // schedule a new entry
+			it := &item{due: now.Add(time.Duration(1 + rng.Int63n(int64(20*time.Second))))}
+			it.e = NewEntry(func() { it.fired = true; fireOrder = append(fireOrder, it) })
+			items = append(items, it)
+			w.Schedule(it.e, it.due)
+		case op < 7: // re-arm a live entry
+			it := items[rng.Intn(len(items))]
+			if it.fired || it.due.IsZero() {
+				continue
+			}
+			it.due = now.Add(time.Duration(1 + rng.Int63n(int64(20*time.Second))))
+			w.Schedule(it.e, it.due)
+		case op < 8: // cancel
+			it := items[rng.Intn(len(items))]
+			if it.fired || it.due.IsZero() {
+				continue
+			}
+			w.Stop(it.e)
+			it.due = time.Time{}
+		default: // advance a random amount
+			now = now.Add(time.Duration(rng.Int63n(int64(500 * time.Millisecond))))
+			w.Advance(now)
+		}
+	}
+	now = now.Add(21 * time.Second)
+	w.Advance(now)
+
+	live := 0
+	for _, it := range items {
+		if it.due.IsZero() {
+			if it.fired {
+				t.Fatal("cancelled entry fired")
+			}
+			continue
+		}
+		live++
+		if !it.fired {
+			t.Fatalf("entry due +%v never fired", it.due.Sub(t0))
+		}
+	}
+	if len(fireOrder) != live {
+		t.Fatalf("fired %d entries, want %d", len(fireOrder), live)
+	}
+	if !sort.SliceIsSorted(fireOrder, func(i, j int) bool {
+		return fireOrder[i].due.Before(fireOrder[j].due)
+	}) {
+		// Two deadlines inside the same tick may legitimately fire in
+		// arming order; only out-of-order across ticks is a bug.
+		for i := 1; i < len(fireOrder); i++ {
+			a, b := fireOrder[i-1].due, fireOrder[i].due
+			if b.Before(a) && a.Sub(b) > w.Tick() {
+				t.Fatalf("fired out of order: +%v before +%v", a.Sub(t0), b.Sub(t0))
+			}
+		}
+	}
+}
+
+func TestRearmIsAllocationFree(t *testing.T) {
+	w := New(t0, time.Millisecond)
+	e := NewEntry(func() {})
+	at := t0.Add(time.Minute)
+	if allocs := testing.AllocsPerRun(1000, func() {
+		at = at.Add(50 * time.Millisecond)
+		w.Schedule(e, at)
+	}); allocs != 0 {
+		t.Fatalf("Schedule allocated %.1f objects/op, want 0", allocs)
+	}
+}
+
+func BenchmarkScheduleRearm(b *testing.B) {
+	w := New(t0, time.Millisecond)
+	e := NewEntry(func() {})
+	at := t0
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		at = at.Add(100 * time.Millisecond)
+		w.Schedule(e, at)
+	}
+}
+
+func BenchmarkAdvanceSteadyState(b *testing.B) {
+	// 64 peers re-arming 100ms deadlines: the steady-state shape.
+	w := New(t0, time.Millisecond)
+	now := t0
+	entries := make([]*Entry, 64)
+	for i := range entries {
+		i := i
+		entries[i] = NewEntry(func() {
+			w.Schedule(entries[i], now.Add(100*time.Millisecond))
+		})
+		w.Schedule(entries[i], now.Add(time.Duration(i)*time.Millisecond+100*time.Millisecond))
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		now = now.Add(time.Millisecond)
+		w.Advance(now)
+	}
+}
+
+func equal(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -171,6 +171,38 @@ func WithReconfigureInterval(d time.Duration) JoinOption {
 	}
 }
 
+// queryConfig is the result of applying QueryOptions.
+type queryConfig struct {
+	sync bool
+}
+
+// QueryOption configures one Leader or Status query.
+type QueryOption func(*queryConfig)
+
+// WithSyncRead serialises the query through the service event loop
+// instead of answering from the wait-free snapshot. The result then
+// reflects every event the loop has processed when the query runs —
+// read-your-event-loop semantics, which tests that interleave commands
+// and queries rely on. It costs a channel round-trip per call; the
+// default snapshot read costs a single atomic load.
+func WithSyncRead() QueryOption {
+	return func(c *queryConfig) { c.sync = true }
+}
+
+// wantSyncRead applies query options. The len guard keeps the zero-option
+// hot path allocation free: &c passed to an opaque func forces c to the
+// heap, so it must only happen on the (cold) optioned path.
+func wantSyncRead(opts []QueryOption) bool {
+	if len(opts) == 0 {
+		return false
+	}
+	var c queryConfig
+	for _, o := range opts {
+		o(&c)
+	}
+	return c.sync
+}
+
 // watchConfig is the result of applying WatchOptions.
 type watchConfig struct {
 	buffer  int

@@ -14,6 +14,7 @@ import (
 	"stableleader/internal/election"
 	"stableleader/internal/group"
 	"stableleader/internal/metrics"
+	"stableleader/internal/timerwheel"
 	"stableleader/internal/wire"
 	"stableleader/qos"
 	"stableleader/transport"
@@ -29,14 +30,15 @@ type Service struct {
 	self id.Process
 	tr   transport.Transport
 	node *core.Node
+	rt   *serviceRuntime
 
 	commands chan func()
 	done     chan struct{}
 	closing  chan struct{}
 	finished chan struct{} // closed after subscribers and transport are down
 
-	// counters instruments the packet plane; written by the outbound
-	// scheduler (event loop) and onDatagram (transport goroutines),
+	// counters instruments the packet plane; written on the event loop
+	// (the outbound scheduler, and inbound dispatch — see onDatagram),
 	// snapshot by PacketStats from anywhere.
 	counters metrics.PacketCounters
 
@@ -84,6 +86,8 @@ func New(self id.Process, tr transport.Transport, opts ...Option) (*Service, err
 		groups:   make(map[id.Group]*Group),
 	}
 	rt := &serviceRuntime{svc: s, rng: rand.New(rand.NewSource(seed))}
+	rt.wheel = timerwheel.New(time.Now(), timerwheel.DefaultTick)
+	s.rt = rt
 	s.node = core.NewNode(self, rt, core.WithPacketCounters(&s.counters))
 	tr.Receive(s.onDatagram)
 	go s.loop()
@@ -93,6 +97,7 @@ func New(self id.Process, tr transport.Transport, opts ...Option) (*Service, err
 // loop is the event loop: every node entry point funnels through here.
 func (s *Service) loop() {
 	defer close(s.done)
+	defer s.rt.stopDriver()
 	for {
 		select {
 		case fn := <-s.commands:
@@ -170,8 +175,13 @@ func (s *Service) onDatagram(payload []byte) {
 		s.recycle(msgs, false)
 		return
 	}
-	s.counters.CountIn(len(msgs), len(payload)+wire.UDPOverhead)
+	// Counted at dispatch on the loop, not here: a datagram the closing
+	// service drops between decode and dispatch must not inflate the
+	// delivered-traffic counters. (payload is captured by size now — the
+	// transport reuses the buffer after we return.)
+	size := len(payload) + wire.UDPOverhead
 	s.enqueue(func() {
+		s.counters.CountIn(len(msgs), size)
 		for _, m := range msgs {
 			s.node.HandleMessage(m)
 		}
@@ -286,7 +296,16 @@ func (s *Service) Join(ctx context.Context, g id.Group, opts ...JoinOption) (*Gr
 					At:       time.Now(),
 				})
 			},
+			OnStatus: grp.storeStatus,
 		})
+		if joinErr == nil {
+			// Seed the read plane so Leader/Status answer wait-free from
+			// the first instant after Join (OnStatus already stored the
+			// initial membership snapshot during core join).
+			if li, lerr := s.node.Leader(g); lerr == nil {
+				grp.seedLeader(publicInfo(li))
+			}
+		}
 	})
 	if err == nil {
 		err = joinErr
@@ -406,21 +425,128 @@ func (s *Service) shutdown(ctx context.Context, leave bool) error {
 }
 
 // serviceRuntime adapts the Service to core.Runtime: real clock, timers
-// that re-enter the event loop, transport sends, and the service RNG (used
-// only on the event loop).
+// multiplexed onto one runtime timer through a hashed timer wheel,
+// transport sends, and the service RNG (used only on the event loop).
+//
+// The wheel is owned by the event loop: every protocol-side arm/re-arm
+// and every Advance happens there, so wheel state needs no locking and
+// wheel callbacks run directly on the loop (satisfying the clock.Clock
+// delivery contract with zero hops). The only cross-goroutine edge is the
+// driver timer's callback, which merely enqueues an advance.
 type serviceRuntime struct {
 	svc *Service
 	rng *rand.Rand
+
+	// wheel holds every pending protocol deadline; driver is the single
+	// runtime timer that wakes the loop at wheel.Next. armed caches the
+	// instant driver is set for, so a re-arm is skipped when the earliest
+	// deadline did not move. All three fields are loop-owned.
+	wheel  *timerwheel.Wheel
+	driver *time.Timer
+	armed  time.Time
+	// advancing suppresses per-callback driver re-arms while Advance
+	// fires a batch of deadlines; the single kick afterwards covers them.
+	advancing bool
 }
 
 var _ core.Runtime = (*serviceRuntime)(nil)
+var _ clock.TimerFactory = (*serviceRuntime)(nil)
 
 // Now implements clock.Clock.
 func (r *serviceRuntime) Now() time.Time { return time.Now() }
 
-// AfterFunc implements clock.Clock; callbacks hop onto the event loop.
+// AfterFunc implements clock.Clock: the deadline goes onto the wheel (one
+// entry allocation — one-shot timers are rare, re-armed paths use
+// NewTimer), and fires on the event loop via the driver.
 func (r *serviceRuntime) AfterFunc(d time.Duration, fn func()) clock.Timer {
-	return time.AfterFunc(d, func() { r.svc.enqueue(fn) })
+	t := &wheelRearmer{rt: r, e: timerwheel.NewEntry(fn)}
+	t.Reset(d)
+	return t
+}
+
+// NewTimer implements clock.TimerFactory: a re-armable wheel entry,
+// allocated once and re-armed in place — the zero-allocation path the
+// failure detector, pacer and outbound scheduler run per heartbeat.
+func (r *serviceRuntime) NewTimer(fn func()) clock.Rearmer {
+	return &wheelRearmer{rt: r, e: timerwheel.NewEntry(fn)}
+}
+
+// wheelRearmer is a clock.Rearmer over the service wheel. Its methods run
+// on the event loop, like every other wheel operation.
+type wheelRearmer struct {
+	rt *serviceRuntime
+	e  *timerwheel.Entry
+}
+
+func (t *wheelRearmer) Reset(d time.Duration) bool {
+	stopped := t.e.Pending()
+	at := time.Now().Add(d)
+	t.rt.wheel.Schedule(t.e, at)
+	// Driver invariant: armed ≤ the earliest pending deadline. A re-arm
+	// to a later instant preserves it as-is (at worst the driver wakes
+	// once with nothing due and re-kicks), so only a new earliest
+	// deadline pays the kick — the per-heartbeat deadline *extensions* on
+	// the hot path skip it entirely.
+	if !t.rt.advancing && (t.rt.armed.IsZero() || at.Before(t.rt.armed)) {
+		t.rt.kick()
+	}
+	return stopped
+}
+
+func (t *wheelRearmer) Stop() bool {
+	// No driver re-arm: a wake-up with nothing due is harmless and rarer
+	// than Stops.
+	return t.rt.wheel.Stop(t.e)
+}
+
+// kick re-arms the driver timer at the wheel's earliest deadline. Called
+// on the loop after any schedule; the advance path calls it after every
+// wheel movement.
+func (r *serviceRuntime) kick() {
+	next, ok := r.wheel.Next()
+	if !ok {
+		r.armed = time.Time{}
+		if r.driver != nil {
+			r.driver.Stop()
+		}
+		return
+	}
+	if !r.armed.IsZero() && r.armed.Equal(next) {
+		return
+	}
+	r.armed = next
+	d := time.Until(next)
+	if r.driver == nil {
+		r.driver = time.AfterFunc(d, r.wake)
+		return
+	}
+	// A Reset racing a fired-but-not-yet-run callback at worst produces a
+	// spurious advance, which fires nothing and re-kicks — never a missed
+	// deadline, because this Reset always covers the earliest one.
+	r.driver.Reset(d)
+}
+
+// wake runs on the driver timer's goroutine: it only hops back onto the
+// event loop (dropped once the service is closing, like any command).
+func (r *serviceRuntime) wake() {
+	r.svc.enqueue(r.advance)
+}
+
+// advance moves the wheel to the present, firing due protocol deadlines
+// inline on the loop, then re-arms the driver.
+func (r *serviceRuntime) advance() {
+	r.armed = time.Time{}
+	r.advancing = true
+	r.wheel.Advance(time.Now())
+	r.advancing = false
+	r.kick()
+}
+
+// stopDriver releases the runtime timer when the event loop exits.
+func (r *serviceRuntime) stopDriver() {
+	if r.driver != nil {
+		r.driver.Stop()
+	}
 }
 
 // sendBufPool recycles marshal buffers across sends: transports do not
