@@ -1,0 +1,111 @@
+package client_test
+
+// The client-plane race hammer (run under -race in CI): clients joining,
+// querying, watching and leaving — gracefully and by crash-style
+// abandonment — while the service side runs real elections, leader
+// crashes and graceful leaves. Its job is to put every client-plane
+// reader/writer pair (cached lease vs event loop, registry vs lease
+// expiry, tombstone fan-out vs transport close) in front of the race
+// detector.
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	stableleader "stableleader"
+	"stableleader/client"
+	"stableleader/id"
+	"stableleader/transport"
+)
+
+func TestClientPlaneChurnRaceHammer(t *testing.T) {
+	hub := transport.NewInproc(nil)
+	svcs, eps := cluster(t, hub, "g", 3)
+	ctx := context.Background()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// Client churners: each goroutine cycles clients through their whole
+	// lifecycle — subscribe, query, watch, close — with short leases so
+	// expiry and renewal paths run constantly.
+	for i := 0; i < 8; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for cycle := 0; ; cycle++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				name := id.Process(fmt.Sprintf("cli-%d-%d", i, cycle))
+				cli, err := client.New(hub.Endpoint(name),
+					client.WithID(name), client.WithEndpoints(eps...),
+					client.WithLeaseTTL(time.Second),
+					client.WithSeed(int64(i*1000+cycle+1)))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				qctx, cancel := context.WithTimeout(ctx, 500*time.Millisecond)
+				_, _ = cli.Leader(qctx, "g")
+				_, _ = cli.Cached("g")
+				wctx, wcancel := context.WithTimeout(ctx, 100*time.Millisecond)
+				for range cli.Watch(wctx, "g", client.WithInitialState()) {
+					break
+				}
+				wcancel()
+				cancel()
+				if cycle%3 == 2 {
+					// Crash-style abandonment: no Close, the transport
+					// endpoint just goes silent; server leases must expire.
+					_ = hub.Endpoint(name).Close()
+				} else {
+					_ = cli.Close(ctx)
+				}
+			}
+		}()
+	}
+
+	// Server churn: crash and restart members (including whoever leads)
+	// under the client load.
+	time.Sleep(300 * time.Millisecond)
+	if err := svcs[0].Crash(); err != nil {
+		t.Error(err)
+	}
+	time.Sleep(500 * time.Millisecond)
+	replacement, err := stableleader.New(eps[0], hub.Endpoint(eps[0]),
+		stableleader.WithSeed(99), stableleader.WithClientPlane())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := replacement.Join(ctx, "g",
+		stableleader.AsCandidate(),
+		stableleader.WithQoS(fastSpec),
+		stableleader.WithSeeds(eps...),
+		stableleader.WithHelloInterval(100*time.Millisecond),
+	); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(500 * time.Millisecond)
+	// A graceful close fans tombstones out to whatever clients are
+	// currently subscribed, racing their own closes.
+	if err := svcs[1].Close(ctx); err != nil {
+		t.Error(err)
+	}
+	time.Sleep(500 * time.Millisecond)
+
+	close(stop)
+	wg.Wait()
+	_ = replacement.Close(ctx)
+	_ = svcs[2].Close(ctx)
+	// svcs[0] crashed, svcs[1] closed above; closing again must be a
+	// clean idempotent no-op even after the churn.
+	_ = svcs[0].Close(ctx)
+	_ = svcs[1].Close(ctx)
+}

@@ -1,0 +1,101 @@
+package client
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"stableleader/id"
+)
+
+// config is the validated result of applying Options.
+type config struct {
+	self      id.Process
+	endpoints []id.Process
+	ttl       time.Duration
+	seed      int64
+}
+
+// Option configures a Client at construction (see New).
+type Option func(*config) error
+
+// WithID sets the client's process id — how service nodes address their
+// snapshots back to it, so it must be unique among everything attached to
+// the transport. Without it a random id is generated.
+func WithID(p id.Process) Option {
+	return func(c *config) error {
+		if p == "" {
+			return errors.New("client: empty process id")
+		}
+		c.self = p
+		return nil
+	}
+}
+
+// WithEndpoints names the service nodes to consult. At least one endpoint
+// is required; more enable failover (and each subscription spreads its
+// initial load across them). Repeated use accumulates.
+func WithEndpoints(eps ...id.Process) Option {
+	return func(c *config) error {
+		for _, ep := range eps {
+			if ep == "" {
+				return errors.New("client: empty endpoint id")
+			}
+			c.endpoints = append(c.endpoints, ep)
+		}
+		return nil
+	}
+}
+
+// WithLeaseTTL sets the lease duration to request (default 10s; service
+// nodes clamp it to their configured bounds). The TTL is the client's
+// staleness bound: a cached view is never served as fresh beyond it.
+func WithLeaseTTL(d time.Duration) Option {
+	return func(c *config) error {
+		if d <= 0 {
+			return fmt.Errorf("client: lease TTL must be positive, got %v", d)
+		}
+		c.ttl = d
+		return nil
+	}
+}
+
+// WithSeed seeds the client's internal randomness (endpoint spreading,
+// retry jitter); fixing it makes those choices reproducible.
+func WithSeed(seed int64) Option {
+	return func(c *config) error {
+		c.seed = seed
+		return nil
+	}
+}
+
+// watchConfig is the result of applying WatchOptions.
+type watchConfig struct {
+	buffer  int
+	initial bool
+}
+
+// defaultWatchBuffer sizes a Watch stream's buffer when WithWatchBuffer
+// is not given.
+const defaultWatchBuffer = 16
+
+// WatchOption configures one Watch subscription (see Client.Watch).
+type WatchOption func(*watchConfig)
+
+// WithWatchBuffer sizes this subscriber's event buffer (default 16; sizes
+// below 1 are ignored). When the buffer is full the oldest undelivered
+// event is dropped, never the newest.
+func WithWatchBuffer(n int) WatchOption {
+	return func(c *watchConfig) {
+		if n > 0 {
+			c.buffer = n
+		}
+	}
+}
+
+// WithInitialState delivers the group's current cached view as a
+// synthetic LeaderUpdated event immediately on subscription (if one has
+// been observed), so a late watcher need not wait for the next change.
+func WithInitialState() WatchOption {
+	return func(c *watchConfig) { c.initial = true }
+}

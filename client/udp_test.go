@@ -1,0 +1,76 @@
+package client_test
+
+// Over real UDP sockets the service has no static address-book entry for
+// a client — clients are a dynamic population. This test proves the
+// learned-address path: the service discovers the client's socket address
+// from its SUBSCRIBE datagram (transport.SourceAware) and answers through
+// the learned mapping.
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	stableleader "stableleader"
+	"stableleader/client"
+	"stableleader/id"
+	"stableleader/transport"
+)
+
+func TestClientOverUDPLearnedAddress(t *testing.T) {
+	ctx := context.Background()
+	srvTr, err := transport.NewUDP("127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := stableleader.New("a", srvTr,
+		stableleader.WithSeed(1), stableleader.WithClientPlane())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close(ctx)
+	if _, err := svc.Join(ctx, "g",
+		stableleader.AsCandidate(), stableleader.WithQoS(fastSpec)); err != nil {
+		t.Fatal(err)
+	}
+
+	// The client knows the server's address; the server knows nothing of
+	// the client until its first datagram arrives.
+	cliTr, err := transport.NewUDP("127.0.0.1:0", map[id.Process]string{
+		"a": srvTr.LocalAddr().String(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli, err := client.New(cliTr,
+		client.WithID("udp-cli"), client.WithEndpoints("a"),
+		client.WithLeaseTTL(2*time.Second), client.WithSeed(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close(ctx)
+
+	qctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	defer cancel()
+	var lease client.LeaderLease
+	for {
+		lease, err = cli.Leader(qctx, "g")
+		if err != nil {
+			t.Fatalf("Leader over UDP: %v", err)
+		}
+		if lease.Elected {
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if lease.Leader != "a" || lease.ServedBy != "a" {
+		t.Fatalf("lease = %+v, want leader a served by a", lease)
+	}
+	// Freshness persists across leases: renewals flow back through the
+	// learned address too.
+	time.Sleep(3 * time.Second)
+	l2, err := cli.Leader(ctx, "g")
+	if err != nil || l2.Stale {
+		t.Fatalf("lease went stale over UDP: %+v, %v", l2, err)
+	}
+}

@@ -15,9 +15,15 @@
 // changes to the full event stream (membership, suspicion, QoS
 // reconfiguration).
 //
+// -serve-clients turns on the remote client plane: non-member processes
+// (see the client package and examples/clientquery) can subscribe to
+// leadership snapshots under renewable leases. Client addresses are
+// learned from their own traffic, so clients need no -peer entries.
+//
 // On SIGINT or SIGTERM the daemon leaves its group gracefully — a LEAVE is
 // announced so peers re-elect immediately instead of waiting for failure
-// detection — and then shuts down.
+// detection, and subscribed clients receive final tombstone snapshots so
+// they fail over at once — and then shuts down.
 package main
 
 import (
@@ -62,6 +68,7 @@ func main() {
 		group     = flag.String("group", "demo", "group to join")
 		algoName  = flag.String("algorithm", "omega-l", "election algorithm: omega-l, omega-lc, omega-id (or s3, s2, s1)")
 		candidate = flag.Bool("candidate", true, "compete for leadership")
+		serveCli  = flag.Bool("serve-clients", false, "answer remote leadership subscriptions (the client package)")
 		events    = flag.Bool("events", false, "log the full event stream, not just leadership changes")
 		tdu       = flag.Duration("tdu", time.Second, "QoS: crash detection time bound (TdU)")
 		tmr       = flag.Duration("tmr", 100*24*time.Hour, "QoS: mistake recurrence lower bound (TmrL)")
@@ -85,7 +92,11 @@ func main() {
 	if err != nil {
 		log.Fatalf("leaderd: %v", err)
 	}
-	svc, err := stableleader.New(id.Process(*self), tr)
+	svcOpts := []stableleader.Option{}
+	if *serveCli {
+		svcOpts = append(svcOpts, stableleader.WithClientPlane())
+	}
+	svc, err := stableleader.New(id.Process(*self), tr, svcOpts...)
 	if err != nil {
 		log.Fatalf("leaderd: %v", err)
 	}
@@ -115,8 +126,8 @@ func main() {
 		log.Fatalf("leaderd: join: %v", err)
 	}
 
-	log.Printf("leaderd: %s joined group %q on %s (algorithm=%s candidate=%v peers=%d)",
-		*self, *group, tr.LocalAddr(), algo, *candidate, len(peers))
+	log.Printf("leaderd: %s joined group %q on %s (algorithm=%s candidate=%v peers=%d serve-clients=%v)",
+		*self, *group, tr.LocalAddr(), algo, *candidate, len(peers), *serveCli)
 
 	watchOpts := []stableleader.WatchOption{stableleader.WithInitialState()}
 	if !*events {

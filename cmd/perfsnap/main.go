@@ -3,11 +3,11 @@
 // performance trajectory of the hot paths instead of eyeballing bench
 // logs. It shells out to `go test -bench` for the benchmark sets named
 // below, parses the standard benchmark output, and writes one JSON file
-// (default BENCH_pr3.json, the snapshot this PR introduces).
+// (default BENCH_pr4.json, the snapshot this PR introduces).
 //
 // Usage:
 //
-//	go run ./cmd/perfsnap [-out BENCH_pr3.json] [-benchtime 1s]
+//	go run ./cmd/perfsnap [-out BENCH_pr4.json] [-benchtime 1s]
 package main
 
 import (
@@ -33,11 +33,15 @@ type suite struct {
 
 // suites are the hot-path benchmarks worth tracking across PRs: the
 // wait-free read plane against its loop-serialised baseline, the failure
-// detector's per-heartbeat cost, and the timer wheel primitives.
+// detector's per-heartbeat cost, the timer wheel primitives, and the
+// client plane's two hot paths — the client-side cached leader read and
+// the server-side snapshot fan-out per subscriber.
 var suites = []suite{
 	{Pkg: ".", Bench: "LeaderQuery|StatusQuery"},
 	{Pkg: "./internal/fd", Bench: "MonitorObserve"},
 	{Pkg: "./internal/timerwheel", Bench: "ScheduleRearm|AdvanceSteadyState"},
+	{Pkg: "./client", Bench: "ClientLeaderQuery"},
+	{Pkg: "./internal/subs", Bench: "Fanout"},
 }
 
 // result is one parsed benchmark line.
@@ -62,7 +66,7 @@ type snapshot struct {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_pr3.json", "output file")
+	out := flag.String("out", "BENCH_pr4.json", "output file")
 	benchtime := flag.String("benchtime", "1s", "go test -benchtime value")
 	flag.Parse()
 

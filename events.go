@@ -229,6 +229,27 @@ type PacketStats struct {
 	BatchesIn   int64
 	MessagesIn  int64
 	BytesIn     int64
+
+	// UnknownDropped counts received messages skipped because their wire
+	// kind is unknown to this build — traffic from newer-versioned peers
+	// (batch inners are skipped individually; a bare unknown datagram
+	// drops whole). A nonzero value under homogeneous versions indicates
+	// garbage or hostile traffic.
+	UnknownDropped int64
+}
+
+// ClientStats is a point-in-time summary of the remote client plane (see
+// WithClientPlane and the client package): how many remote client
+// processes hold leadership subscriptions on this node, and how many
+// (client, group) leases they add up to. Obtain it from
+// Service.ClientStats.
+type ClientStats struct {
+	// Enabled mirrors the WithClientPlane option.
+	Enabled bool
+	// Clients is the number of distinct subscribed client processes.
+	Clients int
+	// Leases is the number of live (client, group) subscriptions.
+	Leases int
 }
 
 // subscriber is one Watch stream: a buffered channel plus a kind filter.

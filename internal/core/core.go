@@ -28,6 +28,7 @@ import (
 	"stableleader/internal/linkest"
 	"stableleader/internal/metrics"
 	"stableleader/internal/outbound"
+	"stableleader/internal/subs"
 	"stableleader/internal/wire"
 	"stableleader/qos"
 )
@@ -151,20 +152,25 @@ type estEntry struct {
 
 // Node is one process's service instance.
 type Node struct {
-	self    id.Process
-	inc     int64
-	rt      Runtime
-	groups  map[id.Group]*groupState
-	est     map[id.Process]*estEntry
-	out     *outbound.Scheduler
-	pacers  map[id.Process]*pacer
+	self   id.Process
+	inc    int64
+	rt     Runtime
+	groups map[id.Group]*groupState
+	est    map[id.Process]*estEntry
+	out    *outbound.Scheduler
+	pacers map[id.Process]*pacer
+	// subs is the client-plane subscriber registry; nil unless the node
+	// was built with WithClientPlane.
+	subs    *subs.Registry
 	stopped bool
 }
 
 // nodeConfig is the result of applying NodeOptions.
 type nodeConfig struct {
-	coalesce bool
-	counters *metrics.PacketCounters
+	coalesce    bool
+	counters    *metrics.PacketCounters
+	clientPlane bool
+	clientCfg   subs.Config
 }
 
 // NodeOption configures a Node at construction.
@@ -181,6 +187,19 @@ func WithCoalescing(enabled bool) NodeOption {
 // reports datagram/batch/coalescing accounting to.
 func WithPacketCounters(pc *metrics.PacketCounters) NodeOption {
 	return func(c *nodeConfig) { c.counters = pc }
+}
+
+// WithClientPlane turns on the remote client plane: the node answers
+// SUBSCRIBE/LEASE_RENEW/UNSUBSCRIBE messages from non-member processes and
+// keeps them informed of leadership with lease-bounded LEADER_SNAPSHOTs
+// (fan-out on leader-change edges plus staggered re-advertisement, all
+// through the outbound coalescing path). cfg tunes the registry: the
+// identity, clock and send fields are supplied by the node and ignored.
+func WithClientPlane(cfg subs.Config) NodeOption {
+	return func(c *nodeConfig) {
+		c.clientPlane = true
+		c.clientCfg = cfg
+	}
 }
 
 // NewNode creates a node for process self. The incarnation is the start
@@ -205,7 +224,47 @@ func NewNode(self id.Process, rt Runtime, opts ...NodeOption) *Node {
 		Counters: cfg.counters,
 		Disabled: !cfg.coalesce,
 	})
+	if cfg.clientPlane {
+		sc := cfg.clientCfg
+		sc.Self = self
+		sc.Incarnation = n.inc
+		sc.Clock = rt
+		sc.Send = func(to id.Process, m wire.Message, urgent bool) {
+			if urgent {
+				n.sendNow(to, m)
+			} else {
+				n.sendLazy(to, m)
+			}
+		}
+		sc.Leader = func(g id.Group) (subs.View, bool) {
+			gs, ok := n.groups[g]
+			if !ok || gs.stopped {
+				return subs.View{}, false
+			}
+			return clientView(gs.currentInfo()), true
+		}
+		n.subs = subs.New(sc)
+	}
 	return n
+}
+
+// clientView converts a leader view for the client plane.
+func clientView(li LeaderInfo) subs.View {
+	return subs.View{
+		Leader:      li.Leader,
+		Incarnation: li.Incarnation,
+		Elected:     li.Elected,
+		At:          li.At,
+	}
+}
+
+// ClientStats summarises the client-plane registry. ok is false when the
+// node was built without a client plane.
+func (n *Node) ClientStats() (st subs.Stats, ok bool) {
+	if n.subs == nil {
+		return subs.Stats{}, false
+	}
+	return n.subs.Stats(), true
 }
 
 // Self returns the local process id.
@@ -319,6 +378,9 @@ func (n *Node) Stop() {
 		gs.shutdown()
 		delete(n.groups, g)
 	}
+	if n.subs != nil {
+		n.subs.Stop()
+	}
 	n.out.Stop()
 }
 
@@ -352,6 +414,29 @@ func (n *Node) handleOne(m wire.Message) {
 	if m.From() == n.self {
 		// A process never processes its own traffic (possible with
 		// broadcast transports).
+		return
+	}
+	// Client-plane traffic routes to the subscriber registry: the senders
+	// are non-members, and an unserved group must still be answered (with
+	// a tombstone), so this dispatch precedes the membership lookup.
+	switch t := m.(type) {
+	case *wire.Subscribe:
+		if n.subs != nil {
+			n.subs.HandleSubscribe(t)
+		}
+		return
+	case *wire.LeaseRenew:
+		if n.subs != nil {
+			n.subs.HandleRenew(t)
+		}
+		return
+	case *wire.Unsubscribe:
+		if n.subs != nil {
+			n.subs.HandleUnsubscribe(t)
+		}
+		return
+	case *wire.LeaderSnapshot:
+		// Client-bound; a service node receiving one drops it.
 		return
 	}
 	gs, ok := n.groups[m.GroupID()]

@@ -598,6 +598,11 @@ func (gs *groupState) afterEvent() {
 	if gs.opts.OnLeaderChange != nil {
 		gs.opts.OnLeaderChange(info)
 	}
+	if gs.n.subs != nil {
+		// The client plane shares the interrupt edge: remote subscribers
+		// learn of the change in the same event that notified local ones.
+		gs.n.subs.PublishLeaderChange(gs.gid, clientView(info))
+	}
 }
 
 // --- lifecycle -------------------------------------------------------------
@@ -611,6 +616,12 @@ func (gs *groupState) leave() {
 		if m.ID != gs.n.self {
 			gs.n.sendNow(m.ID, msg)
 		}
+	}
+	if gs.n.subs != nil {
+		// Final tombstone snapshots, flushed urgently: subscribed clients
+		// fail over to another service node immediately instead of waiting
+		// out their leases against a dead endpoint.
+		gs.n.subs.PublishTombstone(gs.gid, clientView(gs.currentInfo()))
 	}
 	gs.shutdown()
 }

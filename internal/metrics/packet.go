@@ -32,6 +32,11 @@ type PacketCounters struct {
 	BatchesIn   atomic.Int64
 	MessagesIn  atomic.Int64
 	BytesIn     atomic.Int64
+
+	// UnknownDropped counts received messages skipped because their wire
+	// kind is unknown to this build: forward traffic from newer peers
+	// (batch inners skipped individually, bare datagrams dropped whole).
+	UnknownDropped atomic.Int64
 }
 
 // PacketStats is a point-in-time copy of PacketCounters.
@@ -46,6 +51,8 @@ type PacketStats struct {
 	BatchesIn   int64
 	MessagesIn  int64
 	BytesIn     int64
+
+	UnknownDropped int64
 }
 
 // Snapshot reads every counter. The fields are read individually, so a
@@ -62,6 +69,8 @@ func (c *PacketCounters) Snapshot() PacketStats {
 		BatchesIn:    c.BatchesIn.Load(),
 		MessagesIn:   c.MessagesIn.Load(),
 		BytesIn:      c.BytesIn.Load(),
+
+		UnknownDropped: c.UnknownDropped.Load(),
 	}
 }
 
@@ -78,6 +87,15 @@ func (c *PacketCounters) CountOut(msgs int, bytes int) {
 		c.BatchesOut.Add(1)
 		c.CoalescedOut.Add(int64(msgs))
 	}
+}
+
+// CountUnknown records n received messages skipped for carrying a wire
+// kind this build does not know.
+func (c *PacketCounters) CountUnknown(n int64) {
+	if c == nil || n == 0 {
+		return
+	}
+	c.UnknownDropped.Add(n)
 }
 
 // CountIn records one inbound datagram carrying msgs messages and bytes

@@ -13,13 +13,21 @@ package wire
 type Decoder struct {
 	strings map[string]string
 
-	hellos  []*Hello
-	joins   []*Join
-	leaves  []*Leave
-	alives  []*Alive
-	accuses []*Accuse
-	rates   []*Rate
-	batches []*Batch
+	hellos     []*Hello
+	joins      []*Join
+	leaves     []*Leave
+	alives     []*Alive
+	accuses    []*Accuse
+	rates      []*Rate
+	subscribes []*Subscribe
+	unsubs     []*Unsubscribe
+	snapshots  []*LeaderSnapshot
+	renews     []*LeaseRenew
+	batches    []*Batch
+
+	// unknown accumulates inner batch messages skipped for carrying an
+	// unrecognized kind (see TakeUnknown).
+	unknown int64
 }
 
 // maxIntern bounds the interning table. Ids are few in practice; a flood of
@@ -39,7 +47,23 @@ func NewDecoder() *Decoder {
 // structs from the freelists and strings from the interning table.
 func (d *Decoder) Unmarshal(b []byte) (Message, error) {
 	r := reader{b: b, d: d}
-	return unmarshalDatagram(&r)
+	m, err := unmarshalDatagram(&r)
+	if err == nil {
+		// Counted only for datagrams that decoded: a corrupt datagram is
+		// garbage, not forward traffic, even if the bytes before the
+		// corruption happened to look like a skippable future kind.
+		d.unknown += int64(r.unknown)
+	}
+	return m, err
+}
+
+// TakeUnknown returns and resets the count of batch-inner messages skipped
+// since the last call because their kind is unknown to this build. Hosts
+// drain it into their packet counters after each decode.
+func (d *Decoder) TakeUnknown() int64 {
+	n := d.unknown
+	d.unknown = 0
+	return n
 }
 
 // DecodeAppend decodes one datagram and appends its messages — the inner
@@ -110,6 +134,26 @@ func (d *Decoder) Release(m Message) {
 		if len(d.rates) < maxFree {
 			d.rates = append(d.rates, t)
 		}
+	case *Subscribe:
+		*t = Subscribe{}
+		if len(d.subscribes) < maxFree {
+			d.subscribes = append(d.subscribes, t)
+		}
+	case *Unsubscribe:
+		*t = Unsubscribe{}
+		if len(d.unsubs) < maxFree {
+			d.unsubs = append(d.unsubs, t)
+		}
+	case *LeaderSnapshot:
+		*t = LeaderSnapshot{}
+		if len(d.snapshots) < maxFree {
+			d.snapshots = append(d.snapshots, t)
+		}
+	case *LeaseRenew:
+		*t = LeaseRenew{}
+		if len(d.renews) < maxFree {
+			d.renews = append(d.renews, t)
+		}
 	case *Batch:
 		for _, inner := range t.Msgs {
 			d.Release(inner)
@@ -177,4 +221,40 @@ func (d *Decoder) getRate() *Rate {
 		return t
 	}
 	return &Rate{}
+}
+
+func (d *Decoder) getSubscribe() *Subscribe {
+	if n := len(d.subscribes); n > 0 {
+		t := d.subscribes[n-1]
+		d.subscribes = d.subscribes[:n-1]
+		return t
+	}
+	return &Subscribe{}
+}
+
+func (d *Decoder) getUnsubscribe() *Unsubscribe {
+	if n := len(d.unsubs); n > 0 {
+		t := d.unsubs[n-1]
+		d.unsubs = d.unsubs[:n-1]
+		return t
+	}
+	return &Unsubscribe{}
+}
+
+func (d *Decoder) getLeaderSnapshot() *LeaderSnapshot {
+	if n := len(d.snapshots); n > 0 {
+		t := d.snapshots[n-1]
+		d.snapshots = d.snapshots[:n-1]
+		return t
+	}
+	return &LeaderSnapshot{}
+}
+
+func (d *Decoder) getLeaseRenew() *LeaseRenew {
+	if n := len(d.renews); n > 0 {
+		t := d.renews[n-1]
+		d.renews = d.renews[:n-1]
+		return t
+	}
+	return &LeaseRenew{}
 }

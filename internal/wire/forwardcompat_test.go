@@ -1,0 +1,163 @@
+package wire
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+)
+
+// futureKind is a message kind from an imagined newer protocol version:
+// well past every kind this build knows.
+const futureKind = Kind(0x2a)
+
+// appendFutureItem appends one length-prefixed inner message of an unknown
+// kind (arbitrary body bytes) to a batch body under construction.
+func appendFutureItem(b []byte, body []byte) []byte {
+	var w writer
+	w.b = b
+	w.uvarint(uint64(1 + len(body)))
+	w.u8(byte(futureKind))
+	w.b = append(w.b, body...)
+	return w.b
+}
+
+// TestBatchSkipsUnknownKinds is the forward-compatibility regression test:
+// a batch from a future-versioned peer that mixes known messages with kinds
+// this build has never heard of must yield the known messages and count the
+// skipped ones — not fail the whole datagram.
+func TestBatchSkipsUnknownKinds(t *testing.T) {
+	known1 := &Alive{Group: "g", Sender: "w01", Incarnation: 1, Seq: 9}
+	known2 := &Leave{Group: "g", Sender: "w02", Incarnation: 2}
+
+	// Hand-build the envelope: known | future | known | future.
+	var w writer
+	w.kind(KindBatch)
+	w.u8(BatchVersion)
+	w.uvarint(4)
+	w.uvarint(uint64(known1.WireSize()))
+	w.b = MarshalAppend(w.b, known1)
+	w.b = appendFutureItem(w.b, []byte{0xde, 0xad, 0xbe, 0xef})
+	w.uvarint(uint64(known2.WireSize()))
+	w.b = MarshalAppend(w.b, known2)
+	w.b = appendFutureItem(w.b, nil)
+
+	msgs, err := UnmarshalBatch(w.b)
+	if err != nil {
+		t.Fatalf("batch with unknown inner kinds failed to decode: %v", err)
+	}
+	want := []Message{known1, known2}
+	if !reflect.DeepEqual(msgs, want) {
+		t.Fatalf("decoded %+v, want the two known messages %+v", msgs, want)
+	}
+
+	// The pooled decoder agrees and surfaces the skip count.
+	dec := NewDecoder()
+	got, err := dec.DecodeAppend(nil, w.b)
+	if err != nil {
+		t.Fatalf("pooled decode failed: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("pooled decoder yielded %+v, want %+v", got, want)
+	}
+	if n := dec.TakeUnknown(); n != 2 {
+		t.Fatalf("TakeUnknown() = %d, want 2", n)
+	}
+	if n := dec.TakeUnknown(); n != 0 {
+		t.Fatalf("TakeUnknown() did not reset: second call = %d, want 0", n)
+	}
+	for _, m := range got {
+		dec.Release(m)
+	}
+}
+
+// TestBatchAllUnknownKinds: a batch holding only future kinds decodes to
+// zero messages (and is not an error) — the canonical empty batch.
+func TestBatchAllUnknownKinds(t *testing.T) {
+	var w writer
+	w.kind(KindBatch)
+	w.u8(BatchVersion)
+	w.uvarint(2)
+	w.b = appendFutureItem(w.b, []byte{1, 2, 3})
+	w.b = appendFutureItem(w.b, []byte{4})
+
+	msgs, err := UnmarshalBatch(w.b)
+	if err != nil {
+		t.Fatalf("all-unknown batch failed: %v", err)
+	}
+	if len(msgs) != 0 {
+		t.Fatalf("decoded %d messages from an all-unknown batch, want 0", len(msgs))
+	}
+	dec := NewDecoder()
+	if _, err := dec.DecodeAppend(nil, w.b); err != nil {
+		t.Fatalf("pooled decode of all-unknown batch failed: %v", err)
+	}
+	if n := dec.TakeUnknown(); n != 2 {
+		t.Fatalf("TakeUnknown() = %d, want 2", n)
+	}
+}
+
+// TestBareUnknownKindStillErrors: outside a batch there is no length
+// prefix, so a bare unknown kind stays an ErrUnknownKind error (hosts count
+// the dropped datagram separately).
+func TestBareUnknownKindStillErrors(t *testing.T) {
+	_, err := Unmarshal([]byte{byte(futureKind), 1, 'g', 1, 's'})
+	if !errors.Is(err, ErrUnknownKind) {
+		t.Fatalf("bare unknown kind: err = %v, want ErrUnknownKind", err)
+	}
+}
+
+// TestBatchTruncatedUnknownStillErrors: an unknown inner message whose
+// length prefix overruns the datagram is corruption, not forward traffic.
+func TestBatchTruncatedUnknownStillErrors(t *testing.T) {
+	var w writer
+	w.kind(KindBatch)
+	w.u8(BatchVersion)
+	w.uvarint(1)
+	w.uvarint(100) // claims 100 bytes...
+	w.u8(byte(futureKind))
+	w.b = append(w.b, 1, 2, 3) // ...delivers 4
+	if _, err := Unmarshal(w.b); err == nil {
+		t.Fatal("truncated unknown inner message decoded without error")
+	}
+}
+
+// TestClientPlaneKindStrings pins the wire names of the client plane.
+func TestClientPlaneKindStrings(t *testing.T) {
+	names := map[Kind]string{
+		KindSubscribe:      "SUBSCRIBE",
+		KindUnsubscribe:    "UNSUBSCRIBE",
+		KindLeaderSnapshot: "LEADER_SNAPSHOT",
+		KindLeaseRenew:     "LEASE_RENEW",
+	}
+	for k, want := range names {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+// TestClientPlaneInBatch: client-plane messages ride the coalescing
+// envelope like any protocol message — a multi-group snapshot fan-out to
+// one client is one datagram.
+func TestClientPlaneInBatch(t *testing.T) {
+	b := &Batch{Msgs: []Message{
+		&LeaderSnapshot{Group: "g1", Sender: "w01", Incarnation: 1, Seq: 4,
+			Elected: true, Leader: "w02", LeaderIncarnation: 5, At: 100, Lease: int64(10e9)},
+		&LeaderSnapshot{Group: "g2", Sender: "w01", Incarnation: 1, Seq: 7,
+			Elected: false, At: 101, Lease: int64(10e9)},
+		&Subscribe{Group: "g3", Sender: "c1", Incarnation: 2, TTL: int64(10e9)},
+		&LeaseRenew{Group: "g4", Sender: "c1", Incarnation: 2, TTL: int64(10e9)},
+		&Unsubscribe{Group: "g5", Sender: "c1", Incarnation: 2},
+	}}
+	raw := Marshal(b)
+	if len(raw) != b.WireSize() {
+		t.Fatalf("batch WireSize %d != marshaled %d", b.WireSize(), len(raw))
+	}
+	got, err := UnmarshalBatch(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, b.Msgs) {
+		t.Fatalf("round trip mismatch:\n sent %+v\n got  %+v", b.Msgs, got)
+	}
+}

@@ -23,6 +23,18 @@ func FuzzUnmarshal(f *testing.F) {
 		&Alive{Group: "g2", Sender: "s", Incarnation: 1, Seq: 9},
 	}}))
 	f.Add(full[:len(full)-2])
+	// Client-plane traffic: a snapshot fan-out batch, and envelopes mixing
+	// known messages with future kinds (skipped, not errors).
+	f.Add(Marshal(&Batch{Msgs: []Message{
+		&LeaderSnapshot{Group: "g1", Sender: "w01", Incarnation: 1, Seq: 4,
+			Elected: true, Leader: "w02", LeaderIncarnation: 5, At: 100, Lease: int64(10e9)},
+		&Subscribe{Group: "g2", Sender: "c1", Incarnation: 2, TTL: int64(10e9)},
+		&LeaseRenew{Group: "g3", Sender: "c1", Incarnation: 2, TTL: int64(10e9)},
+		&Unsubscribe{Group: "g4", Sender: "c1", Incarnation: 2},
+	}}))
+	f.Add(appendFutureItem(appendFutureItem([]byte{byte(KindBatch), BatchVersion, 2},
+		[]byte{0xde, 0xad}), nil))
+	f.Add([]byte{byte(KindBatch), BatchVersion, 1, 3, byte(futureKind), 0xff})
 	f.Add([]byte{byte(KindBatch)})
 	f.Add([]byte{byte(KindBatch), BatchVersion})
 	f.Add([]byte{byte(KindBatch), BatchVersion, 0xff, 0xff, 0x7f})

@@ -26,6 +26,25 @@
 // message is emitted bare (today's format), so mixed-version clusters keep
 // interoperating on the single-message fast path.
 //
+// Four further kinds form the client plane — the wire surface non-member
+// processes use to consult the election service (the paper's "service"
+// reading of leader election):
+//
+//	SUBSCRIBE        a client asks a service node for leadership snapshots
+//	                 of one group under a renewable lease
+//	UNSUBSCRIBE      a client withdraws its subscription
+//	LEADER_SNAPSHOT  the service's answer: the node's current leader view,
+//	                 the granted lease, and a per-group sequence number;
+//	                 doubles as the periodic re-advertisement and, with the
+//	                 tombstone flag, as the "stop asking me" goodbye
+//	LEASE_RENEW      a client extends its lease without provoking an
+//	                 immediate snapshot
+//
+// Inside a Batch envelope, message kinds this build does not know are
+// skipped (and counted), not treated as corruption: the length prefix makes
+// every inner message self-delimiting, so a newer peer can speak a newer
+// kind to an older one without poisoning the datagram's remaining traffic.
+//
 // Two codec surfaces exist: the convenient allocating one (Marshal,
 // Unmarshal, UnmarshalBatch) and the alloc-free one for hot paths
 // (MarshalAppend into a reused buffer, Decoder with string interning and
@@ -52,7 +71,19 @@ const (
 	KindAccuse
 	KindRate
 	KindBatch
+	KindSubscribe
+	KindUnsubscribe
+	KindLeaderSnapshot
+	KindLeaseRenew
 )
+
+// knownKind reports whether k names a message this build can decode (the
+// Batch envelope excluded: batches never nest). Unknown kinds inside a
+// batch are skipped, not errors — forward compatibility for mixed-version
+// deployments.
+func knownKind(k Kind) bool {
+	return k >= KindHello && k <= KindLeaseRenew && k != KindBatch
+}
 
 // String returns the conventional upper-case name of the kind.
 func (k Kind) String() string {
@@ -71,6 +102,14 @@ func (k Kind) String() string {
 		return "RATE"
 	case KindBatch:
 		return "BATCH"
+	case KindSubscribe:
+		return "SUBSCRIBE"
+	case KindUnsubscribe:
+		return "UNSUBSCRIBE"
+	case KindLeaderSnapshot:
+		return "LEADER_SNAPSHOT"
+	case KindLeaseRenew:
+		return "LEASE_RENEW"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}
@@ -189,6 +228,72 @@ type Rate struct {
 	Interval    int64
 }
 
+// Subscribe asks the destination service node to register Sender (at
+// Incarnation — the client's lifetime, so a restarted client supersedes its
+// stale registration) for leadership snapshots of Group under a lease. The
+// node answers immediately with a LeaderSnapshot carrying the granted
+// lease, then keeps the client fresh with change-driven and periodic
+// snapshots until the lease expires unrenewed.
+type Subscribe struct {
+	Group       id.Group
+	Sender      id.Process
+	Incarnation int64
+	// TTL is the requested lease duration in nanoseconds. The service
+	// clamps it to its configured bounds; the granted value rides back in
+	// the snapshot's Lease field.
+	TTL int64
+}
+
+// Unsubscribe withdraws Sender's subscription to Group. Incarnation must
+// match the registered lifetime: a stale unsubscribe from before a client
+// restart must not tear down the successor's lease.
+type Unsubscribe struct {
+	Group       id.Group
+	Sender      id.Process
+	Incarnation int64
+}
+
+// LeaderSnapshot is the service's client-bound answer: one node's current
+// leadership view of Group. It is sent on subscription, on every local
+// leader change, periodically as re-advertisement (so a lost change
+// snapshot heals within the lease), and with Tombstone set when the node
+// stops serving the group (graceful leave or shutdown) — the signal for
+// clients to fail over to another endpoint.
+type LeaderSnapshot struct {
+	Group       id.Group
+	Sender      id.Process // the service node answering
+	Incarnation int64      // the service node's incarnation
+	// Seq orders snapshots per (node incarnation, group): a reordered UDP
+	// datagram carrying an older view must not overwrite a newer one.
+	Seq uint64
+	// Elected reports whether the node currently knows a leader; Leader
+	// and LeaderIncarnation are meaningful only when it is set.
+	Elected           bool
+	Leader            id.Process
+	LeaderIncarnation int64
+	// Tombstone marks a final snapshot: the node no longer serves the
+	// group. Elected/Leader are the node's last view, kept so clients can
+	// serve it as a stale hint while failing over.
+	Tombstone bool
+	// At is the service node's clock (ns) when this view was adopted.
+	At int64
+	// Lease is the granted lease duration in nanoseconds: how long the
+	// client may serve this view from cache before it must be considered
+	// stale. Zero on tombstones.
+	Lease int64
+}
+
+// LeaseRenew extends Sender's existing subscription lease on Group without
+// provoking an immediate snapshot — the cheap steady-state keepalive.
+// A renew for an unknown (expired, superseded) registration is answered
+// like a fresh Subscribe, so a client that raced an expiry heals itself.
+type LeaseRenew struct {
+	Group       id.Group
+	Sender      id.Process
+	Incarnation int64
+	TTL         int64
+}
+
 // BatchVersion is the envelope version emitted by this build. Decoders
 // reject datagrams with a higher version rather than misparse them.
 const BatchVersion = 1
@@ -214,6 +319,10 @@ var (
 	_ Message = (*Accuse)(nil)
 	_ Message = (*Rate)(nil)
 	_ Message = (*Batch)(nil)
+	_ Message = (*Subscribe)(nil)
+	_ Message = (*Unsubscribe)(nil)
+	_ Message = (*LeaderSnapshot)(nil)
+	_ Message = (*LeaseRenew)(nil)
 )
 
 // Kind implements Message.
@@ -237,6 +346,18 @@ func (*Rate) Kind() Kind { return KindRate }
 // Kind implements Message.
 func (*Batch) Kind() Kind { return KindBatch }
 
+// Kind implements Message.
+func (*Subscribe) Kind() Kind { return KindSubscribe }
+
+// Kind implements Message.
+func (*Unsubscribe) Kind() Kind { return KindUnsubscribe }
+
+// Kind implements Message.
+func (*LeaderSnapshot) Kind() Kind { return KindLeaderSnapshot }
+
+// Kind implements Message.
+func (*LeaseRenew) Kind() Kind { return KindLeaseRenew }
+
 // From implements Message.
 func (m *Hello) From() id.Process { return m.Sender }
 
@@ -254,6 +375,18 @@ func (m *Accuse) From() id.Process { return m.Sender }
 
 // From implements Message.
 func (m *Rate) From() id.Process { return m.Sender }
+
+// From implements Message.
+func (m *Subscribe) From() id.Process { return m.Sender }
+
+// From implements Message.
+func (m *Unsubscribe) From() id.Process { return m.Sender }
+
+// From implements Message.
+func (m *LeaderSnapshot) From() id.Process { return m.Sender }
+
+// From implements Message.
+func (m *LeaseRenew) From() id.Process { return m.Sender }
 
 // From implements Message: the first inner message's sender.
 func (m *Batch) From() id.Process {
@@ -280,6 +413,18 @@ func (m *Accuse) GroupID() id.Group { return m.Group }
 
 // GroupID implements Message.
 func (m *Rate) GroupID() id.Group { return m.Group }
+
+// GroupID implements Message.
+func (m *Subscribe) GroupID() id.Group { return m.Group }
+
+// GroupID implements Message.
+func (m *Unsubscribe) GroupID() id.Group { return m.Group }
+
+// GroupID implements Message.
+func (m *LeaderSnapshot) GroupID() id.Group { return m.Group }
+
+// GroupID implements Message.
+func (m *LeaseRenew) GroupID() id.Group { return m.Group }
 
 // GroupID implements Message: the first inner message's group. A batch may
 // span groups; dispatch reads each inner message's own header.
@@ -339,6 +484,21 @@ func (m *Accuse) WireSize() int { return headerSize(m.Group, m.Sender) + 8 + 4 +
 func (m *Rate) WireSize() int { return headerSize(m.Group, m.Sender) + 8 }
 
 // WireSize implements Message.
+func (m *Subscribe) WireSize() int { return headerSize(m.Group, m.Sender) + 8 }
+
+// WireSize implements Message.
+func (m *Unsubscribe) WireSize() int { return headerSize(m.Group, m.Sender) }
+
+// WireSize implements Message.
+func (m *LeaderSnapshot) WireSize() int {
+	return headerSize(m.Group, m.Sender) + uvarintLen(m.Seq) + 1 +
+		strSize(string(m.Leader)) + 8 + 8 + 8
+}
+
+// WireSize implements Message.
+func (m *LeaseRenew) WireSize() int { return headerSize(m.Group, m.Sender) + 8 }
+
+// WireSize implements Message.
 func (m *Batch) WireSize() int {
 	n := 2 + uvarintLen(uint64(len(m.Msgs))) // kind + version + count
 	for _, inner := range m.Msgs {
@@ -391,6 +551,9 @@ type reader struct {
 	off int
 	err error
 	d   *Decoder
+	// unknown counts inner batch messages skipped for carrying a kind this
+	// build does not know — forward traffic, not corruption.
+	unknown int
 }
 
 func (r *reader) fail() {
@@ -528,6 +691,29 @@ func MarshalAppend(dst []byte, m Message) []byte {
 	case *Rate:
 		w.i64(t.Incarnation)
 		w.i64(t.Interval)
+	case *Subscribe:
+		w.i64(t.Incarnation)
+		w.i64(t.TTL)
+	case *Unsubscribe:
+		w.i64(t.Incarnation)
+	case *LeaderSnapshot:
+		w.i64(t.Incarnation)
+		w.uvarint(t.Seq)
+		var flags byte
+		if t.Elected {
+			flags |= 1
+		}
+		if t.Tombstone {
+			flags |= 2
+		}
+		w.u8(flags)
+		w.str(string(t.Leader))
+		w.i64(t.LeaderIncarnation)
+		w.i64(t.At)
+		w.i64(t.Lease)
+	case *LeaseRenew:
+		w.i64(t.Incarnation)
+		w.i64(t.TTL)
 	default:
 		panic(fmt.Sprintf("wire: Marshal of unknown type %T", m))
 	}
@@ -545,7 +731,8 @@ func Unmarshal(b []byte) (Message, error) {
 // yields its inner messages, a bare message yields a one-element slice.
 // This is the receive-side entry point hosts use, tolerant of both wire
 // formats (the single-message fast path is byte-identical to the pre-batch
-// protocol).
+// protocol). Inner messages with unknown kinds are silently skipped; use a
+// Decoder (TakeUnknown) when the skip count matters.
 func UnmarshalBatch(b []byte) ([]Message, error) {
 	m, err := Unmarshal(b)
 	if err != nil {
@@ -602,6 +789,15 @@ func unmarshalBatchEnvelope(r *reader) (Message, error) {
 		end := r.off + int(l)
 		if Kind(r.b[r.off]) == KindBatch {
 			return nil, fmt.Errorf("%w: nested batch", ErrBadBatch)
+		}
+		if !knownKind(Kind(r.b[r.off])) {
+			// A kind from a newer protocol version: the length prefix
+			// delimits it, so skip exactly its bytes and keep decoding the
+			// rest of the datagram. Hosts surface the count as
+			// PacketStats.UnknownDropped.
+			r.off = end
+			r.unknown++
+			continue
 		}
 		inner := reader{b: r.b[:end], off: r.off, d: r.d}
 		m, err := unmarshalOne(&inner)
@@ -686,6 +882,30 @@ func unmarshalOne(r *reader) (Message, error) {
 		t := r.newRate()
 		t.Group, t.Sender, t.Incarnation, t.Interval = group, sender, r.i64(), r.i64()
 		m = t
+	case KindSubscribe:
+		t := r.newSubscribe()
+		t.Group, t.Sender, t.Incarnation, t.TTL = group, sender, r.i64(), r.i64()
+		m = t
+	case KindUnsubscribe:
+		t := r.newUnsubscribe()
+		t.Group, t.Sender, t.Incarnation = group, sender, r.i64()
+		m = t
+	case KindLeaderSnapshot:
+		t := r.newLeaderSnapshot()
+		t.Group, t.Sender, t.Incarnation = group, sender, r.i64()
+		t.Seq = r.uvarint()
+		flags := r.u8()
+		t.Elected = flags&1 != 0
+		t.Tombstone = flags&2 != 0
+		t.Leader = id.Process(r.str())
+		t.LeaderIncarnation = r.i64()
+		t.At = r.i64()
+		t.Lease = r.i64()
+		m = t
+	case KindLeaseRenew:
+		t := r.newLeaseRenew()
+		t.Group, t.Sender, t.Incarnation, t.TTL = group, sender, r.i64(), r.i64()
+		m = t
 	default:
 		if r.err != nil {
 			return nil, r.err
@@ -740,6 +960,34 @@ func (r *reader) newRate() *Rate {
 		return r.d.getRate()
 	}
 	return &Rate{}
+}
+
+func (r *reader) newSubscribe() *Subscribe {
+	if r.d != nil {
+		return r.d.getSubscribe()
+	}
+	return &Subscribe{}
+}
+
+func (r *reader) newUnsubscribe() *Unsubscribe {
+	if r.d != nil {
+		return r.d.getUnsubscribe()
+	}
+	return &Unsubscribe{}
+}
+
+func (r *reader) newLeaderSnapshot() *LeaderSnapshot {
+	if r.d != nil {
+		return r.d.getLeaderSnapshot()
+	}
+	return &LeaderSnapshot{}
+}
+
+func (r *reader) newLeaseRenew() *LeaseRenew {
+	if r.d != nil {
+		return r.d.getLeaseRenew()
+	}
+	return &LeaseRenew{}
 }
 
 func (r *reader) newBatch(capacity int) *Batch {

@@ -33,6 +33,15 @@ func sampleMessages() []Message {
 		&Alive{Group: "g", Sender: "w07", Incarnation: 2, Seq: 0, SendTime: -1, Interval: 0},
 		&Accuse{Group: "g", Sender: "w09", Incarnation: 5, TargetIncarnation: 9, Phase: 2, At: 1234},
 		&Rate{Group: "g", Sender: "w02", Incarnation: 8, Interval: int64(50e6)},
+		&Subscribe{Group: "g", Sender: "client-7", Incarnation: 42, TTL: int64(10e9)},
+		&Unsubscribe{Group: "g", Sender: "client-7", Incarnation: 42},
+		&LeaderSnapshot{
+			Group: "g", Sender: "w01", Incarnation: 9,
+			Seq: 1 << 33, Elected: true, Leader: "w03", LeaderIncarnation: 77,
+			At: 1710000000000000000, Lease: int64(10e9),
+		},
+		&LeaderSnapshot{Group: "g", Sender: "w01", Incarnation: 9, Seq: 3, Tombstone: true},
+		&LeaseRenew{Group: "g", Sender: "client-7", Incarnation: 42, TTL: int64(5e9)},
 	}
 }
 
@@ -73,7 +82,7 @@ func randomProcess(r *rand.Rand) id.Process {
 func randomMessage(r *rand.Rand) Message {
 	g := id.Group(randomProcess(r))
 	s := randomProcess(r)
-	switch r.Intn(6) {
+	switch r.Intn(10) {
 	case 0:
 		m := &Hello{Group: g, Sender: s, Incarnation: r.Int63()}
 		for i := r.Intn(5); i > 0; i-- {
@@ -104,6 +113,19 @@ func randomMessage(r *rand.Rand) Message {
 	case 4:
 		return &Accuse{Group: g, Sender: s, Incarnation: r.Int63(),
 			TargetIncarnation: r.Int63(), Phase: r.Uint32(), At: r.Int63()}
+	case 5:
+		return &Subscribe{Group: g, Sender: s, Incarnation: r.Int63(), TTL: r.Int63n(1e11)}
+	case 6:
+		return &Unsubscribe{Group: g, Sender: s, Incarnation: r.Int63()}
+	case 7:
+		return &LeaderSnapshot{
+			Group: g, Sender: s, Incarnation: r.Int63(),
+			Seq: r.Uint64() >> uint(r.Intn(64)), Elected: r.Intn(2) == 0,
+			Leader: randomProcess(r), LeaderIncarnation: r.Int63() - r.Int63(),
+			Tombstone: r.Intn(4) == 0, At: r.Int63(), Lease: r.Int63n(1e11),
+		}
+	case 8:
+		return &LeaseRenew{Group: g, Sender: s, Incarnation: r.Int63(), TTL: r.Int63n(1e11)}
 	default:
 		return &Rate{Group: g, Sender: s, Incarnation: r.Int63(), Interval: r.Int63n(1e10)}
 	}

@@ -46,7 +46,8 @@ func ParseAlgorithm(s string) (Algorithm, error) {
 
 // serviceConfig is the validated result of applying Options.
 type serviceConfig struct {
-	seed int64
+	seed        int64
+	clientPlane bool
 }
 
 // Option configures a Service at construction (see New).
@@ -58,6 +59,20 @@ type Option func(*serviceConfig) error
 func WithSeed(seed int64) Option {
 	return func(c *serviceConfig) error {
 		c.seed = seed
+		return nil
+	}
+}
+
+// WithClientPlane turns on the remote client plane: the service answers
+// SUBSCRIBE/LEASE_RENEW/UNSUBSCRIBE messages from non-member processes
+// (see the client package) and keeps them informed of leadership through
+// lease-bounded LEADER_SNAPSHOT messages — fan-out on leader changes plus
+// staggered re-advertisement, coalesced per client. Graceful departures
+// (Group.Leave, Close) send final tombstone snapshots so subscribed
+// clients fail over immediately.
+func WithClientPlane() Option {
+	return func(c *serviceConfig) error {
+		c.clientPlane = true
 		return nil
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"net/netip"
 	"sync"
 	"time"
 
@@ -14,6 +15,7 @@ import (
 	"stableleader/internal/election"
 	"stableleader/internal/group"
 	"stableleader/internal/metrics"
+	"stableleader/internal/subs"
 	"stableleader/internal/timerwheel"
 	"stableleader/internal/wire"
 	"stableleader/qos"
@@ -42,12 +44,12 @@ type Service struct {
 	// snapshot by PacketStats from anywhere.
 	counters metrics.PacketCounters
 
-	// dec is the pooled wire decoder for the receive hot path. decMu
-	// serialises it: transports may deliver concurrently, and releases
-	// happen on the event loop.
-	decMu     sync.Mutex
-	dec       *wire.Decoder
-	msgSlices [][]wire.Message // recycled DecodeAppend destination slices
+	// learner, when non-nil, is the SourceAware transport the client
+	// plane learns client addresses through (see onDatagramFrom).
+	learner transport.SourceAware
+
+	// inbox is the pooled wire decode harness for the receive hot path.
+	inbox *wire.Inbox // recycled DecodeAppend destination slices
 
 	mu       sync.Mutex
 	groups   map[id.Group]*Group
@@ -82,16 +84,41 @@ func New(self id.Process, tr transport.Transport, opts ...Option) (*Service, err
 		done:     make(chan struct{}),
 		closing:  make(chan struct{}),
 		finished: make(chan struct{}),
-		dec:      wire.NewDecoder(),
+		inbox:    wire.NewInbox(),
 		groups:   make(map[id.Group]*Group),
 	}
 	rt := &serviceRuntime{svc: s, rng: rand.New(rand.NewSource(seed))}
 	rt.wheel = timerwheel.New(time.Now(), timerwheel.DefaultTick)
 	s.rt = rt
-	s.node = core.NewNode(self, rt, core.WithPacketCounters(&s.counters))
-	tr.Receive(s.onDatagram)
+	nodeOpts := []core.NodeOption{core.WithPacketCounters(&s.counters)}
+	if cfg.clientPlane {
+		nodeOpts = append(nodeOpts, core.WithClientPlane(subs.Config{}))
+	}
+	s.node = core.NewNode(self, rt, nodeOpts...)
+	if sa, ok := tr.(transport.SourceAware); ok && cfg.clientPlane {
+		// Clients are a dynamic population no static address book can
+		// anticipate: learn each one's address from its own client-plane
+		// traffic and answer through the learned mapping.
+		s.learner = sa
+		sa.ReceiveFrom(s.onDatagramFrom)
+	} else {
+		tr.Receive(s.onDatagram)
+	}
 	go s.loop()
 	return s, nil
+}
+
+// ClientStats reports the client-plane subscriber registry's state:
+// Enabled mirrors WithClientPlane, Clients/Leases the current remote
+// registrations. Serialised through the event loop (the registry is
+// loop-owned), so it honours ctx like any loop query.
+func (s *Service) ClientStats(ctx context.Context) (ClientStats, error) {
+	var st subs.Stats
+	var enabled bool
+	if err := s.call(ctx, func() { st, enabled = s.node.ClientStats() }); err != nil {
+		return ClientStats{}, err
+	}
+	return ClientStats{Enabled: enabled, Clients: st.Clients, Leases: st.Leases}, nil
 }
 
 // loop is the event loop: every node entry point funnels through here.
@@ -162,18 +189,38 @@ func (s *Service) call(ctx context.Context, fn func()) error {
 // protocol handlers copy everything they keep, so the recycle-after-handle
 // contract holds by construction.
 func (s *Service) onDatagram(payload []byte) {
-	s.decMu.Lock()
-	var msgs []wire.Message
-	if n := len(s.msgSlices); n > 0 {
-		msgs = s.msgSlices[n-1][:0]
-		s.msgSlices = s.msgSlices[:n-1]
+	s.dispatchDatagram(payload, netip.AddrPort{})
+}
+
+// onDatagramFrom is the SourceAware receive path: onDatagram plus the
+// datagram's network source, which client-plane messages feed into the
+// transport's address book. Only SUBSCRIBE/LEASE_RENEW/UNSUBSCRIBE teach
+// addresses — member traffic never rewrites the static book, so a spoofed
+// heartbeat cannot redirect protocol traffic.
+func (s *Service) onDatagramFrom(payload []byte, src netip.AddrPort) {
+	s.dispatchDatagram(payload, src)
+}
+
+func (s *Service) dispatchDatagram(payload []byte, src netip.AddrPort) {
+	msgs, unknown, err := s.inbox.Decode(payload)
+	if errors.Is(err, wire.ErrUnknownKind) {
+		// A bare datagram of a future kind: dropped whole, but counted as
+		// forward traffic, not as silent garbage.
+		unknown++
 	}
-	msgs, err := s.dec.DecodeAppend(msgs, payload)
-	s.decMu.Unlock()
+	s.counters.CountUnknown(unknown)
 	if err != nil || len(msgs) == 0 {
 		// Garbage on the wire is dropped, as a UDP service must.
-		s.recycle(msgs, false)
+		s.inbox.Recycle(msgs, false)
 		return
+	}
+	if s.learner != nil && src.IsValid() {
+		for _, m := range msgs {
+			switch m.(type) {
+			case *wire.Subscribe, *wire.LeaseRenew, *wire.Unsubscribe:
+				s.learner.LearnPeer(m.From(), src)
+			}
+		}
 	}
 	// Counted at dispatch on the loop, not here: a datagram the closing
 	// service drops between decode and dispatch must not inflate the
@@ -185,26 +232,8 @@ func (s *Service) onDatagram(payload []byte) {
 		for _, m := range msgs {
 			s.node.HandleMessage(m)
 		}
-		s.recycle(msgs, true)
+		s.inbox.Recycle(msgs, true)
 	})
-}
-
-// recycle returns a decoded message slice (and, when release is set, the
-// messages themselves) to the decoder pools.
-func (s *Service) recycle(msgs []wire.Message, release bool) {
-	if msgs == nil {
-		return
-	}
-	s.decMu.Lock()
-	if release {
-		for _, m := range msgs {
-			s.dec.Release(m)
-		}
-	}
-	if len(s.msgSlices) < 64 {
-		s.msgSlices = append(s.msgSlices, msgs[:0])
-	}
-	s.decMu.Unlock()
 }
 
 // ID returns the service's process id.

@@ -1,0 +1,127 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	stableleader "stableleader"
+)
+
+// TestClientFanoutCoalescingReduction is the acceptance property of the
+// remote client plane: with 1000 simulated clients each subscribed to 8
+// groups on 3 service nodes, the coalesced fan-out (snapshots, renewals
+// and subscribes merged per client) must cut system-wide datagrams by at
+// least 4x versus naive per-message sends — without changing the elected
+// outcome.
+func TestClientFanoutCoalescingReduction(t *testing.T) {
+	run := func(disable bool) Result {
+		res, err := Run(Scenario{
+			Name:              "clients-accept",
+			N:                 3,
+			Groups:            8,
+			Clients:           1000,
+			Algorithm:         stableleader.OmegaL,
+			Duration:          90 * time.Second,
+			Seed:              11,
+			DisableCoalescing: disable,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	on := run(false)
+	off := run(true)
+	secs := (on.Scenario.Warmup + on.Scenario.Duration).Seconds()
+	t.Logf("coalesced:   %9.1f total dgrams/s %9.1f total msgs/s",
+		float64(on.TotalDatagramsSent)/secs, float64(on.TotalMsgsSent)/secs)
+	t.Logf("uncoalesced: %9.1f total dgrams/s %9.1f total msgs/s",
+		float64(off.TotalDatagramsSent)/secs, float64(off.TotalMsgsSent)/secs)
+
+	if on.TotalDatagramsSent <= 0 || off.TotalDatagramsSent <= 0 {
+		t.Fatal("no traffic measured")
+	}
+	ratio := float64(off.TotalDatagramsSent) / float64(on.TotalDatagramsSent)
+	if ratio < 4 {
+		t.Errorf("datagram reduction = %.2fx, want >= 4x at 1000 clients x 8 groups", ratio)
+	}
+	// The protocol outcome is untouched by the client plane: the observed
+	// group stays available and mistake-free in both variants.
+	for _, r := range []Result{on, off} {
+		if r.Metrics.Pleader < 0.999 {
+			t.Errorf("%s: Pleader = %.6f, want ~1 on a clean LAN", r.Scenario.Name, r.Metrics.Pleader)
+		}
+		if r.Metrics.Demotions != 0 {
+			t.Errorf("%s: %d demotions on a clean LAN", r.Scenario.Name, r.Metrics.Demotions)
+		}
+	}
+}
+
+// TestClientChurnLeasesExpire exercises the server-side lease lifecycle
+// under client churn: crashed clients' leases must expire (no unbounded
+// registry growth), and restarted clients re-register under their new
+// incarnation.
+func TestClientChurnLeasesExpire(t *testing.T) {
+	res, err := Run(Scenario{
+		Name:        "clients-churn",
+		N:           3,
+		Groups:      2,
+		Clients:     50,
+		ClientTTL:   5 * time.Second,
+		ClientChurn: &Faults{MTBF: 30 * time.Second, MTTR: 10 * time.Second},
+		Algorithm:   stableleader.OmegaL,
+		Duration:    3 * time.Minute,
+		Seed:        7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The churn must not destabilise the election.
+	if res.Metrics.Demotions != 0 {
+		t.Errorf("client churn caused %d demotions", res.Metrics.Demotions)
+	}
+	if res.Metrics.Pleader < 0.999 {
+		t.Errorf("Pleader = %.6f under client churn", res.Metrics.Pleader)
+	}
+	// And the run must be reproducible: same scenario, same seed, same
+	// traffic, bit for bit.
+	res2, err := Run(Scenario{
+		Name:        "clients-churn",
+		N:           3,
+		Groups:      2,
+		Clients:     50,
+		ClientTTL:   5 * time.Second,
+		ClientChurn: &Faults{MTBF: 30 * time.Second, MTTR: 10 * time.Second},
+		Algorithm:   stableleader.OmegaL,
+		Duration:    3 * time.Minute,
+		Seed:        7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalDatagramsSent != res2.TotalDatagramsSent ||
+		res.TotalMsgsSent != res2.TotalMsgsSent ||
+		res.EventsSimulated != res2.EventsSimulated {
+		t.Errorf("client-plane simulation is not deterministic: %d/%d/%d vs %d/%d/%d",
+			res.TotalDatagramsSent, res.TotalMsgsSent, res.EventsSimulated,
+			res2.TotalDatagramsSent, res2.TotalMsgsSent, res2.EventsSimulated)
+	}
+}
+
+// TestClientExperimentDispatch smoke-tests the -figure clients wiring at
+// a tiny scale.
+func TestClientExperimentDispatch(t *testing.T) {
+	exp, err := RunExperiment("clients", Options{
+		Duration: 30 * time.Second,
+		Warmup:   10 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exp.ID != "clients" || len(exp.Cells) != 6 {
+		t.Fatalf("experiment = %s with %d cells, want clients with 6", exp.ID, len(exp.Cells))
+	}
+	if s := exp.String(); s == "" {
+		t.Error("empty rendering")
+	}
+}

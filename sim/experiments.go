@@ -341,9 +341,77 @@ func Multigroup(o Options) (*Experiment, error) {
 	return exp, nil
 }
 
+// clientsCap bounds the per-cell duration of the client-fanout sweep: a
+// thousand simulated clients generate hundreds of thousands of events per
+// simulated minute, and the datagram-rate comparison is steady-state
+// within a few lease periods.
+const clientsCap = 2 * time.Minute
+
+// ClientFanout measures the remote client plane's fan-out geometry: 3
+// service nodes serving 8 groups to a growing population of simulated
+// subscribers (each subscribed to every group), with the coalescing
+// scheduler on versus off on both sides of the socket. The figure of
+// merit is system-wide datagrams/s: coalescing collapses each client's
+// per-group snapshots, renewals and subscribes into per-client datagrams,
+// so the reduction approaches the group count.
+func ClientFanout(o Options) (*Experiment, error) {
+	o = o.withDefaults()
+	if o.Duration > clientsCap {
+		o.Duration = clientsCap
+	}
+	exp := &Experiment{
+		ID:    "clients",
+		Title: "Client plane fan-out: subscriber sweep, coalescing on vs off",
+		Notes: "Expected: uncoalesced datagrams/s grows with clients x groups; coalescing collapses each client's 8 per-group messages into ~1 datagram per cadence (>=4x fewer system-wide datagrams at 1k clients).",
+	}
+	const (
+		servers = 3
+		groups  = 8
+	)
+	seed := o.Seed
+	for _, variant := range []struct {
+		series  string
+		disable bool
+	}{{"coalesced", false}, {"uncoalesced", true}} {
+		for _, clients := range []int{100, 300, 1000} {
+			seed++
+			sc := Scenario{
+				Name:              fmt.Sprintf("clients/%s/clients=%d", variant.series, clients),
+				N:                 servers,
+				Groups:            groups,
+				Clients:           clients,
+				Algorithm:         stableleader.OmegaL,
+				Link:              LAN().Link,
+				Duration:          o.Duration,
+				Warmup:            o.Warmup,
+				Seed:              seed,
+				DisableCoalescing: variant.disable,
+			}
+			res, err := Run(sc)
+			if err != nil {
+				return nil, fmt.Errorf("clients %s clients=%d: %w", variant.series, clients, err)
+			}
+			exp.Cells = append(exp.Cells, Cell{
+				Series:  variant.series,
+				Setting: fmt.Sprintf("clients=%d", clients),
+				Result:  res,
+			})
+			if o.Progress != nil {
+				secs := (res.Scenario.Warmup + res.Scenario.Duration).Seconds()
+				fmt.Fprintf(o.Progress,
+					"%-10s %-12s %-14s total dgrams/s=%9.1f total msgs/s=%9.1f (wall %v)\n",
+					exp.ID, variant.series, fmt.Sprintf("clients=%d", clients),
+					float64(res.TotalDatagramsSent)/secs, float64(res.TotalMsgsSent)/secs,
+					res.WallTime.Round(time.Millisecond))
+			}
+		}
+	}
+	return exp, nil
+}
+
 // Experiments lists every available experiment id.
 func Experiments() []string {
-	return []string{"fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "headline", "multigroup"}
+	return []string{"fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "headline", "multigroup", "clients"}
 }
 
 // RunExperiment dispatches by figure id.
@@ -365,6 +433,8 @@ func RunExperiment(figID string, o Options) (*Experiment, error) {
 		return Headline(o)
 	case "multigroup":
 		return Multigroup(o)
+	case "clients":
+		return ClientFanout(o)
 	default:
 		return nil, fmt.Errorf("sim: unknown experiment %q (have %s)",
 			figID, strings.Join(Experiments(), ", "))

@@ -18,10 +18,12 @@ import (
 
 	stableleader "stableleader"
 	"stableleader/id"
+	"stableleader/internal/clientcore"
 	"stableleader/internal/core"
 	"stableleader/internal/election"
 	"stableleader/internal/metrics"
 	"stableleader/internal/simnet"
+	"stableleader/internal/subs"
 	"stableleader/qos"
 )
 
@@ -87,8 +89,21 @@ type Scenario struct {
 	DisableStartupGrace bool
 	// DisableCoalescing switches the outbound packet scheduler off: every
 	// message ships as its own datagram, the pre-batching wire behaviour.
-	// For the multigroup ablation experiment.
+	// For the multigroup and client-fanout ablation experiments (it
+	// applies to servers and simulated clients alike).
 	DisableCoalescing bool
+	// Clients is how many simulated non-member client processes consult
+	// the service through the remote client plane. Each subscribes to
+	// every group of the scenario across all N service endpoints
+	// (spreading initial load, failing over on silence and tombstones).
+	// Zero means no client plane.
+	Clients int
+	// ClientTTL is the lease the clients request (default 10s).
+	ClientTTL time.Duration
+	// ClientChurn, when non-nil, crashes and recovers every client with
+	// the given exponential process — exercising server-side lease expiry
+	// and client restarts under load.
+	ClientChurn *Faults
 }
 
 // withDefaults fills unset fields.
@@ -141,6 +156,11 @@ type Result struct {
 	// DatagramsPerSec is datagrams (sent+received) per workstation per
 	// second: the syscall/packet rate the coalescing plane minimises.
 	DatagramsPerSec float64
+	// TotalDatagramsSent and TotalMsgsSent are system-wide send totals —
+	// servers and simulated clients together — the figure of merit for
+	// the client-plane fan-out sweep.
+	TotalDatagramsSent int64
+	TotalMsgsSent      int64
 	// EventsSimulated counts simulator callbacks executed.
 	EventsSimulated int64
 	// WallTime is how long the simulation took in real time.
@@ -157,6 +177,18 @@ func extraGroup(i int) id.Group { return id.Group(fmt.Sprintf("g%02d", i+2)) }
 // procName returns the id of workstation i (zero-based). Ids sort in
 // workstation order, which matters for OmegaID.
 func procName(i int) id.Process { return id.Process(fmt.Sprintf("w%02d", i+1)) }
+
+// clientName returns the id of simulated client i (zero-based).
+func clientName(i int) id.Process { return id.Process(fmt.Sprintf("c%05d", i+1)) }
+
+// allGroups lists every group of the scenario (the observed one first).
+func (sc Scenario) allGroups() []id.Group {
+	out := []id.Group{groupID}
+	for i := 0; i < sc.Groups-1; i++ {
+		out = append(out, extraGroup(i))
+	}
+	return out
+}
 
 // Run executes one scenario and returns its measurements.
 func Run(sc Scenario) (Result, error) {
@@ -183,8 +215,10 @@ func Run(sc Scenario) (Result, error) {
 
 	obs := metrics.NewObserver(groupID, simnet.Epoch().Add(sc.Warmup))
 	cl := &cluster{sc: sc, eng: eng, net: net, obs: obs, procs: procs,
-		runtimes: make(map[id.Process]*simnet.NodeRuntime),
-		crashed:  make(map[id.Process]bool)}
+		runtimes:      make(map[id.Process]*simnet.NodeRuntime),
+		crashed:       make(map[id.Process]bool),
+		clientRTs:     make(map[id.Process]*simnet.NodeRuntime),
+		clientCrashed: make(map[id.Process]bool)}
 
 	// Start every service instance with a small jitter, as independent
 	// workstations would boot.
@@ -193,6 +227,21 @@ func Run(sc Scenario) (Result, error) {
 		candidate := i < sc.Candidates
 		startJitter := time.Duration(eng.Rand().Int63n(int64(100 * time.Millisecond)))
 		eng.After(startJitter, func() { cl.start(p, candidate) })
+	}
+
+	// The simulated client population: non-member processes consulting
+	// the service through the remote client plane, booting spread over a
+	// few seconds (a thundering subscribe herd is not the steady state
+	// the sweep measures).
+	clients := make([]id.Process, sc.Clients)
+	for i := range clients {
+		clients[i] = clientName(i)
+		net.Attach(clients[i])
+	}
+	for _, p := range clients {
+		p := p
+		startJitter := time.Duration(eng.Rand().Int63n(int64(3 * time.Second)))
+		eng.After(startJitter, func() { cl.startClient(p) })
 	}
 
 	// Fault injection.
@@ -209,15 +258,37 @@ func Run(sc Scenario) (Result, error) {
 		simnet.ScheduleAllLinkFaults(eng, net, procs,
 			simnet.FaultPlan{MTBF: f.MTBF, MTTR: f.MTTR})
 	}
+	if f := sc.ClientChurn; f != nil {
+		for _, p := range clients {
+			p := p
+			simnet.ScheduleFaults(eng, simnet.FaultPlan{MTBF: f.MTBF, MTTR: f.MTTR},
+				func() { cl.crashClient(p) },
+				func() { cl.recoverClient(p) },
+			)
+		}
+	}
 
 	end := simnet.Epoch().Add(sc.Warmup + sc.Duration)
 	eng.RunUntil(end)
 	report := obs.Finish(eng.Now())
 
-	// Cost accounting.
+	// Cost accounting. Per-workstation figures cover the N service
+	// endpoints only (the paper's per-workstation costs); the system-wide
+	// send totals include the client population — the fan-out sweep's
+	// figure of merit.
+	isServer := make(map[id.Process]bool, len(procs))
+	for _, p := range procs {
+		isServer[p] = true
+	}
 	var msgs, datagrams, bytes, events int64
+	var totalDgramsSent, totalMsgsSent int64
 	for _, ep := range net.Endpoints() {
 		c := ep.Counters()
+		totalDgramsSent += c.DatagramsSent
+		totalMsgsSent += c.MsgsSent
+		if !isServer[ep.ID()] {
+			continue
+		}
 		msgs += c.MsgsSent + c.MsgsRecv
 		datagrams += c.DatagramsSent + c.DatagramsRecv
 		bytes += c.BytesSent + c.BytesRecv
@@ -226,14 +297,16 @@ func Run(sc Scenario) (Result, error) {
 	seconds := (sc.Warmup + sc.Duration).Seconds()
 	n := float64(sc.N)
 	res := Result{
-		Scenario:        sc,
-		Metrics:         report,
-		CPUPercent:      100 * float64(events) * PerEventCPUCost.Seconds() / (n * seconds),
-		KBPerSec:        float64(bytes) / n / seconds / 1024,
-		MsgsPerSec:      float64(msgs) / n / seconds,
-		DatagramsPerSec: float64(datagrams) / n / seconds,
-		EventsSimulated: eng.EventsFired(),
-		WallTime:        time.Since(wallStart),
+		Scenario:           sc,
+		Metrics:            report,
+		CPUPercent:         100 * float64(events) * PerEventCPUCost.Seconds() / (n * seconds),
+		KBPerSec:           float64(bytes) / n / seconds / 1024,
+		MsgsPerSec:         float64(msgs) / n / seconds,
+		DatagramsPerSec:    float64(datagrams) / n / seconds,
+		TotalDatagramsSent: totalDgramsSent,
+		TotalMsgsSent:      totalMsgsSent,
+		EventsSimulated:    eng.EventsFired(),
+		WallTime:           time.Since(wallStart),
 	}
 	return res, nil
 }
@@ -247,6 +320,9 @@ type cluster struct {
 	procs    []id.Process
 	runtimes map[id.Process]*simnet.NodeRuntime
 	crashed  map[id.Process]bool
+
+	clientRTs     map[id.Process]*simnet.NodeRuntime
+	clientCrashed map[id.Process]bool
 }
 
 // start boots a service instance for p (fresh incarnation). A boot racing
@@ -257,7 +333,11 @@ func (cl *cluster) start(p id.Process, candidate bool) {
 	}
 	rt := simnet.NewNodeRuntime(cl.net, p)
 	cl.runtimes[p] = rt
-	node := core.NewNode(p, rt, core.WithCoalescing(!cl.sc.DisableCoalescing))
+	nodeOpts := []core.NodeOption{core.WithCoalescing(!cl.sc.DisableCoalescing)}
+	if cl.sc.Clients > 0 {
+		nodeOpts = append(nodeOpts, core.WithClientPlane(subs.Config{}))
+	}
+	node := core.NewNode(p, rt, nodeOpts...)
 	cl.net.SetUp(p, true, node)
 	cl.obs.NodeUp(cl.eng.Now(), p, node.Incarnation())
 	// A join is considered complete when the service first answers a
@@ -318,4 +398,44 @@ func (cl *cluster) recover(p id.Process) {
 		}
 	}
 	cl.start(p, candidate)
+}
+
+// startClient boots one simulated client (fresh incarnation): it
+// subscribes to every group of the scenario across all service endpoints.
+// A boot racing an already-injected crash is suppressed.
+func (cl *cluster) startClient(p id.Process) {
+	if cl.clientCrashed[p] || cl.clientRTs[p] != nil {
+		return
+	}
+	rt := simnet.NewNodeRuntime(cl.net, p)
+	cl.clientRTs[p] = rt
+	ttl := cl.sc.ClientTTL
+	node := clientcore.NewNode(rt, clientcore.Config{
+		Self:              p,
+		Endpoints:         cl.procs,
+		TTL:               ttl,
+		DisableCoalescing: cl.sc.DisableCoalescing,
+	})
+	cl.net.SetUp(p, true, node)
+	for _, g := range cl.sc.allGroups() {
+		node.Subscribe(g)
+	}
+}
+
+// crashClient kills one simulated client without goodbye: its lease must
+// expire server-side.
+func (cl *cluster) crashClient(p id.Process) {
+	cl.clientCrashed[p] = true
+	if rt := cl.clientRTs[p]; rt != nil {
+		rt.Shutdown()
+		delete(cl.clientRTs, p)
+	}
+	cl.net.SetUp(p, false, nil)
+}
+
+// recoverClient restarts a crashed client with a fresh incarnation (its
+// new subscriptions supersede the stale server-side registrations).
+func (cl *cluster) recoverClient(p id.Process) {
+	cl.clientCrashed[p] = false
+	cl.startClient(p)
 }

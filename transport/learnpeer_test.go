@@ -1,0 +1,84 @@
+package transport
+
+import (
+	"fmt"
+	"net/netip"
+	"testing"
+
+	"stableleader/id"
+)
+
+// TestLearnPeerCannotOverridePinnedAddresses is the spoof-hardening
+// regression test: addresses from configuration (NewUDP peers, SetPeer)
+// are pinned, so a client-plane datagram claiming a member's id must not
+// redirect that member's traffic.
+func TestLearnPeerCannotOverridePinnedAddresses(t *testing.T) {
+	u, err := NewUDP("127.0.0.1:0", map[id.Process]string{
+		"member": "127.0.0.1:7999",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer u.Close()
+
+	attacker := netip.MustParseAddrPort("10.6.6.6:6666")
+	u.LearnPeer("member", attacker)
+	u.mu.RLock()
+	got := u.book["member"]
+	u.mu.RUnlock()
+	if got == attacker {
+		t.Fatal("LearnPeer overwrote a configured member address")
+	}
+
+	// SetPeer pins too.
+	if err := u.SetPeer("other", "127.0.0.1:7998"); err != nil {
+		t.Fatal(err)
+	}
+	u.LearnPeer("other", attacker)
+	u.mu.RLock()
+	got = u.book["other"]
+	u.mu.RUnlock()
+	if got == attacker {
+		t.Fatal("LearnPeer overwrote a SetPeer address")
+	}
+
+	// Genuinely new ids ARE learned, and refresh on change.
+	a1 := netip.MustParseAddrPort("127.0.0.1:9001")
+	a2 := netip.MustParseAddrPort("127.0.0.1:9002")
+	u.LearnPeer("client", a1)
+	u.LearnPeer("client", a2)
+	u.mu.RLock()
+	got = u.book["client"]
+	u.mu.RUnlock()
+	if got != a2 {
+		t.Fatalf("learned address = %v, want %v", got, a2)
+	}
+}
+
+// TestLearnPeerBounded: the learned half of the book is capped — an id
+// spray cannot grow memory without bound, and pinned entries survive the
+// eviction churn.
+func TestLearnPeerBounded(t *testing.T) {
+	u, err := NewUDP("127.0.0.1:0", map[id.Process]string{
+		"member": "127.0.0.1:7999",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer u.Close()
+
+	addr := netip.MustParseAddrPort("127.0.0.1:9000")
+	for i := 0; i < maxLearnedPeers+500; i++ {
+		u.LearnPeer(id.Process(fmt.Sprintf("spray-%d", i)), addr)
+	}
+	u.mu.RLock()
+	size := len(u.book)
+	_, memberKept := u.book["member"]
+	u.mu.RUnlock()
+	if size > maxLearnedPeers+1 {
+		t.Fatalf("address book grew to %d entries, cap is %d learned + 1 pinned", size, maxLearnedPeers)
+	}
+	if !memberKept {
+		t.Fatal("eviction removed a pinned member entry")
+	}
+}

@@ -8,7 +8,11 @@
 // (see internal/wire) and identifies senders from the payload itself.
 package transport
 
-import "stableleader/id"
+import (
+	"net/netip"
+
+	"stableleader/id"
+)
 
 // Transport is one process's attachment to the network.
 //
@@ -33,4 +37,23 @@ type Transport interface {
 	// called from inside the Receive handler (or from anything the
 	// handler is blocked on): that self-deadlocks.
 	Close() error
+}
+
+// SourceAware is implemented by transports that expose each datagram's
+// network source and can learn id-to-address mappings from it. The
+// service uses it for the remote client plane: clients are a dynamic,
+// unbounded population that cannot be preconfigured in a static address
+// book, so the service learns each client's address from its SUBSCRIBE
+// traffic and answers through the learned mapping.
+//
+// The in-process transport routes by id natively and does not need this;
+// UDP implements it.
+type SourceAware interface {
+	// ReceiveFrom installs a delivery callback that also receives the
+	// datagram's source address. It replaces Receive (same contract:
+	// before any delivery, at most one of the two, payload not retained).
+	ReceiveFrom(h func(payload []byte, src netip.AddrPort))
+	// LearnPeer adds or refreshes the address for process p. Safe for
+	// concurrent use; learning an unchanged address is cheap.
+	LearnPeer(p id.Process, addr netip.AddrPort)
 }

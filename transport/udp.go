@@ -12,6 +12,13 @@ import (
 // maxDatagram bounds received datagrams; service messages are far smaller.
 const maxDatagram = 64 * 1024
 
+// maxLearnedPeers bounds the learned (non-pinned) half of the address
+// book: a spray of datagrams with unique sender ids must not grow memory
+// without bound. At the cap, learning a new id evicts an arbitrary
+// learned entry — an evicted-but-live client re-teaches its address with
+// its next renewal.
+const maxLearnedPeers = 65536
+
 // payloadPool recycles receive buffers across read iterations (and across
 // UDP instances). The Receive contract forbids handlers from retaining the
 // payload, so a buffer goes back into the pool the moment the handler
@@ -33,10 +40,18 @@ type UDP struct {
 	// handler invocation can be in flight once Close has returned.
 	readerDone chan struct{}
 
-	mu      sync.RWMutex
-	book    map[id.Process]netip.AddrPort
+	mu   sync.RWMutex
+	book map[id.Process]netip.AddrPort
+	// pinned marks ids whose address was configured (NewUDP peers,
+	// SetPeer) rather than learned: LearnPeer must never overwrite them,
+	// or one spoofed client-plane datagram naming a member id would
+	// redirect that member's protocol traffic to the attacker.
+	pinned  map[id.Process]bool
 	handler func([]byte)
-	closed  bool
+	// srcHandler is the SourceAware alternative to handler: at most one
+	// of the two is installed.
+	srcHandler func([]byte, netip.AddrPort)
+	closed     bool
 }
 
 // NewUDP opens a socket on listen (e.g. ":7400" or "10.0.0.3:7400") and
@@ -54,6 +69,7 @@ func NewUDP(listen string, peers map[id.Process]string) (*UDP, error) {
 		conn:       conn,
 		readerDone: make(chan struct{}),
 		book:       make(map[id.Process]netip.AddrPort, len(peers)),
+		pinned:     make(map[id.Process]bool, len(peers)),
 	}
 	for p, addr := range peers {
 		a, err := resolveAddrPort(addr)
@@ -62,6 +78,7 @@ func NewUDP(listen string, peers map[id.Process]string) (*UDP, error) {
 			return nil, fmt.Errorf("transport: resolve peer %q=%q: %w", p, addr, err)
 		}
 		u.book[p] = a
+		u.pinned[p] = true
 	}
 	go u.readLoop()
 	return u, nil
@@ -84,7 +101,8 @@ func resolveAddrPort(addr string) (netip.AddrPort, error) {
 // LocalAddr returns the bound socket address.
 func (u *UDP) LocalAddr() net.Addr { return u.conn.LocalAddr() }
 
-// SetPeer adds or updates one peer address.
+// SetPeer adds or updates one peer address. Addresses set this way are
+// configuration: they are pinned against LearnPeer overwrites.
 func (u *UDP) SetPeer(p id.Process, addr string) error {
 	a, err := resolveAddrPort(addr)
 	if err != nil {
@@ -92,6 +110,7 @@ func (u *UDP) SetPeer(p id.Process, addr string) error {
 	}
 	u.mu.Lock()
 	u.book[p] = a
+	u.pinned[p] = true
 	u.mu.Unlock()
 	return nil
 }
@@ -104,7 +123,7 @@ func (u *UDP) readLoop() {
 	defer close(u.readerDone)
 	for {
 		bp := payloadPool.Get().(*[]byte)
-		n, _, err := u.conn.ReadFromUDPAddrPort(*bp)
+		n, src, err := u.conn.ReadFromUDPAddrPort(*bp)
 		if err != nil {
 			payloadPool.Put(bp)
 			return
@@ -114,10 +133,16 @@ func (u *UDP) readLoop() {
 		// raced the shutdown is dropped here rather than delivered.
 		u.mu.RLock()
 		h := u.handler
+		sh := u.srcHandler
 		closed := u.closed
 		u.mu.RUnlock()
-		if h != nil && !closed {
-			h((*bp)[:n])
+		if !closed {
+			switch {
+			case sh != nil:
+				sh((*bp)[:n], netip.AddrPortFrom(src.Addr().Unmap(), src.Port()))
+			case h != nil:
+				h((*bp)[:n])
+			}
 		}
 		payloadPool.Put(bp)
 	}
@@ -150,6 +175,48 @@ func (u *UDP) Receive(h func(payload []byte)) {
 	u.mu.Unlock()
 }
 
+// ReceiveFrom implements SourceAware: like Receive, with the datagram's
+// source address alongside — what the client plane's address learning
+// feeds on. Installing it after Close is a no-op.
+func (u *UDP) ReceiveFrom(h func(payload []byte, src netip.AddrPort)) {
+	u.mu.Lock()
+	if !u.closed {
+		u.srcHandler = h
+	}
+	u.mu.Unlock()
+}
+
+// LearnPeer implements SourceAware: it adds or refreshes one peer
+// address — unless the id's address is pinned configuration (NewUDP
+// peers, SetPeer), which learning must never override: otherwise one
+// spoofed datagram claiming a member's id would hijack that member's
+// traffic. The common case — the address is already known and unchanged —
+// takes only the read lock, so per-datagram learning stays cheap.
+func (u *UDP) LearnPeer(p id.Process, addr netip.AddrPort) {
+	u.mu.RLock()
+	cur, ok := u.book[p]
+	pinned := u.pinned[p]
+	u.mu.RUnlock()
+	if pinned || (ok && cur == addr) {
+		return
+	}
+	u.mu.Lock()
+	if !u.pinned[p] {
+		if _, exists := u.book[p]; !exists && len(u.book)-len(u.pinned) >= maxLearnedPeers {
+			// At capacity: evict an arbitrary learned entry to stay
+			// bounded (map iteration order; pinned entries are immune).
+			for q := range u.book {
+				if !u.pinned[q] {
+					delete(u.book, q)
+					break
+				}
+			}
+		}
+		u.book[p] = addr
+	}
+	u.mu.Unlock()
+}
+
 // Close implements Transport. It returns only after the read loop has
 // exited, so no handler invocation survives (or starts after) Close —
 // which also means Close must never be called from the handler itself
@@ -163,6 +230,7 @@ func (u *UDP) Close() error {
 	}
 	u.closed = true
 	u.handler = nil
+	u.srcHandler = nil
 	u.mu.Unlock()
 	err := u.conn.Close() // unblocks ReadFromUDPAddrPort; readLoop then exits
 	<-u.readerDone
@@ -170,3 +238,4 @@ func (u *UDP) Close() error {
 }
 
 var _ Transport = (*UDP)(nil)
+var _ SourceAware = (*UDP)(nil)
