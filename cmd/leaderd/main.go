@@ -73,6 +73,8 @@ func main() {
 		tdu       = flag.Duration("tdu", time.Second, "QoS: crash detection time bound (TdU)")
 		tmr       = flag.Duration("tmr", 100*24*time.Hour, "QoS: mistake recurrence lower bound (TmrL)")
 		pa        = flag.Float64("pa", 0.99999988, "QoS: query accuracy lower bound (PaL)")
+		shards    = flag.Int("shards", 0, "event-loop shards (0 = one per CPU); groups hash across them")
+		receivers = flag.Int("udp-receivers", 1, "parallel UDP receive sockets (needs SO_REUSEPORT; falls back to 1)")
 	)
 	flag.StringVar(algoName, "algo", *algoName, "alias for -algorithm")
 	flag.Var(peers, "peer", "peer address as id=host:port (repeatable)")
@@ -88,13 +90,16 @@ func main() {
 		log.Fatalf("leaderd: %v", err)
 	}
 
-	tr, err := transport.NewUDP(*listen, peers)
+	tr, err := transport.NewUDP(*listen, peers, transport.WithReceivers(*receivers))
 	if err != nil {
 		log.Fatalf("leaderd: %v", err)
 	}
 	svcOpts := []stableleader.Option{}
 	if *serveCli {
 		svcOpts = append(svcOpts, stableleader.WithClientPlane())
+	}
+	if *shards > 0 {
+		svcOpts = append(svcOpts, stableleader.WithShards(*shards))
 	}
 	svc, err := stableleader.New(id.Process(*self), tr, svcOpts...)
 	if err != nil {
@@ -126,8 +131,8 @@ func main() {
 		log.Fatalf("leaderd: join: %v", err)
 	}
 
-	log.Printf("leaderd: %s joined group %q on %s (algorithm=%s candidate=%v peers=%d serve-clients=%v)",
-		*self, *group, tr.LocalAddr(), algo, *candidate, len(peers), *serveCli)
+	log.Printf("leaderd: %s joined group %q on %s (algorithm=%s candidate=%v peers=%d serve-clients=%v shards=%d receivers=%d)",
+		*self, *group, tr.LocalAddr(), algo, *candidate, len(peers), *serveCli, svc.Shards(), tr.Receivers())
 
 	watchOpts := []stableleader.WatchOption{stableleader.WithInitialState()}
 	if !*events {

@@ -3,11 +3,18 @@
 // performance trajectory of the hot paths instead of eyeballing bench
 // logs. It shells out to `go test -bench` for the benchmark sets named
 // below, parses the standard benchmark output, and writes one JSON file
-// (default BENCH_pr4.json, the snapshot this PR introduces).
+// (default BENCH_pr5.json, the snapshot this PR introduces).
 //
 // Usage:
 //
-//	go run ./cmd/perfsnap [-out BENCH_pr4.json] [-benchtime 1s]
+//	go run ./cmd/perfsnap [-out BENCH_pr5.json] [-benchtime 1s]
+//	go run ./cmd/perfsnap -check BENCH_pr5.json [-factor 2] [-benchtime 200ms]
+//
+// -check is the CI bench-regression smoke: it re-runs the gate
+// benchmarks (LeaderQuery, MonitorObserve, Fanout) and fails if any is
+// more than -factor times slower than the committed snapshot — so a
+// reintroduced hot-path regression fails the build instead of drifting
+// until someone profiles.
 package main
 
 import (
@@ -33,16 +40,30 @@ type suite struct {
 
 // suites are the hot-path benchmarks worth tracking across PRs: the
 // wait-free read plane against its loop-serialised baseline, the failure
-// detector's per-heartbeat cost, the timer wheel primitives, and the
-// client plane's two hot paths — the client-side cached leader read and
-// the server-side snapshot fan-out per subscriber.
+// detector's per-heartbeat cost, the timer wheel primitives, the client
+// plane's two hot paths — the client-side cached leader read and the
+// server-side snapshot fan-out per subscriber — and the sharded runtime's
+// saturation sweep (concurrent and per-shard-slice modes).
 var suites = []suite{
 	{Pkg: ".", Bench: "LeaderQuery|StatusQuery"},
 	{Pkg: "./internal/fd", Bench: "MonitorObserve"},
 	{Pkg: "./internal/timerwheel", Bench: "ScheduleRearm|AdvanceSteadyState"},
 	{Pkg: "./client", Bench: "ClientLeaderQuery"},
 	{Pkg: "./internal/subs", Bench: "Fanout"},
+	{Pkg: ".", Bench: "Saturation"},
 }
+
+// gateSuites are the -check regression gates: the cheapest benchmarks
+// guarding the three hottest paths (wait-free reads, FD heartbeat
+// observation, client-plane fan-out).
+var gateSuites = []suite{
+	{Pkg: ".", Bench: "LeaderQuery$"},
+	{Pkg: "./internal/fd", Bench: "MonitorObserve$"},
+	{Pkg: "./internal/subs", Bench: "Fanout$"},
+}
+
+// gateNames are the benchmark names the gates compare.
+var gateNames = []string{"LeaderQuery", "MonitorObserve", "Fanout"}
 
 // result is one parsed benchmark line.
 type result struct {
@@ -61,14 +82,24 @@ type snapshot struct {
 	GoVersion  string             `json:"go_version"`
 	GOOS       string             `json:"goos"`
 	GOARCH     string             `json:"goarch"`
+	NumCPU     int                `json:"num_cpu"`
 	Benchmarks []result           `json:"benchmarks"`
 	Derived    map[string]float64 `json:"derived"`
 }
 
 func main() {
-	out := flag.String("out", "BENCH_pr4.json", "output file")
+	out := flag.String("out", "BENCH_pr5.json", "output file")
 	benchtime := flag.String("benchtime", "1s", "go test -benchtime value")
+	check := flag.String("check", "", "committed snapshot to gate against (CI regression smoke)")
+	factor := flag.Float64("factor", 2, "allowed ns/op slowdown factor in -check mode")
 	flag.Parse()
+
+	if *check != "" {
+		if err := runCheck(*check, *factor, *benchtime); err != nil {
+			log.Fatalf("perfsnap: %v", err)
+		}
+		return
+	}
 
 	snap := snapshot{
 		Schema:    "stableleader-bench/v1",
@@ -76,6 +107,7 @@ func main() {
 		GoVersion: runtime.Version(),
 		GOOS:      runtime.GOOS,
 		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
 		Derived:   map[string]float64{},
 	}
 	for _, s := range suites {
@@ -86,17 +118,41 @@ func main() {
 		snap.Benchmarks = append(snap.Benchmarks, rs...)
 	}
 
-	// Derived headline ratios: how much the wait-free paths buy over the
-	// loop-serialised ones.
 	ns := map[string]float64{}
 	for _, r := range snap.Benchmarks {
 		ns[r.Name] = r.NsPerOp
 	}
+	// Derived headline ratios: how much the wait-free paths buy over the
+	// loop-serialised ones.
 	if a, b := ns["LeaderQuery"], ns["LeaderQuerySync"]; a > 0 && b > 0 {
 		snap.Derived["leader_query_speedup_vs_sync"] = b / a
 	}
 	if a, b := ns["StatusQuery"], ns["StatusQuerySync"]; a > 0 && b > 0 {
 		snap.Derived["status_query_speedup_vs_sync"] = b / a
+	}
+	// Sharded-runtime saturation: measured concurrent throughput per
+	// shard count, plus the modeled aggregate capacity — shards share no
+	// locks, so on a machine with at least N cores the aggregate is N ×
+	// the per-shard-slice saturation throughput. The modeled figure is
+	// what the sweep's speedup headline uses: the recording host may have
+	// fewer cores than shards (CI containers often pin one), in which
+	// case the concurrent figures cannot express the parallelism that the
+	// slice measurements prove is there.
+	for _, n := range []int{1, 2, 4, 8} {
+		if v := ns[fmt.Sprintf("Saturation/shards=%d", n)]; v > 0 {
+			snap.Derived[fmt.Sprintf("saturation_concurrent_msgs_per_sec_%dshards", n)] = 1e9 / v
+		}
+	}
+	for _, n := range []int{2, 4, 8} {
+		if v := ns[fmt.Sprintf("SaturationShardSlice/shards=%d", n)]; v > 0 {
+			snap.Derived[fmt.Sprintf("saturation_modeled_capacity_msgs_per_sec_%dshards", n)] =
+				float64(n) * 1e9 / v
+		}
+	}
+	if base := ns["Saturation/shards=1"]; base > 0 {
+		if cap8 := snap.Derived["saturation_modeled_capacity_msgs_per_sec_8shards"]; cap8 > 0 {
+			snap.Derived["saturation_speedup_8shards_vs_1"] = cap8 / (1e9 / base)
+		}
 	}
 
 	buf, err := json.MarshalIndent(snap, "", "  ")
@@ -108,6 +164,68 @@ func main() {
 		log.Fatalf("perfsnap: %v", err)
 	}
 	fmt.Printf("perfsnap: wrote %d benchmarks to %s\n", len(snap.Benchmarks), *out)
+}
+
+// runCheck re-runs the gate benchmarks and compares against the committed
+// snapshot. Allocation counts gate exactly (a new allocation on a
+// zero-alloc path is a regression however fast it runs); ns/op gates at
+// the slowdown factor, leaving room for machine-to-machine variance.
+func runCheck(path string, factor float64, benchtime string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var committed snapshot
+	if err := json.Unmarshal(raw, &committed); err != nil {
+		return fmt.Errorf("parse %s: %w", path, err)
+	}
+	want := map[string]result{}
+	for _, r := range committed.Benchmarks {
+		want[r.Name] = r
+	}
+
+	var got []result
+	for _, s := range gateSuites {
+		rs, err := runSuite(s, benchtime)
+		if err != nil {
+			return fmt.Errorf("%s: %w", s.Pkg, err)
+		}
+		got = append(got, rs...)
+	}
+	byName := map[string]result{}
+	for _, r := range got {
+		byName[r.Name] = r
+	}
+
+	failed := false
+	for _, name := range gateNames {
+		w, ok := want[name]
+		if !ok {
+			return fmt.Errorf("committed snapshot %s lacks benchmark %q", path, name)
+		}
+		g, ok := byName[name]
+		if !ok {
+			return fmt.Errorf("gate benchmark %q did not run", name)
+		}
+		switch {
+		case g.NsPerOp > w.NsPerOp*factor:
+			fmt.Printf("FAIL %s: %.1f ns/op vs committed %.1f (allowed %.1fx)\n",
+				name, g.NsPerOp, w.NsPerOp, factor)
+			failed = true
+		case g.AllocsPerOp > w.AllocsPerOp:
+			fmt.Printf("FAIL %s: %d allocs/op vs committed %d\n",
+				name, g.AllocsPerOp, w.AllocsPerOp)
+			failed = true
+		default:
+			fmt.Printf("ok   %s: %.1f ns/op (committed %.1f), %d allocs/op (committed %d)\n",
+				name, g.NsPerOp, w.NsPerOp, g.AllocsPerOp, w.AllocsPerOp)
+		}
+	}
+	if failed {
+		return fmt.Errorf("bench regression gate failed against %s", path)
+	}
+	fmt.Printf("perfsnap: all %d gates within %.1fx of %s\n", len(gateNames), factor, path)
+	return nil
 }
 
 // runSuite executes one bench invocation and parses its output.
@@ -136,6 +254,10 @@ func runSuite(s suite, benchtime string) ([]result, error) {
 // parseBenchLine decodes one standard benchmark output line:
 //
 //	BenchmarkLeaderQuery-8   100000000   13.42 ns/op   0 B/op   0 allocs/op
+//
+// Extra custom metrics (the saturation benches report a groups column)
+// may precede the -benchmem pair; the B/op and allocs/op fields are
+// located by their unit labels, not by position.
 func parseBenchLine(pkg, line string) (result, bool) {
 	f := strings.Fields(line)
 	if len(f) < 8 || !strings.HasPrefix(f[0], "Benchmark") {
@@ -147,10 +269,24 @@ func parseBenchLine(pkg, line string) (result, bool) {
 	}
 	iters, err1 := strconv.ParseInt(f[1], 10, 64)
 	nsop, err2 := strconv.ParseFloat(f[2], 64)
-	bop, err3 := strconv.ParseInt(f[4], 10, 64)
-	aop, err4 := strconv.ParseInt(f[6], 10, 64)
-	if err1 != nil || err2 != nil || err3 != nil || err4 != nil ||
-		f[3] != "ns/op" || f[5] != "B/op" || f[7] != "allocs/op" {
+	if err1 != nil || err2 != nil || f[3] != "ns/op" {
+		return result{}, false
+	}
+	var bop, aop int64
+	var haveB, haveA bool
+	for i := 4; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return result{}, false
+		}
+		switch f[i+1] {
+		case "B/op":
+			bop, haveB = int64(v), true
+		case "allocs/op":
+			aop, haveA = int64(v), true
+		}
+	}
+	if !haveB || !haveA {
 		return result{}, false
 	}
 	return result{

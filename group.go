@@ -65,7 +65,11 @@ type statusView struct {
 // Group is a handle on one joined group.
 type Group struct {
 	svc *Service
-	id  id.Group
+	// sh is the event-loop shard that owns this group's protocol state;
+	// every loop-serialised operation on the group routes to it. Fixed at
+	// Join: a group never migrates between shards.
+	sh *serviceShard
+	id id.Group
 
 	// leader and status are the atomic read plane: Leader and Status are
 	// single atomic loads against these, with no event-loop round-trip
@@ -81,10 +85,11 @@ type Group struct {
 	donec  chan struct{} // closed with the subscribers; ends Watch reapers
 }
 
-// newGroup builds the handle for group g.
-func newGroup(svc *Service, g id.Group) *Group {
+// newGroup builds the handle for group g, owned by shard sh.
+func newGroup(svc *Service, sh *serviceShard, g id.Group) *Group {
 	return &Group{
 		svc:   svc,
+		sh:    sh,
 		id:    g,
 		subs:  make(map[*subscriber]struct{}),
 		donec: make(chan struct{}),
@@ -254,12 +259,13 @@ func (g *Group) Leader(ctx context.Context, opts ...QueryOption) (LeaderInfo, er
 	return lv.info, nil
 }
 
-// leaderSync is the loop-serialised leader query behind WithSyncRead.
+// leaderSync is the loop-serialised leader query behind WithSyncRead,
+// serialised through the group's owning shard.
 func (g *Group) leaderSync(ctx context.Context) (LeaderInfo, error) {
 	var li LeaderInfo
 	var lerr error
-	err := g.svc.call(ctx, func() {
-		cli, e := g.svc.node.Leader(g.id)
+	err := g.sh.call(ctx, func() {
+		cli, e := g.sh.node.Leader(g.id)
 		li, lerr = publicInfo(cli), e
 	})
 	if err != nil {
@@ -308,12 +314,13 @@ func (g *Group) Status(ctx context.Context, opts ...QueryOption) ([]MemberStatus
 	return sv.rows, nil
 }
 
-// statusSync is the loop-serialised status query behind WithSyncRead.
+// statusSync is the loop-serialised status query behind WithSyncRead,
+// serialised through the group's owning shard.
 func (g *Group) statusSync(ctx context.Context) ([]MemberStatus, error) {
 	var out []MemberStatus
 	var serr error
-	err := g.svc.call(ctx, func() {
-		rows, e := g.svc.node.Status(g.id)
+	err := g.sh.call(ctx, func() {
+		rows, e := g.sh.node.Status(g.id)
 		if e != nil {
 			serr = e
 			return
@@ -350,15 +357,15 @@ func (g *Group) Leave(ctx context.Context) error {
 		g.status.Store(&statusView{err: tomb})
 	}
 	var lerr error
-	err := g.svc.call(ctx, func() {
-		lerr = g.svc.node.Leave(g.id)
+	err := g.sh.call(ctx, func() {
+		lerr = g.sh.node.Leave(g.id)
 		tombstone()
 	})
 	if err != nil && !errors.Is(err, ErrClosed) {
 		// ctx expired before the loop ran the departure; finish it in the
 		// background (leaving twice is a harmless no-op).
-		g.svc.enqueue(func() {
-			_ = g.svc.node.Leave(g.id)
+		g.sh.enqueue(func() {
+			_ = g.sh.node.Leave(g.id)
 			tombstone()
 		})
 	}

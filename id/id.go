@@ -21,14 +21,22 @@ type Group string
 // simulation runs stay a pure function of their seed (insertion sort: the
 // sets are tiny).
 func SortedMapKeys[K ~string, V any](m map[K]V) []K {
-	out := make([]K, 0, len(m))
+	return AppendSortedMapKeys(make([]K, 0, len(m)), m)
+}
+
+// AppendSortedMapKeys appends m's keys to dst in ascending order and
+// returns the extended slice. Hot iteration sites (the client-plane
+// fan-out) pass a reusable scratch buffer so the steady state allocates
+// nothing; everyone else goes through SortedMapKeys.
+func AppendSortedMapKeys[K ~string, V any](dst []K, m map[K]V) []K {
+	base := len(dst)
 	for k := range m {
-		out = append(out, k)
+		dst = append(dst, k)
 	}
-	for i := 1; i < len(out); i++ {
-		for j := i; j > 0 && out[j] < out[j-1]; j-- {
-			out[j], out[j-1] = out[j-1], out[j]
+	for i := base + 1; i < len(dst); i++ {
+		for j := i; j > base && dst[j] < dst[j-1]; j-- {
+			dst[j], dst[j-1] = dst[j-1], dst[j]
 		}
 	}
-	return out
+	return dst
 }

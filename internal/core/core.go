@@ -171,6 +171,7 @@ type nodeConfig struct {
 	counters    *metrics.PacketCounters
 	clientPlane bool
 	clientCfg   subs.Config
+	incarnation int64
 }
 
 // NodeOption configures a Node at construction.
@@ -187,6 +188,17 @@ func WithCoalescing(enabled bool) NodeOption {
 // reports datagram/batch/coalescing accounting to.
 func WithPacketCounters(pc *metrics.PacketCounters) NodeOption {
 	return func(c *nodeConfig) { c.counters = pc }
+}
+
+// WithIncarnation fixes the node's incarnation number instead of deriving
+// it from the runtime clock. A sharded host runs one Node per shard but is
+// still ONE process lifetime to the rest of the cluster: every shard's
+// node must announce the same incarnation, or peers would treat the
+// shards as repeated restarts of the process. inc must be strictly greater
+// than any incarnation a previous lifetime of this process announced;
+// zero means "derive from the clock" (the default).
+func WithIncarnation(inc int64) NodeOption {
+	return func(c *nodeConfig) { c.incarnation = inc }
 }
 
 // WithClientPlane turns on the remote client plane: the node answers
@@ -210,9 +222,13 @@ func NewNode(self id.Process, rt Runtime, opts ...NodeOption) *Node {
 	for _, o := range opts {
 		o(&cfg)
 	}
+	inc := cfg.incarnation
+	if inc == 0 {
+		inc = rt.Now().UnixNano()
+	}
 	n := &Node{
 		self:   self,
-		inc:    rt.Now().UnixNano(),
+		inc:    inc,
 		rt:     rt,
 		groups: make(map[id.Group]*groupState),
 		est:    make(map[id.Process]*estEntry),

@@ -111,3 +111,24 @@ func (c *PacketCounters) CountIn(msgs int, bytes int) {
 		c.BatchesIn.Add(1)
 	}
 }
+
+// CountInPart records one shard's share of an inbound datagram whose
+// messages were steered to several event-loop shards. MessagesIn counts
+// every part; the datagram-level columns (DatagramsIn, BytesIn, and
+// BatchesIn when the whole datagram carried more than one message) are
+// carried by exactly one part, flagged datagram by the steering stage —
+// so a datagram split three ways still counts once, while per-shard
+// message delivery stays exact.
+func (c *PacketCounters) CountInPart(msgs int, bytes int, datagram bool, batch bool) {
+	if c == nil {
+		return
+	}
+	c.MessagesIn.Add(int64(msgs))
+	if datagram {
+		c.DatagramsIn.Add(1)
+		c.BytesIn.Add(int64(bytes))
+		if batch {
+			c.BatchesIn.Add(1)
+		}
+	}
+}

@@ -194,6 +194,14 @@ type Registry struct {
 	// little and cost a scan); an empty registry resets it.
 	minTTL time.Duration
 
+	// clientScratch and groupScratch are reusable sorted-key buffers for
+	// the fan-out and sweep iterations: a leader-change under 10k
+	// subscribers must not allocate a fresh key slice per publication.
+	// Safe as registry fields because the registry is single-threaded and
+	// nothing downstream of a send re-enters the iterations.
+	clientScratch []id.Process
+	groupScratch  []id.Group
+
 	stopped bool
 }
 
@@ -339,7 +347,8 @@ func (r *Registry) PublishLeaderChange(g id.Group, v View) {
 		return
 	}
 	gp.seq++
-	for _, c := range id.SortedMapKeys(gp.subs) {
+	r.clientScratch = id.AppendSortedMapKeys(r.clientScratch[:0], gp.subs)
+	for _, c := range r.clientScratch {
 		r.sendSnapshot(gp.subs[c], gp.seq, v)
 	}
 }
@@ -355,7 +364,10 @@ func (r *Registry) PublishTombstone(g id.Group, v View) {
 	if gp == nil || len(gp.subs) == 0 {
 		return
 	}
-	for _, c := range id.SortedMapKeys(gp.subs) {
+	// The scratch snapshot (not live map iteration) is what makes the
+	// dropLease mutations below safe.
+	r.clientScratch = id.AppendSortedMapKeys(r.clientScratch[:0], gp.subs)
+	for _, c := range r.clientScratch {
 		l := gp.subs[c]
 		r.sendTombstone(c, g, v, true)
 		r.dropLease(l)
@@ -528,10 +540,18 @@ func (r *Registry) sweep() {
 		ok  bool
 	}
 	views := make(map[id.Group]*tickView)
-	for _, c := range id.SortedMapKeys(sh.clients) {
+	r.clientScratch = id.AppendSortedMapKeys(r.clientScratch[:0], sh.clients)
+	for _, c := range r.clientScratch {
 		cs := sh.clients[c]
-		for _, g := range id.SortedMapKeys(cs.leases) {
+		if cs == nil {
+			continue // dropped by an earlier iteration of this tick
+		}
+		r.groupScratch = id.AppendSortedMapKeys(r.groupScratch[:0], cs.leases)
+		for _, g := range r.groupScratch {
 			l := cs.leases[g]
+			if l == nil {
+				continue
+			}
 			if now.Sub(l.lastSnap) < l.ttl/3-slack {
 				continue
 			}
@@ -570,9 +590,14 @@ func viewAt(v View) int64 {
 }
 
 // sendSnapshot emits one lease-stamped snapshot on the coalescing path.
+// The struct comes from the send pool: under a 10k-subscriber fan-out the
+// per-subscriber snapshot is the dominant allocation, and the consuming
+// host recycles it the moment the bytes hit the wire (the view itself is
+// shared by value — only the lease stamp differs per subscriber).
 func (r *Registry) sendSnapshot(l *lease, seq uint64, v View) {
 	l.lastSnap = r.cfg.Clock.Now()
-	r.cfg.Send(l.sub.client, &wire.LeaderSnapshot{
+	m := wire.GetLeaderSnapshot()
+	*m = wire.LeaderSnapshot{
 		Group:             l.group,
 		Sender:            r.cfg.Self,
 		Incarnation:       r.cfg.Incarnation,
@@ -582,7 +607,8 @@ func (r *Registry) sendSnapshot(l *lease, seq uint64, v View) {
 		LeaderIncarnation: v.Incarnation,
 		At:                viewAt(v),
 		Lease:             int64(l.ttl),
-	}, false)
+	}
+	r.cfg.Send(l.sub.client, m, false)
 }
 
 // sendTombstone emits a final "not serving this group" snapshot. The last
@@ -599,7 +625,8 @@ func (r *Registry) sendTombstone(to id.Process, g id.Group, v View, urgent bool)
 		gp.seq++
 		seq = gp.seq
 	}
-	r.cfg.Send(to, &wire.LeaderSnapshot{
+	m := wire.GetLeaderSnapshot()
+	*m = wire.LeaderSnapshot{
 		Group:             g,
 		Sender:            r.cfg.Self,
 		Incarnation:       r.cfg.Incarnation,
@@ -609,5 +636,6 @@ func (r *Registry) sendTombstone(to id.Process, g id.Group, v View, urgent bool)
 		LeaderIncarnation: v.Incarnation,
 		Tombstone:         true,
 		At:                viewAt(v),
-	}, urgent)
+	}
+	r.cfg.Send(to, m, urgent)
 }

@@ -362,13 +362,18 @@ func TestShardingSpreadsSweepLoad(t *testing.T) {
 
 // BenchmarkFanout measures the per-subscriber cost of a leader-change
 // publication — the hot multiplier when a leader crashes under 10k
-// watchers.
+// watchers. The Send sink releases each emitted snapshot exactly like the
+// real-time host does after marshalling, so the benchmark exercises the
+// send pool's steady state rather than its cold misses.
 func BenchmarkFanout(b *testing.B) {
 	eng := simnet.NewEngine(1)
 	var sink int
 	reg := New(Config{
 		Self: "w01", Incarnation: 1, Clock: clockAdapter{eng},
-		Send:   func(id.Process, wire.Message, bool) { sink++ },
+		Send: func(_ id.Process, m wire.Message, _ bool) {
+			sink++
+			wire.ReleaseOutbound(m)
+		},
 		Leader: func(id.Group) (View, bool) { return View{Leader: "w01", Elected: true}, true },
 	})
 	const subscribers = 1000
@@ -386,4 +391,38 @@ func BenchmarkFanout(b *testing.B) {
 	}
 	// ns/op here is the cost of ONE full 1000-subscriber fan-out; divide
 	// by 1000 for the per-subscriber price.
+}
+
+// TestFanoutAllocBudget pins the fan-out's allocation profile: one
+// 1000-subscriber leader-change publication must stay under 8 allocations
+// (it was 1001 before the snapshot send pool and the sorted-key scratch —
+// one struct per subscriber plus the key slice). Asserted, not just
+// benchmarked, so a regression fails CI instead of drifting in a profile.
+func TestFanoutAllocBudget(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops Puts at random under the race detector; alloc counts are nondeterministic")
+	}
+	eng := simnet.NewEngine(1)
+	reg := New(Config{
+		Self: "w01", Incarnation: 1, Clock: clockAdapter{eng},
+		Send: func(_ id.Process, m wire.Message, _ bool) {
+			wire.ReleaseOutbound(m)
+		},
+		Leader: func(id.Group) (View, bool) { return View{Leader: "w01", Elected: true}, true },
+	})
+	const subscribers = 1000
+	for i := 0; i < subscribers; i++ {
+		reg.HandleSubscribe(&wire.Subscribe{
+			Group: "g", Sender: id.Process(fmt.Sprintf("c%04d", i)), Incarnation: 1,
+			TTL: int64(time.Hour),
+		})
+	}
+	v := View{Leader: "w02", Incarnation: 3, Elected: true, At: eng.Now()}
+	reg.PublishLeaderChange("g", v) // warm the pool and the scratch buffers
+	allocs := testing.AllocsPerRun(20, func() {
+		reg.PublishLeaderChange("g", v)
+	})
+	if allocs > 8 {
+		t.Fatalf("1000-subscriber fan-out allocated %.0f objects/op, budget is 8 (was 1001 before pooling)", allocs)
+	}
 }

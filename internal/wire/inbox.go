@@ -38,6 +38,22 @@ func (ib *Inbox) Decode(payload []byte) ([]Message, int64, error) {
 	return msgs, unknown, err
 }
 
+// TakeSlice returns a recycled destination slice (nil when the pool is
+// empty) for callers that reorder decoded messages — the sharded host's
+// steering stage scatters a datagram's messages into shard-contiguous
+// runs. Like a Decode result, the slice must go back through Recycle
+// exactly once.
+func (ib *Inbox) TakeSlice() []Message {
+	ib.mu.Lock()
+	var msgs []Message
+	if n := len(ib.slices); n > 0 {
+		msgs = ib.slices[n-1][:0]
+		ib.slices = ib.slices[:n-1]
+	}
+	ib.mu.Unlock()
+	return msgs
+}
+
 // Recycle returns a decoded message slice (and, when release is set, the
 // messages themselves) to the pools.
 func (ib *Inbox) Recycle(msgs []Message, release bool) {

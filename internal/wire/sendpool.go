@@ -1,0 +1,52 @@
+package wire
+
+import "sync"
+
+// Send-side message pooling.
+//
+// The receive side recycles message structs through the Decoder's
+// freelists; the send side needs the mirror for exactly one kind:
+// LeaderSnapshot, the client-plane fan-out payload. A leader-change edge
+// under 10k subscribers builds 10k snapshot structs in one burst, and
+// before pooling that burst dominated the fan-out's allocation profile
+// (BenchmarkFanout: 1001 allocs per 1000-subscriber publication).
+//
+// The contract mirrors the outbound ownership chain: the producer (the
+// subscriber registry) obtains a struct from GetLeaderSnapshot, hands it
+// to the node's send path, and never touches it again; the host that
+// consumes the message — the real-time service, which marshals it into a
+// datagram and drops it — returns it through ReleaseOutbound after the
+// bytes are on the wire. Hosts that retain messages past Send (the
+// simulator's in-flight virtual datagrams, test harnesses that inspect
+// traffic) simply never call ReleaseOutbound: the pool misses and the
+// producer allocates, which is correct, just not free.
+var snapshotPool = sync.Pool{New: func() any { return new(LeaderSnapshot) }}
+
+// GetLeaderSnapshot returns a zeroed LeaderSnapshot, recycled when the
+// consuming host releases them through ReleaseOutbound.
+func GetLeaderSnapshot() *LeaderSnapshot {
+	return snapshotPool.Get().(*LeaderSnapshot)
+}
+
+// ReleaseOutbound recycles the pool-managed messages inside one emitted
+// datagram: a bare LeaderSnapshot, or the LeaderSnapshots carried by a
+// Batch envelope. Every other kind is left to the garbage collector — the
+// protocol core builds those rarely and may share slices (HELLO member
+// rows) that must not be recycled out from under a retainer. The caller
+// must own m outright (the outbound scheduler transfers ownership at
+// Emit) and must not touch it after the call.
+func ReleaseOutbound(m Message) {
+	switch t := m.(type) {
+	case *LeaderSnapshot:
+		*t = LeaderSnapshot{}
+		snapshotPool.Put(t)
+	case *Batch:
+		for i, inner := range t.Msgs {
+			if s, ok := inner.(*LeaderSnapshot); ok {
+				*s = LeaderSnapshot{}
+				snapshotPool.Put(s)
+				t.Msgs[i] = nil
+			}
+		}
+	}
+}

@@ -48,6 +48,7 @@ func ParseAlgorithm(s string) (Algorithm, error) {
 type serviceConfig struct {
 	seed        int64
 	clientPlane bool
+	shards      int
 }
 
 // Option configures a Service at construction (see New).
@@ -59,6 +60,27 @@ type Option func(*serviceConfig) error
 func WithSeed(seed int64) Option {
 	return func(c *serviceConfig) error {
 		c.seed = seed
+		return nil
+	}
+}
+
+// WithShards sets the number of event-loop shards the service runs
+// (default: one per schedulable CPU, capped at MaxShards). Each shard
+// owns its own event loop, timer wheel, RNG and protocol node, and serves
+// the groups whose ids hash onto it — protocol work for groups on
+// different shards runs in parallel with no cross-shard locking. One
+// shard reproduces the classic single-loop behavior exactly; a group
+// never migrates between shards for the life of the service. Values
+// above MaxShards are rejected.
+func WithShards(n int) Option {
+	return func(c *serviceConfig) error {
+		if n < 1 {
+			return errors.New("stableleader: shard count must be at least 1")
+		}
+		if n > MaxShards {
+			return fmt.Errorf("stableleader: shard count %d exceeds MaxShards (%d)", n, MaxShards)
+		}
+		c.shards = n
 		return nil
 	}
 }

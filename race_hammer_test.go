@@ -10,11 +10,13 @@ package stableleader_test
 import (
 	"context"
 	"errors"
+	"fmt"
 	"sync"
 	"testing"
 	"time"
 
 	stableleader "stableleader"
+	"stableleader/client"
 	"stableleader/id"
 	"stableleader/qos"
 	"stableleader/transport"
@@ -134,4 +136,142 @@ func TestReadPlaneRaceHammer(t *testing.T) {
 	if _, err := grp2.Status(ctx); !errors.Is(err, stableleader.ErrClosed) {
 		t.Fatalf("Status on a closed service = %v, want ErrClosed", err)
 	}
+}
+
+// TestCrossShardChurnRaceHammer is the sharded-runtime companion of the
+// read-plane hammer: on a multi-shard service, protocol churn (member
+// joins and crashes) hits the groups of one set of shards while readers
+// pound Leader/Status and remote clients subscribe to groups on other
+// shards — every cross-shard pair (steering stage, shared packet
+// counters, per-shard registries, aggregate shutdown) in front of the
+// race detector at once.
+func TestCrossShardChurnRaceHammer(t *testing.T) {
+	hub := transport.NewInproc(nil)
+	ctx := context.Background()
+	spec := qos.Spec{
+		DetectionTime:     250 * time.Millisecond,
+		MistakeRecurrence: 24 * time.Hour,
+		QueryAccuracy:     0.999,
+	}
+
+	const shards = 4
+	svc, err := stableleader.New("h1", hub.Endpoint("h1"),
+		stableleader.WithSeed(1), stableleader.WithShards(shards),
+		stableleader.WithClientPlane(),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Enough groups that every shard owns a few.
+	const groupCount = 2 * shards
+	groups := make([]*stableleader.Group, groupCount)
+	gids := make([]id.Group, groupCount)
+	for i := range groups {
+		gids[i] = id.Group(fmt.Sprintf("xs%02d", i))
+		grp, err := svc.Join(ctx, gids[i],
+			stableleader.AsCandidate(),
+			stableleader.WithQoS(spec),
+			stableleader.WithSeeds("h1", "h2"),
+			stableleader.WithHelloInterval(50*time.Millisecond),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		groups[i] = grp
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// Readers across every group: fast reads, sync reads, watches.
+	for i := 0; i < 16; i++ {
+		i := i
+		grp := groups[i%groupCount]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				switch i % 3 {
+				case 0:
+					_, _ = grp.Leader(ctx)
+				case 1:
+					_, _ = grp.Status(ctx)
+				case 2:
+					_, _ = grp.Leader(ctx, stableleader.WithSyncRead())
+				}
+			}
+		}()
+	}
+
+	// Remote clients subscribing to a rotating subset of the groups.
+	for c := 0; c < 2; c++ {
+		c := c
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cid := id.Process(fmt.Sprintf("cli%d", c))
+			cl, err := client.New(hub.Endpoint(cid),
+				client.WithID(cid), client.WithEndpoints("h1"),
+				client.WithLeaseTTL(time.Second))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer cl.Close(ctx)
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				qctx, cancel := context.WithTimeout(ctx, 100*time.Millisecond)
+				_, _ = cl.Leader(qctx, gids[i%groupCount])
+				cancel()
+			}
+		}()
+	}
+
+	// Member churn: a second multi-shard service joins and crashes its
+	// way through the groups while the readers run.
+	for cycle := 0; cycle < 3; cycle++ {
+		svc2, err := stableleader.New("h2", hub.Endpoint("h2"),
+			stableleader.WithSeed(int64(100+cycle)), stableleader.WithShards(shards))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range gids {
+			if _, err := svc2.Join(ctx, gids[i],
+				stableleader.AsCandidate(),
+				stableleader.WithQoS(spec),
+				stableleader.WithSeeds("h1"),
+				stableleader.WithHelloInterval(50*time.Millisecond),
+			); err != nil {
+				t.Fatal(err)
+			}
+		}
+		time.Sleep(200 * time.Millisecond)
+		if cycle%2 == 0 {
+			if err := svc2.Close(ctx); err != nil {
+				t.Error(err)
+			}
+		} else {
+			if err := svc2.Crash(); err != nil {
+				t.Error(err)
+			}
+		}
+	}
+
+	// Close the primary under full load, then stop the hammer.
+	if err := svc.Close(ctx); err != nil {
+		t.Error(err)
+	}
+	time.Sleep(20 * time.Millisecond)
+	close(stop)
+	wg.Wait()
 }

@@ -6,7 +6,9 @@ import (
 	"fmt"
 	"math/rand"
 	"net/netip"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"stableleader/id"
@@ -25,36 +27,109 @@ import (
 // ErrClosed is returned by operations on a closed Service.
 var ErrClosed = errors.New("stableleader: service closed")
 
-// Service is a real-time host for the leader election node: it owns the
-// event loop goroutine that serialises message delivery, timers and API
-// commands, mirroring the Command Handler architecture of the paper.
+// MaxShards bounds WithShards: the steering stage partitions each
+// datagram with a fixed-size scratch table, and no deployment needs more
+// event loops than this per process.
+const MaxShards = 64
+
+// Service is a real-time host for the leader election protocol. It runs
+// the paper's Command Handler architecture N times over: the runtime is
+// partitioned into shards, each owning one event-loop goroutine, one
+// timer wheel with its own driver, one RNG and one protocol node hosting
+// the groups hashed onto it. Protocol work for groups on different shards
+// runs truly in parallel, with no cross-shard locking anywhere on the hot
+// path; a group never migrates between shards, so within a group every
+// guarantee of the single-loop architecture is preserved verbatim. With
+// one shard (the default on single-core hosts) the service behaves
+// exactly like the classic single-loop build.
 type Service struct {
 	self id.Process
 	tr   transport.Transport
-	node *core.Node
-	rt   *serviceRuntime
+	inc  int64 // one process lifetime, shared by every shard's node
 
-	commands chan func()
-	done     chan struct{}
+	// shards are the event-loop shards; groups map onto them by stable
+	// hash (shardIndex). Immutable after New.
+	shards []*serviceShard
+
+	done     chan struct{} // closed once EVERY shard loop has exited
 	closing  chan struct{}
 	finished chan struct{} // closed after subscribers and transport are down
 
-	// counters instruments the packet plane; written on the event loop
-	// (the outbound scheduler, and inbound dispatch — see onDatagram),
-	// snapshot by PacketStats from anywhere.
+	// counters instruments the packet plane; written on the shard loops
+	// (the outbound schedulers, and inbound dispatch — see onDatagram),
+	// snapshot by PacketStats from anywhere. The counters are atomic, so
+	// shards share one set without coordination.
 	counters metrics.PacketCounters
 
 	// learner, when non-nil, is the SourceAware transport the client
 	// plane learns client addresses through (see onDatagramFrom).
 	learner transport.SourceAware
 
-	// inbox is the pooled wire decode harness for the receive hot path.
-	inbox *wire.Inbox // recycled DecodeAppend destination slices
+	// inboxes pools wire decode harnesses for the receive hot path: the
+	// transport may deliver from several receiver goroutines (the UDP
+	// multi-receiver mode), and a pool of inboxes lets them decode in
+	// parallel instead of serialising on one decoder mutex. Each decoded
+	// datagram remembers its inbox and recycles into it after dispatch.
+	inboxes sync.Pool
 
 	mu       sync.Mutex
 	groups   map[id.Group]*Group
 	closed   bool
 	closeErr error // transport close outcome; readable once finished is closed
+}
+
+// serviceShard is one event-loop shard: the single-threaded world one
+// subset of the service's groups lives in. Everything a shard owns —
+// its node, wheel, RNG, command queue and inbound ring — is touched only
+// by its own loop goroutine (plus the MPSC producers of the two queues).
+type serviceShard struct {
+	svc  *Service
+	idx  int
+	node *core.Node
+	rt   *serviceRuntime
+
+	commands chan func()
+	// inbound is the shard's half of the steered inbound plane: a bounded
+	// MPSC ring of decoded datagram parts, fed by the transport receiver
+	// goroutines and drained by the loop. Keeping it separate from
+	// commands spares the receive path the closure allocation a func()
+	// envelope would cost per datagram.
+	inbound chan inboundPart
+	done    chan struct{}
+}
+
+// inboundPart is one shard's contiguous share of a decoded datagram:
+// messages fl.msgs[lo:hi] all belong to groups this shard owns. datagram
+// marks the single part that carries the datagram-level counters.
+type inboundPart struct {
+	fl       *inFlight
+	lo, hi   int
+	datagram bool
+}
+
+// inFlight is the refcounted carrier of one decoded datagram while its
+// parts are in flight to the shards: the last shard to finish dispatching
+// recycles the message slice into the inbox that decoded it. Carriers are
+// pooled; a steady receive path allocates nothing per datagram.
+type inFlight struct {
+	inbox   *wire.Inbox
+	msgs    []wire.Message
+	bytes   int  // datagram wire size (payload + UDP/IP overhead)
+	batch   bool // the datagram carried more than one message
+	pending atomic.Int32
+}
+
+var inFlightPool = sync.Pool{New: func() any { return new(inFlight) }}
+
+// release drops one shard's claim; the last claim recycles the messages.
+func (fl *inFlight) release() {
+	if fl.pending.Add(-1) != 0 {
+		return
+	}
+	fl.inbox.Recycle(fl.msgs, true)
+	fl.inbox = nil
+	fl.msgs = nil
+	inFlightPool.Put(fl)
 }
 
 // New creates and starts a Service for process self on the given
@@ -77,24 +152,45 @@ func New(self id.Process, tr transport.Transport, opts ...Option) (*Service, err
 	if seed == 0 {
 		seed = time.Now().UnixNano()
 	}
+	nshards := cfg.shards
+	if nshards <= 0 {
+		nshards = defaultShards()
+	}
 	s := &Service{
 		self:     self,
 		tr:       tr,
-		commands: make(chan func(), 256),
+		inc:      time.Now().UnixNano(),
 		done:     make(chan struct{}),
 		closing:  make(chan struct{}),
 		finished: make(chan struct{}),
-		inbox:    wire.NewInbox(),
 		groups:   make(map[id.Group]*Group),
 	}
-	rt := &serviceRuntime{svc: s, rng: rand.New(rand.NewSource(seed))}
-	rt.wheel = timerwheel.New(time.Now(), timerwheel.DefaultTick)
-	s.rt = rt
-	nodeOpts := []core.NodeOption{core.WithPacketCounters(&s.counters)}
-	if cfg.clientPlane {
-		nodeOpts = append(nodeOpts, core.WithClientPlane(subs.Config{}))
+	s.inboxes.New = func() any { return wire.NewInbox() }
+	s.shards = make([]*serviceShard, nshards)
+	for i := range s.shards {
+		sh := &serviceShard{
+			svc:      s,
+			idx:      i,
+			commands: make(chan func(), 256),
+			inbound:  make(chan inboundPart, 256),
+			done:     make(chan struct{}),
+		}
+		// Per-shard RNG, deterministically derived from the service seed:
+		// shard 0 sees exactly the stream a single-loop service would, so
+		// one-shard runs reproduce the historical behavior bit for bit.
+		rt := &serviceRuntime{sh: sh, rng: rand.New(rand.NewSource(seed + int64(i)))}
+		rt.wheel = timerwheel.New(time.Now(), timerwheel.DefaultTick)
+		sh.rt = rt
+		nodeOpts := []core.NodeOption{
+			core.WithPacketCounters(&s.counters),
+			core.WithIncarnation(s.inc),
+		}
+		if cfg.clientPlane {
+			nodeOpts = append(nodeOpts, core.WithClientPlane(subs.Config{}))
+		}
+		sh.node = core.NewNode(self, rt, nodeOpts...)
+		s.shards[i] = sh
 	}
-	s.node = core.NewNode(self, rt, nodeOpts...)
 	if sa, ok := tr.(transport.SourceAware); ok && cfg.clientPlane {
 		// Clients are a dynamic population no static address book can
 		// anticipate: learn each one's address from its own client-plane
@@ -104,39 +200,103 @@ func New(self id.Process, tr transport.Transport, opts ...Option) (*Service, err
 	} else {
 		tr.Receive(s.onDatagram)
 	}
-	go s.loop()
+	for _, sh := range s.shards {
+		go sh.loop()
+	}
+	// done aggregates the shard exits so shutdown waits on one channel.
+	go func() {
+		for _, sh := range s.shards {
+			<-sh.done
+		}
+		close(s.done)
+	}()
 	return s, nil
 }
 
-// ClientStats reports the client-plane subscriber registry's state:
-// Enabled mirrors WithClientPlane, Clients/Leases the current remote
-// registrations. Serialised through the event loop (the registry is
-// loop-owned), so it honours ctx like any loop query.
-func (s *Service) ClientStats(ctx context.Context) (ClientStats, error) {
-	var st subs.Stats
-	var enabled bool
-	if err := s.call(ctx, func() { st, enabled = s.node.ClientStats() }); err != nil {
-		return ClientStats{}, err
+// defaultShards derives the shard count from the hardware: one event loop
+// per schedulable CPU, so a multi-group service saturates the machine
+// without configuration, capped at MaxShards.
+func defaultShards() int {
+	n := runtime.GOMAXPROCS(0)
+	if n < 1 {
+		n = 1
 	}
-	return ClientStats{Enabled: enabled, Clients: st.Clients, Leases: st.Leases}, nil
+	if n > MaxShards {
+		n = MaxShards
+	}
+	return n
 }
 
-// loop is the event loop: every node entry point funnels through here.
-func (s *Service) loop() {
-	defer close(s.done)
-	defer s.rt.stopDriver()
+// Shards reports the number of event-loop shards this service runs.
+func (s *Service) Shards() int { return len(s.shards) }
+
+// shardIndex maps a group onto its owning shard — a stable FNV-1a hash,
+// so the assignment never changes for the life of the service and every
+// host (steering stage, Join, queries) agrees without coordination.
+func (s *Service) shardIndex(g id.Group) int {
+	if len(s.shards) == 1 {
+		return 0
+	}
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(g); i++ {
+		h ^= uint64(g[i])
+		h *= prime64
+	}
+	return int(h % uint64(len(s.shards)))
+}
+
+// shardFor returns the shard owning group g.
+func (s *Service) shardFor(g id.Group) *serviceShard { return s.shards[s.shardIndex(g)] }
+
+// ClientStats reports the client-plane subscriber registry's state:
+// Enabled mirrors WithClientPlane, Clients/Leases the current remote
+// registrations, aggregated across shards. Serialised through each
+// shard's event loop (the registries are loop-owned), so it honours ctx
+// like any loop query. A client subscribed to groups on k shards counts
+// once per shard in Clients.
+func (s *Service) ClientStats(ctx context.Context) (ClientStats, error) {
+	var total ClientStats
+	for _, sh := range s.shards {
+		var st subs.Stats
+		var enabled bool
+		if err := sh.call(ctx, func() { st, enabled = sh.node.ClientStats() }); err != nil {
+			return ClientStats{}, err
+		}
+		total.Enabled = enabled
+		total.Clients += st.Clients
+		total.Leases += st.Leases
+	}
+	return total, nil
+}
+
+// loop is a shard's event loop: every entry point of the shard's node
+// funnels through here — commands, steered inbound traffic, and (via the
+// driver's enqueued advance) timer deadlines.
+func (sh *serviceShard) loop() {
+	defer close(sh.done)
+	defer sh.rt.stopDriver()
 	for {
 		select {
-		case fn := <-s.commands:
+		case fn := <-sh.commands:
 			fn()
-		case <-s.closing:
-			// Drain whatever is already queued, then stop.
+		case p := <-sh.inbound:
+			sh.handleInbound(p)
+		case <-sh.svc.closing:
+			// Drain whatever is already queued, then stop. Only this
+			// shard's queues are touched, so one shard's drain can never
+			// block on (or be blocked by) another's.
 			for {
 				select {
-				case fn := <-s.commands:
+				case fn := <-sh.commands:
 					fn()
+				case p := <-sh.inbound:
+					sh.handleInbound(p)
 				default:
-					s.node.Stop()
+					sh.node.Stop()
 					return
 				}
 			}
@@ -144,20 +304,42 @@ func (s *Service) loop() {
 	}
 }
 
-// enqueue schedules fn on the event loop; it drops work once closing.
-func (s *Service) enqueue(fn func()) {
+// handleInbound dispatches one steered datagram part on the shard loop.
+func (sh *serviceShard) handleInbound(p inboundPart) {
+	fl := p.fl
+	sh.svc.counters.CountInPart(p.hi-p.lo, fl.bytes, p.datagram, fl.batch)
+	for _, m := range fl.msgs[p.lo:p.hi] {
+		sh.node.HandleMessage(m)
+	}
+	fl.release()
+}
+
+// enqueue schedules fn on the shard's event loop; it drops work once the
+// service is closing.
+func (sh *serviceShard) enqueue(fn func()) {
 	select {
-	case s.commands <- fn:
-	case <-s.closing:
+	case sh.commands <- fn:
+	case <-sh.svc.closing:
 	}
 }
 
-// call runs fn on the event loop and waits for it, honouring ctx: a
-// cancelled or expired context returns ctx.Err() promptly instead of
+// enqueueInbound hands one datagram part to the shard, blocking (bounded
+// ring backpressure) while the loop catches up; once the service is
+// closing the part is dropped and its claim released, like any command.
+func (sh *serviceShard) enqueueInbound(p inboundPart) {
+	select {
+	case sh.inbound <- p:
+	case <-sh.svc.closing:
+		p.fl.release()
+	}
+}
+
+// call runs fn on the shard's event loop and waits for it, honouring ctx:
+// a cancelled or expired context returns ctx.Err() promptly instead of
 // blocking on the loop. When call returns a context error the command may
 // or may not still execute; callers needing certainty enqueue idempotent
 // compensation.
-func (s *Service) call(ctx context.Context, fn func()) error {
+func (sh *serviceShard) call(ctx context.Context, fn func()) error {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -166,10 +348,10 @@ func (s *Service) call(ctx context.Context, fn func()) error {
 	}
 	donec := make(chan struct{})
 	select {
-	case s.commands <- func() { fn(); close(donec) }:
+	case sh.commands <- func() { fn(); close(donec) }:
 	case <-ctx.Done():
 		return ctx.Err()
-	case <-s.closing:
+	case <-sh.svc.closing:
 		return ErrClosed
 	}
 	select {
@@ -177,17 +359,19 @@ func (s *Service) call(ctx context.Context, fn func()) error {
 		return nil
 	case <-ctx.Done():
 		return ctx.Err()
-	case <-s.done:
+	case <-sh.done:
 		return ErrClosed
 	}
 }
 
-// onDatagram decodes and dispatches one received datagram — a bare message
+// onDatagram decodes and steers one received datagram — a bare message
 // or a batch envelope. Decoding happens here (the transport reuses the
-// payload buffer after we return) through the pooled Decoder; the decoded
-// messages are handed to the event loop and recycled once dispatched. The
-// protocol handlers copy everything they keep, so the recycle-after-handle
-// contract holds by construction.
+// payload buffer after we return) through a pooled Decoder; the decoded
+// messages are partitioned by owning shard, handed to the shard loops
+// over the bounded inbound rings, and recycled once every part has been
+// dispatched. The protocol handlers copy everything they keep, so the
+// recycle-after-handle contract holds by construction. Safe for
+// concurrent delivery (multi-receiver transports).
 func (s *Service) onDatagram(payload []byte) {
 	s.dispatchDatagram(payload, netip.AddrPort{})
 }
@@ -202,7 +386,8 @@ func (s *Service) onDatagramFrom(payload []byte, src netip.AddrPort) {
 }
 
 func (s *Service) dispatchDatagram(payload []byte, src netip.AddrPort) {
-	msgs, unknown, err := s.inbox.Decode(payload)
+	ib := s.inboxes.Get().(*wire.Inbox)
+	msgs, unknown, err := ib.Decode(payload)
 	if errors.Is(err, wire.ErrUnknownKind) {
 		// A bare datagram of a future kind: dropped whole, but counted as
 		// forward traffic, not as silent garbage.
@@ -211,7 +396,8 @@ func (s *Service) dispatchDatagram(payload []byte, src netip.AddrPort) {
 	s.counters.CountUnknown(unknown)
 	if err != nil || len(msgs) == 0 {
 		// Garbage on the wire is dropped, as a UDP service must.
-		s.inbox.Recycle(msgs, false)
+		ib.Recycle(msgs, false)
+		s.inboxes.Put(ib)
 		return
 	}
 	if s.learner != nil && src.IsValid() {
@@ -222,18 +408,95 @@ func (s *Service) dispatchDatagram(payload []byte, src netip.AddrPort) {
 			}
 		}
 	}
-	// Counted at dispatch on the loop, not here: a datagram the closing
-	// service drops between decode and dispatch must not inflate the
-	// delivered-traffic counters. (payload is captured by size now — the
-	// transport reuses the buffer after we return.)
-	size := len(payload) + wire.UDPOverhead
-	s.enqueue(func() {
-		s.counters.CountIn(len(msgs), size)
-		for _, m := range msgs {
-			s.node.HandleMessage(m)
+	// Counted at dispatch on the shard loop, not here: a datagram the
+	// closing service drops between decode and dispatch must not inflate
+	// the delivered-traffic counters. (payload is captured by size now —
+	// the transport reuses the buffer after we return.)
+	fl := inFlightPool.Get().(*inFlight)
+	fl.inbox = ib
+	fl.msgs = msgs
+	fl.bytes = len(payload) + wire.UDPOverhead
+	fl.batch = len(msgs) > 1
+	if len(s.shards) == 1 {
+		// Single-shard fast path: no steering pass, the whole datagram is
+		// one part — exactly the classic single-loop delivery.
+		s.dispatchWhole(fl, ib, s.shards[0])
+		return
+	}
+	s.steer(fl, ib)
+}
+
+// dispatchWhole hands an undivided datagram to one shard: a single part
+// covering every message, carrying the datagram-level counters.
+func (s *Service) dispatchWhole(fl *inFlight, ib *wire.Inbox, sh *serviceShard) {
+	fl.pending.Store(1)
+	s.inboxes.Put(ib)
+	sh.enqueueInbound(inboundPart{fl: fl, lo: 0, hi: len(fl.msgs), datagram: true})
+}
+
+// steer partitions one decoded datagram's messages into shard-contiguous
+// runs and hands each run to its owning shard. The outbound coalescer
+// freely mixes groups bound for one peer into one datagram, so a received
+// batch routinely spans shards; a stable scatter (two passes over the
+// messages, scratch tables on the stack, destination slice recycled from
+// the inbox) keeps per-message order inside each shard identical to wire
+// order, which is what preserves the per-peer FIFO the protocol relies
+// on. The datagram-level counters ride with the part holding the first
+// message.
+func (s *Service) steer(fl *inFlight, ib *wire.Inbox) {
+	msgs := fl.msgs
+	var counts [MaxShards]int32
+	for _, m := range msgs {
+		counts[s.shardIndex(m.GroupID())]++
+	}
+	// A datagram whose messages all landed on one shard (the common case:
+	// member traffic between two nodes sharing one group) skips the
+	// scatter entirely.
+	first := s.shardIndex(msgs[0].GroupID())
+	if int(counts[first]) == len(msgs) {
+		s.dispatchWhole(fl, ib, s.shards[first])
+		return
+	}
+	var starts, offsets [MaxShards]int32
+	parts := int32(0)
+	pos := int32(0)
+	for i := range s.shards {
+		starts[i] = pos
+		offsets[i] = pos
+		pos += counts[i]
+		if counts[i] > 0 {
+			parts++
 		}
-		s.inbox.Recycle(msgs, true)
-	})
+	}
+	dst := ib.TakeSlice()
+	if cap(dst) < len(msgs) {
+		dst = make([]wire.Message, len(msgs))
+	} else {
+		dst = dst[:len(msgs)]
+	}
+	for _, m := range msgs {
+		i := s.shardIndex(m.GroupID())
+		dst[offsets[i]] = m
+		offsets[i]++
+	}
+	// The scatter slice replaces the decode slice as the carrier payload;
+	// the decode slice goes straight back to the pool (its messages live
+	// on, now referenced by dst).
+	fl.msgs = dst
+	ib.Recycle(msgs[:0], false)
+	s.inboxes.Put(ib)
+	fl.pending.Store(parts)
+	for i := range s.shards {
+		if counts[i] == 0 {
+			continue
+		}
+		s.shards[i].enqueueInbound(inboundPart{
+			fl:       fl,
+			lo:       int(starts[i]),
+			hi:       int(offsets[i]),
+			datagram: i == first,
+		})
+	}
 }
 
 // ID returns the service's process id.
@@ -247,13 +510,17 @@ func (s *Service) PacketStats() PacketStats {
 	return PacketStats(s.counters.Snapshot())
 }
 
-// Incarnation returns this service instance's incarnation number.
-func (s *Service) Incarnation() int64 { return s.node.Incarnation() }
+// Incarnation returns this service instance's incarnation number. Every
+// shard's node announces this same number: a sharded service is still one
+// process lifetime to the rest of the cluster.
+func (s *Service) Incarnation() int64 { return s.inc }
 
 // Join enters group g and returns its handle. Joining is asynchronous by
 // nature — the group converges through gossip — but the local registration
 // itself honours ctx: a cancelled context returns ctx.Err() promptly (any
-// partially applied registration is rolled back in the background).
+// partially applied registration is rolled back in the background). The
+// group is served by the event-loop shard its id hashes onto, for the
+// life of the service.
 func (s *Service) Join(ctx context.Context, g id.Group, opts ...JoinOption) (*Group, error) {
 	cfg := defaultJoinConfig()
 	for _, o := range opts {
@@ -270,13 +537,14 @@ func (s *Service) Join(ctx context.Context, g id.Group, opts ...JoinOption) (*Gr
 		s.mu.Unlock()
 		return nil, fmt.Errorf("stableleader: already joined %q", g)
 	}
-	grp := newGroup(s, g)
+	sh := s.shardFor(g)
+	grp := newGroup(s, sh, g)
 	s.groups[g] = grp
 	s.mu.Unlock()
 
 	var joinErr error
-	err := s.call(ctx, func() {
-		joinErr = s.node.Join(g, core.JoinOptions{
+	err := sh.call(ctx, func() {
+		joinErr = sh.node.Join(g, core.JoinOptions{
 			Candidate:           cfg.candidate,
 			Algorithm:           election.Kind(cfg.algorithm),
 			QoS:                 cfg.spec,
@@ -331,7 +599,7 @@ func (s *Service) Join(ctx context.Context, g id.Group, opts ...JoinOption) (*Gr
 			// Seed the read plane so Leader/Status answer wait-free from
 			// the first instant after Join (OnStatus already stored the
 			// initial membership snapshot during core join).
-			if li, lerr := s.node.Leader(g); lerr == nil {
+			if li, lerr := sh.node.Leader(g); lerr == nil {
 				grp.seedLeader(publicInfo(li))
 			}
 		}
@@ -346,7 +614,7 @@ func (s *Service) Join(ctx context.Context, g id.Group, opts ...JoinOption) (*Gr
 			// never-joined group is a harmless no-op. Enqueued BEFORE the
 			// map delete so a concurrent re-Join of g serialises after
 			// the rollback rather than being torn down by it.
-			s.enqueue(func() { _ = s.node.Leave(g) })
+			sh.enqueue(func() { _ = sh.node.Leave(g) })
 		}
 		s.mu.Lock()
 		delete(s.groups, g)
@@ -359,10 +627,10 @@ func (s *Service) Join(ctx context.Context, g id.Group, opts ...JoinOption) (*Gr
 
 // Close shuts the service down gracefully: LEAVE messages are announced
 // for every joined group so peers re-elect immediately rather than waiting
-// for failure detection, then the event loop drains and the transport
-// closes. ctx bounds how long Close waits; on cancellation it returns
-// ctx.Err() promptly while the shutdown completes in the background.
-// Close is idempotent.
+// for failure detection, then the event-loop shards drain and the
+// transport closes. ctx bounds how long Close waits; on cancellation it
+// returns ctx.Err() promptly while the shutdown completes in the
+// background. Close is idempotent.
 func (s *Service) Close(ctx context.Context) error {
 	return s.shutdown(ctx, true)
 }
@@ -382,12 +650,12 @@ func (s *Service) shutdown(ctx context.Context, leave bool) error {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
-		// Repeat closer: done only once teardown truly completed (event
-		// loop exited, subscribers closed, transport closed), reporting
-		// the transport's close outcome so a nil return always means the
-		// listen address is free again. Deterministic: a finished
-		// service reports that outcome regardless of ctx; otherwise a
-		// dead ctx wins over waiting.
+		// Repeat closer: done only once teardown truly completed (every
+		// shard loop exited, subscribers closed, transport closed),
+		// reporting the transport's close outcome so a nil return always
+		// means the listen address is free again. Deterministic: a
+		// finished service reports that outcome regardless of ctx;
+		// otherwise a dead ctx wins over waiting.
 		select {
 		case <-s.finished:
 			return s.closeErr
@@ -411,17 +679,28 @@ func (s *Service) shutdown(ctx context.Context, leave bool) error {
 	s.mu.Unlock()
 
 	if leave {
-		leaveAll := func() {
-			for _, g := range groups {
-				_ = s.node.Leave(g.id)
-			}
+		// Departures run on the owning shard of each group: one leaveAll
+		// command per shard that has groups, so every LEAVE is announced
+		// by the loop that owns the group's protocol state.
+		perShard := make(map[*serviceShard][]*Group)
+		for _, g := range groups {
+			perShard[g.sh] = append(perShard[g.sh], g)
 		}
-		if err := s.call(ctx, leaveAll); err != nil && !errors.Is(err, ErrClosed) {
-			// The context died before the loop ran the departures. Queue
-			// them anyway — the loop drains queued commands after closing,
-			// and leaving twice is a harmless no-op — so a graceful Close
-			// never silently degrades to crash semantics.
-			s.enqueue(leaveAll)
+		for sh, ggs := range perShard {
+			sh, ggs := sh, ggs
+			leaveAll := func() {
+				for _, g := range ggs {
+					_ = sh.node.Leave(g.id)
+				}
+			}
+			if err := sh.call(ctx, leaveAll); err != nil && !errors.Is(err, ErrClosed) {
+				// The context died before the loop ran the departures.
+				// Queue them anyway — the loop drains queued commands
+				// after closing, and leaving twice is a harmless no-op —
+				// so a graceful Close never silently degrades to crash
+				// semantics.
+				sh.enqueue(leaveAll)
+			}
 		}
 	}
 	close(s.closing)
@@ -453,23 +732,26 @@ func (s *Service) shutdown(ctx context.Context, leave bool) error {
 	}
 }
 
-// serviceRuntime adapts the Service to core.Runtime: real clock, timers
-// multiplexed onto one runtime timer through a hashed timer wheel,
-// transport sends, and the service RNG (used only on the event loop).
+// serviceRuntime adapts one shard to core.Runtime: real clock, timers
+// multiplexed onto one runtime timer through the shard's hashed timer
+// wheel, transport sends, and the shard RNG (used only on the shard's
+// event loop).
 //
-// The wheel is owned by the event loop: every protocol-side arm/re-arm
+// The wheel is owned by the shard loop: every protocol-side arm/re-arm
 // and every Advance happens there, so wheel state needs no locking and
 // wheel callbacks run directly on the loop (satisfying the clock.Clock
 // delivery contract with zero hops). The only cross-goroutine edge is the
-// driver timer's callback, which merely enqueues an advance.
+// driver timer's callback, which merely enqueues an advance onto its own
+// shard — it can never touch, block, or be blocked by another shard.
 type serviceRuntime struct {
-	svc *Service
+	sh  *serviceShard
 	rng *rand.Rand
 
-	// wheel holds every pending protocol deadline; driver is the single
-	// runtime timer that wakes the loop at wheel.Next. armed caches the
-	// instant driver is set for, so a re-arm is skipped when the earliest
-	// deadline did not move. All three fields are loop-owned.
+	// wheel holds every pending protocol deadline of this shard; driver
+	// is the single runtime timer that wakes the loop at wheel.Next.
+	// armed caches the instant driver is set for, so a re-arm is skipped
+	// when the earliest deadline did not move. All three fields are
+	// loop-owned.
 	wheel  *timerwheel.Wheel
 	driver *time.Timer
 	armed  time.Time
@@ -486,7 +768,7 @@ func (r *serviceRuntime) Now() time.Time { return time.Now() }
 
 // AfterFunc implements clock.Clock: the deadline goes onto the wheel (one
 // entry allocation — one-shot timers are rare, re-armed paths use
-// NewTimer), and fires on the event loop via the driver.
+// NewTimer), and fires on the shard loop via the driver.
 func (r *serviceRuntime) AfterFunc(d time.Duration, fn func()) clock.Timer {
 	t := &wheelRearmer{rt: r, e: timerwheel.NewEntry(fn)}
 	t.Reset(d)
@@ -500,8 +782,8 @@ func (r *serviceRuntime) NewTimer(fn func()) clock.Rearmer {
 	return &wheelRearmer{rt: r, e: timerwheel.NewEntry(fn)}
 }
 
-// wheelRearmer is a clock.Rearmer over the service wheel. Its methods run
-// on the event loop, like every other wheel operation.
+// wheelRearmer is a clock.Rearmer over a shard wheel. Its methods run
+// on the shard's event loop, like every other wheel operation.
 type wheelRearmer struct {
 	rt *serviceRuntime
 	e  *timerwheel.Entry
@@ -555,10 +837,12 @@ func (r *serviceRuntime) kick() {
 	r.driver.Reset(d)
 }
 
-// wake runs on the driver timer's goroutine: it only hops back onto the
-// event loop (dropped once the service is closing, like any command).
+// wake runs on the driver timer's goroutine: it only hops back onto its
+// own shard's event loop (dropped once the service is closing, like any
+// command) — so a timer firing during Close on one shard can neither
+// deadlock nor touch another shard's drain.
 func (r *serviceRuntime) wake() {
-	r.svc.enqueue(r.advance)
+	r.sh.enqueue(r.advance)
 }
 
 // advance moves the wheel to the present, firing due protocol deadlines
@@ -571,7 +855,7 @@ func (r *serviceRuntime) advance() {
 	r.kick()
 }
 
-// stopDriver releases the runtime timer when the event loop exits.
+// stopDriver releases the runtime timer when the shard loop exits.
 func (r *serviceRuntime) stopDriver() {
 	if r.driver != nil {
 		r.driver.Stop()
@@ -581,19 +865,24 @@ func (r *serviceRuntime) stopDriver() {
 // sendBufPool recycles marshal buffers across sends: transports do not
 // retain the payload after Send returns (see the Transport contract), so
 // the buffer goes straight back into the pool and the send hot path stays
-// allocation-free.
+// allocation-free. Shared across shards (sync.Pool scales with Ps).
 var sendBufPool = sync.Pool{
 	New: func() any { b := make([]byte, 0, 2048); return &b },
 }
 
 // Send implements core.Runtime. m is a bare message or a *wire.Batch the
-// outbound scheduler flushed; either way it is one datagram.
+// outbound scheduler flushed; either way it is one datagram. Once the
+// bytes are handed to the transport the message is dead, so pool-managed
+// kinds (the client plane's fan-out snapshots) are recycled here — the
+// release half of the send pool that keeps a 10k-subscriber fan-out
+// allocation-free.
 func (r *serviceRuntime) Send(to id.Process, m wire.Message) {
 	bp := sendBufPool.Get().(*[]byte)
 	buf := wire.MarshalAppend((*bp)[:0], m)
-	_ = r.svc.tr.Send(to, buf)
+	_ = r.sh.svc.tr.Send(to, buf)
 	*bp = buf[:0]
 	sendBufPool.Put(bp)
+	wire.ReleaseOutbound(m)
 }
 
 // Rand implements core.Runtime.

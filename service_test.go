@@ -408,7 +408,20 @@ func TestWatchBufferDropsOldestNeverNewest(t *testing.T) {
 func TestPacketStatsCountCoalescedTraffic(t *testing.T) {
 	hub := transport.NewInproc(nil)
 	names := []id.Process{"a", "b"}
-	svcs := startServices(t, hub, names...)
+	// One shard, explicitly: this test exercises the packet-plane
+	// counters through CROSS-group coalescing, which happens within one
+	// outbound scheduler — on a multi-core host the default shard count
+	// would spread the four groups over several schedulers and the
+	// cross-group batches this asserts on would (correctly) not form.
+	svcs := make(map[id.Process]*stableleader.Service, len(names))
+	for i, name := range names {
+		svc, err := stableleader.New(name, hub.Endpoint(name),
+			stableleader.WithSeed(int64(i+1)), stableleader.WithShards(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		svcs[name] = svc
+	}
 	defer func() {
 		for _, s := range svcs {
 			_ = s.Crash()

@@ -1,0 +1,126 @@
+package stableleader_test
+
+// Shard determinism: sharding is a runtime partition, not a protocol
+// change. A cluster of 1-shard services and the same cluster on N-shard
+// services, driven through the same scripted scenario, must converge on
+// identical election outcomes for every group.
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	stableleader "stableleader"
+	"stableleader/id"
+	"stableleader/qos"
+	"stableleader/transport"
+)
+
+// convergenceSpec keeps detection generous so a loss-free in-process run
+// never raises a spurious accusation (which could legitimately move
+// leadership and fog the determinism comparison).
+var convergenceSpec = qos.Spec{
+	DetectionTime:     3 * time.Second,
+	MistakeRecurrence: 24 * time.Hour,
+	QueryAccuracy:     0.999,
+}
+
+// runShardScenario starts a 3-member cluster where every service runs
+// `shards` event-loop shards, joins every member to each group (p1 first,
+// so p1 carries the best accusation time everywhere), waits until all
+// members agree on an elected leader per group, and returns the outcome.
+func runShardScenario(t *testing.T, shards int, groups []id.Group) map[id.Group]id.Process {
+	t.Helper()
+	ctx := context.Background()
+	hub := transport.NewInproc(nil)
+	peers := []id.Process{"p1", "p2", "p3"}
+
+	svcs := make([]*stableleader.Service, len(peers))
+	handles := make([]map[id.Group]*stableleader.Group, len(peers))
+	for i, p := range peers {
+		svc, err := stableleader.New(p, hub.Endpoint(p),
+			stableleader.WithSeed(int64(i+1)),
+			stableleader.WithShards(shards),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		svcs[i] = svc
+		handles[i] = make(map[id.Group]*stableleader.Group)
+		for _, g := range groups {
+			grp, err := svc.Join(ctx, g,
+				stableleader.AsCandidate(),
+				stableleader.WithQoS(convergenceSpec),
+				stableleader.WithSeeds(peers...),
+				stableleader.WithHelloInterval(50*time.Millisecond),
+			)
+			if err != nil {
+				t.Fatal(err)
+			}
+			handles[i][g] = grp
+		}
+		// Joining in strict order gives p1 the oldest accusation time in
+		// every group: under Ωl the stable outcome is then fixed, whatever
+		// the shard count.
+		time.Sleep(20 * time.Millisecond)
+	}
+	defer func() {
+		for _, svc := range svcs {
+			_ = svc.Close(ctx)
+		}
+	}()
+
+	out := make(map[id.Group]id.Process)
+	deadline := time.Now().Add(30 * time.Second)
+	for _, g := range groups {
+		for {
+			leader := id.Process("")
+			agreed := true
+			for i := range peers {
+				li, err := handles[i][g].Leader(ctx, stableleader.WithSyncRead())
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !li.Elected {
+					agreed = false
+					break
+				}
+				if leader == "" {
+					leader = li.Leader
+				} else if li.Leader != leader {
+					agreed = false
+					break
+				}
+			}
+			if agreed && leader != "" {
+				out[g] = leader
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("shards=%d: group %q never converged on one elected leader", shards, g)
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
+	return out
+}
+
+// TestShardCountDoesNotChangeElectionOutcome runs the same scripted
+// scenario on 1-shard and on 4-shard services and demands identical
+// election outcomes in every group — the invariant that lets operators
+// change WithShards like a capacity knob, never like a protocol knob.
+func TestShardCountDoesNotChangeElectionOutcome(t *testing.T) {
+	var groups []id.Group
+	for i := 0; i < 6; i++ {
+		groups = append(groups, id.Group(fmt.Sprintf("det%02d", i)))
+	}
+	single := runShardScenario(t, 1, groups)
+	sharded := runShardScenario(t, 4, groups)
+	for _, g := range groups {
+		if single[g] != sharded[g] {
+			t.Errorf("group %q: 1-shard elected %q, 4-shard elected %q",
+				g, single[g], sharded[g])
+		}
+	}
+}

@@ -1,0 +1,101 @@
+package transport
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestMultiReceiverDelivers opens a multi-receiver UDP transport and
+// checks that traffic from many peers is delivered exactly once each,
+// whatever socket the kernel hashed the flow onto. On platforms without
+// SO_REUSEPORT the transport must degrade to one socket, not fail.
+func TestMultiReceiverDelivers(t *testing.T) {
+	rx, err := NewUDP("127.0.0.1:0", nil, WithReceivers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rx.Close()
+	if got := rx.Receivers(); reusePortSupported && got != 4 {
+		t.Fatalf("Receivers() = %d, want 4 (SO_REUSEPORT supported here)", got)
+	} else if !reusePortSupported && got != 1 {
+		t.Fatalf("Receivers() = %d, want the single-socket fallback", got)
+	}
+
+	var got atomic.Int64
+	rx.Receive(func(payload []byte) {
+		if len(payload) == 3 {
+			got.Add(1)
+		}
+	})
+
+	// Many senders, each its own socket (its own flow for the kernel's
+	// REUSEPORT hash): all datagrams must arrive through SOME receiver.
+	const senders, per = 8, 25
+	var wg sync.WaitGroup
+	for i := 0; i < senders; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tx, err := NewUDP("127.0.0.1:0", nil)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer tx.Close()
+			if err := tx.SetPeer("rx", rx.LocalAddr().String()); err != nil {
+				t.Error(err)
+				return
+			}
+			for j := 0; j < per; j++ {
+				if err := tx.Send("rx", []byte{1, 2, 3}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for got.Load() < senders*per {
+		if time.Now().After(deadline) {
+			t.Fatalf("delivered %d of %d datagrams", got.Load(), senders*per)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestMultiReceiverCloseWaitsForAllLoops pins the Close contract in
+// multi-receiver mode: once Close returns, no handler invocation is in
+// flight on ANY receiver goroutine.
+func TestMultiReceiverCloseWaitsForAllLoops(t *testing.T) {
+	rx, err := NewUDP("127.0.0.1:0", nil, WithReceivers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var inFlight atomic.Int32
+	rx.Receive(func([]byte) {
+		inFlight.Add(1)
+		time.Sleep(time.Millisecond)
+		inFlight.Add(-1)
+	})
+	tx, err := NewUDP("127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tx.Close()
+	if err := tx.SetPeer("rx", rx.LocalAddr().String()); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		_ = tx.Send("rx", []byte("x"))
+	}
+	if err := rx.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if n := inFlight.Load(); n != 0 {
+		t.Fatalf("%d handler invocations still in flight after Close", n)
+	}
+}

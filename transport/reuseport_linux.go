@@ -1,0 +1,45 @@
+//go:build linux && !mips && !mipsle && !mips64 && !mips64le
+
+package transport
+
+import (
+	"context"
+	"net"
+	"syscall"
+)
+
+// reusePortSupported reports whether this platform can bind several UDP
+// sockets to one address with SO_REUSEPORT — the kernel then hashes each
+// datagram's source 4-tuple onto one socket, which both spreads receive
+// processing across reader goroutines and keeps any one peer's datagrams
+// in order (one flow always lands on one socket).
+const reusePortSupported = true
+
+// soReusePort is SO_REUSEPORT from uapi asm-generic/socket.h; the stdlib
+// syscall package predates the option and never exported it. The value is
+// arch-dependent — MIPS uses the historical 0x0200 layout — so this file's
+// build tags admit only the asm-generic architectures and MIPS takes the
+// single-socket fallback rather than a silently wrong setsockopt.
+const soReusePort = 0xf
+
+// reusePortControl is the ListenConfig control hook that sets
+// SO_REUSEPORT on the socket before bind.
+func reusePortControl(_, _ string, c syscall.RawConn) error {
+	var serr error
+	if err := c.Control(func(fd uintptr) {
+		serr = syscall.SetsockoptInt(int(fd), syscall.SOL_SOCKET, soReusePort, 1)
+	}); err != nil {
+		return err
+	}
+	return serr
+}
+
+// listenReusePort opens one UDP socket on addr with SO_REUSEPORT set.
+func listenReusePort(network, addr string) (*net.UDPConn, error) {
+	lc := net.ListenConfig{Control: reusePortControl}
+	pc, err := lc.ListenPacket(context.Background(), network, addr)
+	if err != nil {
+		return nil, err
+	}
+	return pc.(*net.UDPConn), nil
+}

@@ -1,0 +1,20 @@
+//go:build !linux || mips || mipsle || mips64 || mips64le
+
+package transport
+
+import (
+	"errors"
+	"net"
+)
+
+// reusePortSupported: without SO_REUSEPORT the multi-receiver mode falls
+// back to a single socket — the service-side steering stage still spreads
+// protocol work across its event-loop shards, only the socket reads stay
+// on one goroutine.
+const reusePortSupported = false
+
+// listenReusePort is unreachable when reusePortSupported is false; it
+// exists so the platform-independent code compiles everywhere.
+func listenReusePort(network, addr string) (*net.UDPConn, error) {
+	return nil, errors.New("transport: SO_REUSEPORT not supported on this platform")
+}

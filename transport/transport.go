@@ -26,7 +26,8 @@ type Transport interface {
 	// Send transmits payload to the process named to. Best effort: an
 	// error means the datagram was certainly not sent; nil means it was
 	// handed to the network, which may still lose it. Send must not
-	// retain payload after returning.
+	// retain payload after returning, and must be safe for concurrent
+	// use — the sharded service calls it from every event-loop shard.
 	Send(to id.Process, payload []byte) error
 	// Receive installs the delivery callback. The callback may be invoked
 	// concurrently and must not retain payload after returning. Receive

@@ -30,15 +30,24 @@ var payloadPool = sync.Pool{
 	},
 }
 
-// UDP is the real-network transport: one UDP socket per process plus a
-// static address book mapping process ids to peer addresses, mirroring the
-// deployment style of the paper's testbed (a fixed set of workstations).
+// UDP is the real-network transport: one or more UDP sockets per process
+// plus a static address book mapping process ids to peer addresses,
+// mirroring the deployment style of the paper's testbed (a fixed set of
+// workstations). With WithReceivers(n) and kernel SO_REUSEPORT support,
+// n sockets share the listen address and each runs its own read loop —
+// the kernel hashes each peer's flow onto one socket, so per-peer
+// ordering is preserved while receive processing (and the service's
+// decode + steering stage behind the handler) spreads across cores.
 type UDP struct {
-	conn *net.UDPConn
+	// conns are the bound sockets; conns[0] is the send socket and the
+	// address LocalAddr reports. Immutable after construction.
+	conns []*net.UDPConn
 
-	// readerDone is closed when readLoop returns; Close waits on it so no
-	// handler invocation can be in flight once Close has returned.
+	// readerDone is closed when every readLoop has returned; Close waits
+	// on it so no handler invocation can be in flight once Close has
+	// returned.
 	readerDone chan struct{}
+	readers    sync.WaitGroup
 
 	mu   sync.RWMutex
 	book map[id.Process]netip.AddrPort
@@ -54,19 +63,45 @@ type UDP struct {
 	closed     bool
 }
 
+// udpConfig is the result of applying UDPOptions.
+type udpConfig struct {
+	receivers int
+}
+
+// UDPOption configures a UDP transport at construction (see NewUDP).
+type UDPOption func(*udpConfig)
+
+// WithReceivers asks for n parallel receive sockets on the listen address
+// (default 1). Values above 1 need kernel SO_REUSEPORT support; where it
+// is unavailable (or a socket fails to open) the transport silently falls
+// back to fewer sockets — Receivers reports the number actually running.
+// More receivers only help a host whose handler scales with concurrent
+// delivery, like the sharded service's steered inbound plane.
+func WithReceivers(n int) UDPOption {
+	return func(c *udpConfig) {
+		if n > 0 {
+			c.receivers = n
+		}
+	}
+}
+
 // NewUDP opens a socket on listen (e.g. ":7400" or "10.0.0.3:7400") and
 // resolves the peer address book, e.g. {"b": "10.0.0.4:7400"}.
-func NewUDP(listen string, peers map[id.Process]string) (*UDP, error) {
+func NewUDP(listen string, peers map[id.Process]string, opts ...UDPOption) (*UDP, error) {
+	cfg := udpConfig{receivers: 1}
+	for _, o := range opts {
+		o(&cfg)
+	}
 	laddr, err := net.ResolveUDPAddr("udp", listen)
 	if err != nil {
 		return nil, fmt.Errorf("transport: resolve listen %q: %w", listen, err)
 	}
-	conn, err := net.ListenUDP("udp", laddr)
+	conns, err := openSockets(laddr, cfg.receivers)
 	if err != nil {
-		return nil, fmt.Errorf("transport: listen %q: %w", listen, err)
+		return nil, err
 	}
 	u := &UDP{
-		conn:       conn,
+		conns:      conns,
 		readerDone: make(chan struct{}),
 		book:       make(map[id.Process]netip.AddrPort, len(peers)),
 		pinned:     make(map[id.Process]bool, len(peers)),
@@ -74,15 +109,63 @@ func NewUDP(listen string, peers map[id.Process]string) (*UDP, error) {
 	for p, addr := range peers {
 		a, err := resolveAddrPort(addr)
 		if err != nil {
-			_ = conn.Close()
+			for _, c := range conns {
+				_ = c.Close()
+			}
 			return nil, fmt.Errorf("transport: resolve peer %q=%q: %w", p, addr, err)
 		}
 		u.book[p] = a
 		u.pinned[p] = true
 	}
-	go u.readLoop()
+	u.readers.Add(len(u.conns))
+	for _, c := range u.conns {
+		go u.readLoop(c)
+	}
+	go func() {
+		u.readers.Wait()
+		close(u.readerDone)
+	}()
 	return u, nil
 }
+
+// openSockets binds n sockets to laddr. n == 1 is the classic single
+// socket; above that every socket (the first included) is opened with
+// SO_REUSEPORT so the kernel accepts the shared binding, falling back to
+// whatever subset opened — at minimum the plain single socket.
+func openSockets(laddr *net.UDPAddr, n int) ([]*net.UDPConn, error) {
+	if n <= 1 || !reusePortSupported {
+		conn, err := net.ListenUDP("udp", laddr)
+		if err != nil {
+			return nil, fmt.Errorf("transport: listen %q: %w", laddr, err)
+		}
+		return []*net.UDPConn{conn}, nil
+	}
+	first, err := listenReusePort("udp", laddr.String())
+	if err != nil {
+		// SO_REUSEPORT refused (policy, odd network stack): classic socket.
+		conn, perr := net.ListenUDP("udp", laddr)
+		if perr != nil {
+			return nil, fmt.Errorf("transport: listen %q: %w", laddr, perr)
+		}
+		return []*net.UDPConn{conn}, nil
+	}
+	conns := []*net.UDPConn{first}
+	// Siblings bind the first socket's RESOLVED address: with ":0" every
+	// receiver must share the one ephemeral port the kernel picked.
+	actual := first.LocalAddr().String()
+	for len(conns) < n {
+		c, err := listenReusePort("udp", actual)
+		if err != nil {
+			break // run with what opened; Receivers reports the truth
+		}
+		conns = append(conns, c)
+	}
+	return conns, nil
+}
+
+// Receivers reports how many receive sockets are running (see
+// WithReceivers).
+func (u *UDP) Receivers() int { return len(u.conns) }
 
 // resolveAddrPort resolves a host:port (names included) to a socket
 // address value. Storing netip.AddrPort instead of *net.UDPAddr keeps the
@@ -99,7 +182,7 @@ func resolveAddrPort(addr string) (netip.AddrPort, error) {
 }
 
 // LocalAddr returns the bound socket address.
-func (u *UDP) LocalAddr() net.Addr { return u.conn.LocalAddr() }
+func (u *UDP) LocalAddr() net.Addr { return u.conns[0].LocalAddr() }
 
 // SetPeer adds or updates one peer address. Addresses set this way are
 // configuration: they are pinned against LearnPeer overwrites.
@@ -115,15 +198,17 @@ func (u *UDP) SetPeer(p id.Process, addr string) error {
 	return nil
 }
 
-// readLoop pumps datagrams into the handler until the socket closes. Each
-// iteration reads into a pooled buffer, hands it to the handler, and
-// returns it to the pool — zero copies and zero allocations per datagram
-// (the handler must not retain the payload, per the Receive contract).
-func (u *UDP) readLoop() {
-	defer close(u.readerDone)
+// readLoop pumps one socket's datagrams into the handler until the socket
+// closes. Each iteration reads into a pooled buffer, hands it to the
+// handler, and returns it to the pool — zero copies and zero allocations
+// per datagram (the handler must not retain the payload, per the Receive
+// contract). In multi-receiver mode several readLoops run concurrently,
+// which the handler contract has always permitted.
+func (u *UDP) readLoop(conn *net.UDPConn) {
+	defer u.readers.Done()
 	for {
 		bp := payloadPool.Get().(*[]byte)
-		n, src, err := u.conn.ReadFromUDPAddrPort(*bp)
+		n, src, err := conn.ReadFromUDPAddrPort(*bp)
 		if err != nil {
 			payloadPool.Put(bp)
 			return
@@ -161,7 +246,7 @@ func (u *UDP) Send(to id.Process, payload []byte) error {
 	if !ok {
 		return fmt.Errorf("transport: no address for process %q", to)
 	}
-	_, err := u.conn.WriteToUDPAddrPort(payload, addr)
+	_, err := u.conns[0].WriteToUDPAddrPort(payload, addr)
 	return err
 }
 
@@ -232,7 +317,13 @@ func (u *UDP) Close() error {
 	u.handler = nil
 	u.srcHandler = nil
 	u.mu.Unlock()
-	err := u.conn.Close() // unblocks ReadFromUDPAddrPort; readLoop then exits
+	var err error
+	for _, c := range u.conns {
+		// Unblocks each ReadFromUDPAddrPort; its readLoop then exits.
+		if cerr := c.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
 	<-u.readerDone
 	return err
 }
