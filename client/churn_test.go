@@ -22,6 +22,9 @@ import (
 )
 
 func TestClientPlaneChurnRaceHammer(t *testing.T) {
+	if !raceEnabled {
+		t.Log("running without -race: this hammer only detects races under the race detector")
+	}
 	hub := transport.NewInproc(nil)
 	svcs, eps := cluster(t, hub, "g", 3)
 	ctx := context.Background()

@@ -199,6 +199,8 @@ func (c *Client) onDatagram(payload []byte) {
 
 // viewFast resolves g's read plane without locks: one atomic load of the
 // copy-on-write map snapshot.
+//
+//leadervet:hotpath
 func (c *Client) viewFast(g id.Group) *groupView {
 	if m := c.viewsRO.Load(); m != nil {
 		return (*m)[g]
@@ -240,6 +242,8 @@ func (c *Client) view(g id.Group) (*groupView, error) {
 // past the lease) Leader subscribes (idempotently) and waits, honouring
 // ctx, until a service endpoint answers. On a closed client Leader
 // returns ErrClosed (Cached still serves the last view as a stale hint).
+//
+//leadervet:hotpath
 func (c *Client) Leader(ctx context.Context, g id.Group) (LeaderLease, error) {
 	select {
 	case <-c.closing:
@@ -260,6 +264,8 @@ func (c *Client) Leader(ctx context.Context, g id.Group) (LeaderLease, error) {
 // the stale hint for callers that prefer outdated data to blocking, and
 // deliberately still served after Close. ok is false before the first
 // snapshot or if g was never queried or watched.
+//
+//leadervet:hotpath
 func (c *Client) Cached(g id.Group) (LeaderLease, bool) {
 	gv := c.viewFast(g)
 	if gv == nil {
@@ -513,6 +519,8 @@ var sendBufPool = sync.Pool{
 }
 
 // Send implements clientcore.Runtime.
+//
+//leadervet:hotpath
 func (r *clientRuntime) Send(to id.Process, m wire.Message) {
 	bp := sendBufPool.Get().(*[]byte)
 	buf := wire.MarshalAppend((*bp)[:0], m)

@@ -1,0 +1,8 @@
+//go:build race
+
+package client_test
+
+// raceEnabled reports that this binary runs under the race detector —
+// the mode the churn hammer exists for. Same convention as
+// internal/subs/race_enabled_test.go.
+const raceEnabled = true

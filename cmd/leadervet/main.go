@@ -1,0 +1,169 @@
+// Leadervet is the repository's static-analysis gate: a go/analysis
+// multichecker enforcing the concurrency and hot-path invariants the
+// stable-leader service relies on (see DESIGN.md, "Invariants &
+// directives").
+//
+// It is built as a vet tool and run through the go command, which
+// drives it package by package with facts flowing across package
+// boundaries:
+//
+//	go build -o bin/leadervet ./cmd/leadervet
+//	go vet -vettool=bin/leadervet ./...
+//
+// Analyzers:
+//
+//	loopowned — //leadervet:loopOwned fields are only touched on the
+//	            owning event loop
+//	cowcheck  — values published via atomic.Pointer are copy-on-write
+//	poolcheck — pooled wire values are released exactly once per path
+//	hotpath   — //leadervet:hotpath functions stay allocation-free
+//
+// Besides the vet-tool protocol, two convenience modes exist:
+//
+//	leadervet -list [-json]     describe the analyzers and exit
+//	leadervet -json [packages]  run go vet over the packages and emit
+//	                            the diagnostics as one JSON object on
+//	                            stdout (package → analyzer → findings)
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/unitchecker"
+
+	"stableleader/internal/analysis/cowcheck"
+	"stableleader/internal/analysis/hotpath"
+	"stableleader/internal/analysis/loopowned"
+	"stableleader/internal/analysis/poolcheck"
+)
+
+func analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		loopowned.Analyzer,
+		cowcheck.Analyzer,
+		poolcheck.Analyzer,
+		hotpath.Analyzer,
+	}
+}
+
+func main() {
+	args := os.Args[1:]
+	if len(args) > 0 && !vetDriven(args) {
+		switch strings.TrimLeft(args[0], "-") {
+		case "list":
+			listMode(hasFlag(args[1:], "json"))
+			return
+		case "json":
+			os.Exit(jsonMode(args[1:]))
+		}
+	}
+	unitchecker.Main(analyzers()...)
+}
+
+// vetDriven reports whether this invocation came from the go command's
+// vet-tool protocol rather than a human: go vet forwards its own flags
+// (-json included) to the tool ahead of the JSON config file, so a bare
+// "-json" is only ours when no unit config follows.
+func vetDriven(args []string) bool {
+	for _, a := range args {
+		if strings.HasSuffix(a, ".cfg") {
+			return true
+		}
+	}
+	return false
+}
+
+func hasFlag(args []string, name string) bool {
+	for _, a := range args {
+		if strings.TrimLeft(a, "-") == name {
+			return true
+		}
+	}
+	return false
+}
+
+// listMode describes the suite, as text or JSON.
+func listMode(asJSON bool) {
+	type entry struct {
+		Name string `json:"name"`
+		Doc  string `json:"doc"`
+		URL  string `json:"url,omitempty"`
+	}
+	var entries []entry
+	for _, a := range analyzers() {
+		entries = append(entries, entry{Name: a.Name, Doc: a.Doc, URL: a.URL})
+	}
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(entries); err != nil {
+			fmt.Fprintln(os.Stderr, "leadervet:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	for _, e := range entries {
+		fmt.Printf("%-10s %s\n", e.Name, e.Doc)
+	}
+}
+
+// jsonMode re-runs this binary under `go vet -json` and forwards the
+// merged diagnostics to stdout. go vet emits one JSON object per
+// package on stderr, interleaved with '#' comment lines; this strips
+// the comments and merges the objects.
+func jsonMode(pkgs []string) int {
+	if len(pkgs) == 0 {
+		pkgs = []string{"./..."}
+	}
+	self, err := os.Executable()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "leadervet:", err)
+		return 1
+	}
+	cmd := exec.Command("go", append([]string{"vet", "-vettool=" + self, "-json"}, pkgs...)...)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		// In -json mode go vet only fails on build/config errors, not
+		// on findings; surface whatever it printed.
+		fmt.Fprintf(os.Stderr, "leadervet: go vet: %v\n%s", err, out)
+		return 1
+	}
+	merged := make(map[string]json.RawMessage)
+	dec := json.NewDecoder(strings.NewReader(stripComments(string(out))))
+	for dec.More() {
+		var chunk map[string]json.RawMessage
+		if err := dec.Decode(&chunk); err != nil {
+			fmt.Fprintln(os.Stderr, "leadervet: parsing go vet output:", err)
+			return 1
+		}
+		for pkg, diags := range chunk {
+			merged[pkg] = diags
+		}
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(merged); err != nil {
+		fmt.Fprintln(os.Stderr, "leadervet:", err)
+		return 1
+	}
+	return 0
+}
+
+// stripComments removes go vet's '# pkg' progress lines, which are not
+// JSON.
+func stripComments(s string) string {
+	var b strings.Builder
+	for _, line := range strings.Split(s, "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "#") {
+			continue
+		}
+		b.WriteString(line)
+		b.WriteString("\n")
+	}
+	return b.String()
+}

@@ -65,4 +65,17 @@
 //
 // The experiments of the paper are reproduced in package stableleader/sim;
 // see DESIGN.md and EXPERIMENTS.md.
+//
+// # Static invariants
+//
+// The concurrency and hot-path conventions of the implementation —
+// event-loop ownership of protocol state, copy-on-write snapshot
+// publication, pooled codec lifecycles, allocation-free fast paths — are
+// declared in the source as //leadervet: comment directives and enforced
+// by the cmd/leadervet analysis suite:
+//
+//	go build -o /tmp/leadervet ./cmd/leadervet
+//	go vet -vettool=/tmp/leadervet ./...
+//
+// See the "Invariants & directives" section of DESIGN.md.
 package stableleader

@@ -228,6 +228,8 @@ func (g *Group) closeSubscribers() {
 //
 // On a closed service Leader falls back to the last locally observed
 // view when one exists.
+//
+//leadervet:hotpath
 func (g *Group) Leader(ctx context.Context, opts ...QueryOption) (LeaderInfo, error) {
 	if wantSyncRead(opts) {
 		return g.leaderSync(ctx)
@@ -290,6 +292,8 @@ func (g *Group) leaderSync(ctx context.Context) (LeaderInfo, error) {
 // a data race against every concurrent Status caller. Callers that need
 // a private, mutable copy must copy the rows, or use WithSyncRead, which
 // builds a fresh slice on the event loop per call.
+//
+//leadervet:hotpath
 func (g *Group) Status(ctx context.Context, opts ...QueryOption) ([]MemberStatus, error) {
 	if wantSyncRead(opts) {
 		return g.statusSync(ctx)

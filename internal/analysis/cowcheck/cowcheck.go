@@ -1,0 +1,258 @@
+// Package cowcheck defines the leadervet analyzer enforcing the
+// copy-on-write discipline of values published through
+// sync/atomic.Pointer[T] (the service's leaderView/statusView read
+// plane, the client's cached leases).
+//
+// The rule: a value is immutable the instant it is published, and a
+// value obtained from Load is someone else's published snapshot. The
+// analyzer flags, within each function:
+//
+//   - any field write through a value obtained from an
+//     atomic.Pointer[T].Load() call (directly or via an alias), and
+//   - any field write to a value after it was passed to Store,
+//     CompareAndSwap (new value) or Swap on an atomic.Pointer[T].
+//
+// Writers must build a fresh value and publish it whole; readers must
+// copy before mutating (`v := *p.Load(); v.X = ...`), which the
+// analyzer does not flag because the copy is a new value.
+//
+// The check is intra-function and flow-approximate (a write textually
+// after a Store in the same function is treated as after it), which is
+// exactly the shape every publish site in this codebase has. Lines
+// carrying //leadervet:ignore are exempt.
+package cowcheck
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+
+	"stableleader/internal/analysis/directive"
+)
+
+// Analyzer is the cowcheck analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name:     "cowcheck",
+	Doc:      "check that values published via atomic.Pointer are never mutated after Load or Store",
+	URL:      "https://pkg.go.dev/stableleader/internal/analysis/cowcheck",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	in := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+
+	lines := make(map[*token.File]*directive.Lines)
+	for _, f := range pass.Files {
+		lines[pass.Fset.File(f.Pos())] = directive.FileLines(pass.Fset, f)
+	}
+	ignored := func(pos token.Pos) bool {
+		l := lines[pass.Fset.File(pos)]
+		return l.Has(pos, "ignore")
+	}
+
+	// Each function body is analyzed independently.
+	in.Preorder([]ast.Node{(*ast.FuncDecl)(nil), (*ast.FuncLit)(nil)}, func(n ast.Node) {
+		var body *ast.BlockStmt
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			body = n.Body
+		case *ast.FuncLit:
+			// Literals are also visited through their enclosing
+			// FuncDecl walk; analyzing them standalone double-reports.
+			return
+		}
+		if body == nil {
+			return
+		}
+		checkBody(pass, body, ignored)
+	})
+	return nil, nil
+}
+
+// checkBody applies the copy-on-write rules to one function body
+// (function literals inside it included — their statements are part of
+// the same walk, and taint flows into them naturally).
+func checkBody(pass *analysis.Pass, body *ast.BlockStmt, ignored func(token.Pos) bool) {
+	loaded := make(map[types.Object]token.Pos) // var ← result of Load()
+	stored := make(map[types.Object]token.Pos) // var → published via Store/CAS/Swap
+
+	// First sweep, in source order: collect Load-tainted variables and
+	// Store positions. Source order is sufficient for the textual
+	// after-Store rule below.
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			// v := x.Load()   or   v = x.Load()
+			if len(n.Rhs) == 1 && len(n.Lhs) >= 1 {
+				if isAtomicPointerCall(pass, n.Rhs[0], "Load") {
+					if id, ok := n.Lhs[0].(*ast.Ident); ok && id.Name != "_" {
+						if obj := objOf(pass, id); obj != nil {
+							loaded[obj] = id.Pos()
+						}
+					}
+				}
+				// Alias of a tainted variable: v2 := v
+				if rid, ok := ast.Unparen(n.Rhs[0]).(*ast.Ident); ok {
+					if obj := objOf(pass, rid); obj != nil {
+						if _, tainted := loaded[obj]; tainted {
+							if id, ok := n.Lhs[0].(*ast.Ident); ok && id.Name != "_" {
+								if lobj := objOf(pass, id); lobj != nil {
+									loaded[lobj] = id.Pos()
+								}
+							}
+						}
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if arg, ok := publishedArg(pass, n); ok {
+				if id, ok := ast.Unparen(arg).(*ast.Ident); ok {
+					if obj := objOf(pass, id); obj != nil {
+						if _, dup := stored[obj]; !dup {
+							stored[obj] = n.Pos()
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	// Second sweep: flag mutations.
+	ast.Inspect(body, func(n ast.Node) bool {
+		var lhs []ast.Expr
+		var pos token.Pos
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			lhs, pos = n.Lhs, n.TokPos
+		case *ast.IncDecStmt:
+			lhs, pos = []ast.Expr{n.X}, n.TokPos
+		default:
+			return true
+		}
+		for _, l := range lhs {
+			sel, ok := ast.Unparen(l).(*ast.SelectorExpr)
+			if !ok {
+				continue
+			}
+			// Only field writes: x.f = v (possibly x.a.b = v).
+			if v, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Var); !ok || !v.IsField() {
+				continue
+			}
+			if ignored(pos) {
+				continue
+			}
+			root := rootExpr(sel.X)
+			switch r := root.(type) {
+			case *ast.CallExpr:
+				if isAtomicPointerCall(pass, r, "Load") {
+					pass.Reportf(pos, "write to field %s of a value obtained from atomic.Pointer.Load: published snapshots are copy-on-write (build a fresh value instead)", sel.Sel.Name)
+				}
+			case *ast.Ident:
+				obj := objOf(pass, r)
+				if obj == nil {
+					continue
+				}
+				if lpos, ok := loaded[obj]; ok && pos > lpos {
+					pass.Reportf(pos, "write to field %s of %s, which was obtained from atomic.Pointer.Load: published snapshots are copy-on-write (copy the value before mutating)", sel.Sel.Name, r.Name)
+				} else if spos, ok := stored[obj]; ok && pos > spos {
+					pass.Reportf(pos, "write to field %s of %s after it was published via atomic.Pointer.Store: published values are immutable", sel.Sel.Name, r.Name)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// objOf resolves an identifier to its variable object.
+func objOf(pass *analysis.Pass, id *ast.Ident) types.Object {
+	if obj := pass.TypesInfo.Uses[id]; obj != nil {
+		return obj
+	}
+	return pass.TypesInfo.Defs[id]
+}
+
+// rootExpr strips selectors, indexing, derefs and parens down to the
+// base expression: a.b.c[i] → a, (f()).x → f().
+func rootExpr(e ast.Expr) ast.Expr {
+	for {
+		switch x := e.(type) {
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return e
+		}
+	}
+}
+
+// isAtomicPointerCall reports whether e is a call of the named method
+// on a sync/atomic.Pointer[T] (or atomic.Value) receiver.
+func isAtomicPointerCall(pass *analysis.Pass, e ast.Expr, method string) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != method {
+		return false
+	}
+	recv := pass.TypesInfo.TypeOf(sel.X)
+	if recv == nil {
+		return false
+	}
+	return isAtomicPointerType(recv)
+}
+
+// publishedArg returns the expression published by call when call is
+// Store(v), Swap(v) or CompareAndSwap(old, new) on an atomic.Pointer.
+func publishedArg(pass *analysis.Pass, call *ast.CallExpr) (ast.Expr, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil, false
+	}
+	var idx int
+	switch sel.Sel.Name {
+	case "Store", "Swap":
+		idx = 0
+	case "CompareAndSwap":
+		idx = 1
+	default:
+		return nil, false
+	}
+	if len(call.Args) <= idx {
+		return nil, false
+	}
+	recv := pass.TypesInfo.TypeOf(sel.X)
+	if recv == nil || !isAtomicPointerType(recv) {
+		return nil, false
+	}
+	return call.Args[idx], true
+}
+
+// isAtomicPointerType reports whether t (or *t) is
+// sync/atomic.Pointer[T] or atomic.Value.
+func isAtomicPointerType(t types.Type) bool {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	return obj.Name() == "Pointer" || obj.Name() == "Value"
+}

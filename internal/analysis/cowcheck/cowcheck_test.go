@@ -1,0 +1,12 @@
+package cowcheck_test
+
+import (
+	"testing"
+
+	"stableleader/internal/analysis/cowcheck"
+	"stableleader/internal/analysis/vettest"
+)
+
+func TestCowCheck(t *testing.T) {
+	vettest.Run(t, cowcheck.Analyzer, "testdata/a")
+}

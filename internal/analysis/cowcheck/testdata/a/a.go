@@ -1,0 +1,56 @@
+// Package a is the cowcheck fixture: a published view plane.
+package a
+
+import "sync/atomic"
+
+type view struct {
+	Leader string
+	Epoch  uint64
+}
+
+type group struct {
+	v atomic.Pointer[view]
+}
+
+func (g *group) mutateLoaded() {
+	v := g.v.Load()
+	v.Epoch++ // want `write to field Epoch of v, which was obtained from atomic.Pointer.Load`
+}
+
+func (g *group) mutateAlias() {
+	v := g.v.Load()
+	w := v
+	w.Leader = "n2" // want `write to field Leader of w, which was obtained from atomic.Pointer.Load`
+}
+
+func (g *group) mutateDirect() {
+	g.v.Load().Epoch = 9 // want `write to field Epoch of a value obtained from atomic.Pointer.Load`
+}
+
+func (g *group) mutateAfterStore() {
+	nv := &view{Leader: "n1"}
+	g.v.Store(nv)
+	nv.Epoch = 2 // want `write to field Epoch of nv after it was published via atomic.Pointer.Store`
+}
+
+func (g *group) mutateAfterCAS(old *view) {
+	nv := &view{}
+	if g.v.CompareAndSwap(old, nv) {
+		nv.Epoch = 3 // want `write to field Epoch of nv after it was published via atomic.Pointer.Store`
+	}
+}
+
+// copyOnWrite is the blessed pattern: copy, mutate the copy, publish a
+// fresh value, never touch it again.
+func (g *group) copyOnWrite() {
+	cur := *g.v.Load()
+	cur.Epoch++
+	next := &view{Leader: cur.Leader, Epoch: cur.Epoch}
+	next.Leader = "n3" // before publication: still private
+	g.v.Store(next)
+}
+
+func (g *group) audited() {
+	v := g.v.Load()
+	v.Epoch = 0 //leadervet:ignore — fixture-audited exception
+}

@@ -1,0 +1,127 @@
+// Package directive parses the //leadervet: comment directives the
+// leadervet analyzers consume.
+//
+// A directive is a single comment line of the form
+//
+//	//leadervet:<name> [args...]
+//
+// attached to the declaration it governs (a function's doc comment, a
+// struct field's doc or line comment, a type's doc comment), or — for
+// the statement-level directives ignore and handoff — written on the
+// same line as the statement it governs.
+//
+// The directives themselves are specified in DESIGN.md ("Invariants &
+// directives"); this package only extracts them.
+package directive
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Prefix is the comment prefix shared by every leadervet directive.
+// Like //go: directives, no space follows the slashes.
+const Prefix = "//leadervet:"
+
+// D is one parsed directive.
+type D struct {
+	Name string   // e.g. "loopOwned", "hotpath", "acquires"
+	Args []string // whitespace-separated arguments, may be empty
+	Pos  token.Pos
+}
+
+// parseLine parses one comment's text; ok is false for ordinary comments.
+func parseLine(c *ast.Comment) (D, bool) {
+	if !strings.HasPrefix(c.Text, Prefix) {
+		return D{}, false
+	}
+	rest := strings.TrimPrefix(c.Text, Prefix)
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return D{}, false
+	}
+	return D{Name: fields[0], Args: fields[1:], Pos: c.Pos()}, true
+}
+
+// Parse returns every directive in the comment group (nil-safe).
+func Parse(cg *ast.CommentGroup) []D {
+	if cg == nil {
+		return nil
+	}
+	var out []D
+	for _, c := range cg.List {
+		if d, ok := parseLine(c); ok {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Has reports whether the comment group carries the named directive.
+func Has(cg *ast.CommentGroup, name string) bool {
+	d, ok := Find(cg, name)
+	_ = d
+	return ok
+}
+
+// Find returns the first directive with the given name in the group.
+func Find(cg *ast.CommentGroup, name string) (D, bool) {
+	for _, d := range Parse(cg) {
+		if d.Name == name {
+			return d, true
+		}
+	}
+	return D{}, false
+}
+
+// Lines indexes the statement-level directives of one file by source
+// line, so analyzers can honour //leadervet:ignore (suppress any
+// diagnostic on that line) and //leadervet:handoff (ownership of a
+// pooled value leaves by design on that line).
+type Lines struct {
+	fset  *token.FileSet
+	byLn  map[int][]D
+	fname string
+}
+
+// FileLines collects every directive comment in the file, keyed by the
+// line it appears on.
+func FileLines(fset *token.FileSet, f *ast.File) *Lines {
+	l := &Lines{fset: fset, byLn: make(map[int][]D)}
+	if len(f.Comments) > 0 {
+		l.fname = fset.Position(f.Comments[0].Pos()).Filename
+	} else if f.Package.IsValid() {
+		l.fname = fset.Position(f.Package).Filename
+	}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if d, ok := parseLine(c); ok {
+				ln := fset.Position(c.Pos()).Line
+				l.byLn[ln] = append(l.byLn[ln], d)
+			}
+		}
+	}
+	return l
+}
+
+// Has reports whether the named directive appears on pos's line.
+func (l *Lines) Has(pos token.Pos, name string) bool {
+	if l == nil {
+		return false
+	}
+	p := l.fset.Position(pos)
+	for _, d := range l.byLn[p.Line] {
+		if d.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// InTestFile reports whether pos lies in a _test.go file. Several
+// analyzers exempt test files: tests legitimately poke loop state from
+// the test goroutine and retain pooled messages for inspection.
+func InTestFile(fset *token.FileSet, pos token.Pos) bool {
+	return strings.HasSuffix(fset.Position(pos).Filename, "_test.go")
+}

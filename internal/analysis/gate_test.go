@@ -1,0 +1,196 @@
+// Package analysis_test holds the end-to-end gate test for the leadervet
+// suite: it builds the real cmd/leadervet binary, seeds a throwaway module
+// with one violation per analyzer, and proves `go vet -vettool=` fails on
+// each — exactly the gate CI relies on. The per-analyzer unit tests under
+// loopowned/cowcheck/poolcheck/hotpath cover precision; this test covers
+// the plumbing (unitchecker protocol, directive parsing through the real
+// toolchain, non-zero exit status).
+package analysis_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// buildVettool compiles cmd/leadervet once per test run.
+func buildVettool(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "leadervet")
+	if runtime.GOOS == "windows" {
+		bin += ".exe"
+	}
+	cmd := exec.Command("go", "build", "-o", bin, "stableleader/cmd/leadervet")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building leadervet: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// vetSeed writes src as a one-file module and runs `go vet -vettool=bin`
+// over it, returning the combined output and whether vet failed.
+func vetSeed(t *testing.T, bin, src string) (string, bool) {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module seedtest\n\ngo 1.21\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "seed.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command("go", "vet", "-vettool="+bin, ".")
+	cmd.Dir = dir
+	out, err := cmd.CombinedOutput()
+	return string(out), err != nil
+}
+
+// gateSeeds is one deliberately broken file per analyzer, with the message
+// fragment its diagnostic must carry.
+var gateSeeds = []struct {
+	analyzer string
+	want     string
+	src      string
+}{
+	{
+		analyzer: "loopowned",
+		want:     "does not run on the owning event loop",
+		src: `package seed
+
+type shard struct {
+	//leadervet:loopOwned
+	seq int
+}
+
+// Outside has no on-loop annotation and no on-loop caller: touching the
+// owned field from it must be rejected.
+func Outside(s *shard) int { return s.seq }
+`,
+	},
+	{
+		analyzer: "cowcheck",
+		want:     "copy-on-write",
+		src: `package seed
+
+import "sync/atomic"
+
+type view struct{ n int }
+
+var plane atomic.Pointer[view]
+
+func Mutate() { plane.Load().n = 1 }
+`,
+	},
+	{
+		analyzer: "poolcheck",
+		want:     "is not released",
+		src: `package seed
+
+var pool [][]byte
+
+//leadervet:acquires
+func take() []byte {
+	if n := len(pool); n > 0 {
+		b := pool[n-1]
+		pool = pool[:n-1]
+		return b
+	}
+	return make([]byte, 0, 64)
+}
+
+//leadervet:releases b
+func put(b []byte) { pool = append(pool, b[:0]) }
+
+// Leaky releases on one path only.
+func Leaky(flush bool) {
+	b := take()
+	if flush {
+		put(b)
+	}
+}
+`,
+	},
+	{
+		analyzer: "hotpath",
+		want:     "hotpath",
+		src: `package seed
+
+//leadervet:hotpath
+func Alloc(n int) []int { return make([]int, n) }
+`,
+	},
+}
+
+// cleanSeed must pass every analyzer: it exercises each directive in its
+// legal form.
+const cleanSeed = `package seed
+
+import "sync/atomic"
+
+type view struct{ n int }
+
+var plane atomic.Pointer[view]
+
+type shard struct {
+	//leadervet:loopOwned
+	seq int
+}
+
+//leadervet:onLoop
+func (s *shard) step() { s.seq++ }
+
+var pool [][]byte
+
+//leadervet:acquires
+func take() []byte {
+	if n := len(pool); n > 0 {
+		b := pool[n-1]
+		pool = pool[:n-1]
+		return b
+	}
+	return make([]byte, 0, 64)
+}
+
+//leadervet:releases b
+func put(b []byte) { pool = append(pool, b[:0]) }
+
+//leadervet:hotpath
+func ReadPlane() int {
+	b := take()
+	n := plane.Load().n
+	put(b)
+	return n
+}
+`
+
+// TestVettoolGatesSeededViolations is the CI gate rehearsal: the built
+// vettool must fail `go vet` on one seeded violation per analyzer, with
+// the right diagnostic, and pass a clean file using every directive.
+func TestVettoolGatesSeededViolations(t *testing.T) {
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go toolchain not on PATH")
+	}
+	bin := buildVettool(t)
+
+	for _, seed := range gateSeeds {
+		t.Run(seed.analyzer, func(t *testing.T) {
+			out, failed := vetSeed(t, bin, seed.src)
+			if !failed {
+				t.Fatalf("go vet passed a seeded %s violation\noutput:\n%s", seed.analyzer, out)
+			}
+			if !strings.Contains(out, seed.want) {
+				t.Fatalf("go vet failed without the expected %s diagnostic (want substring %q)\noutput:\n%s",
+					seed.analyzer, seed.want, out)
+			}
+		})
+	}
+
+	t.Run("clean", func(t *testing.T) {
+		out, failed := vetSeed(t, bin, cleanSeed)
+		if failed {
+			t.Fatalf("go vet rejected the clean seed:\n%s", out)
+		}
+	})
+}

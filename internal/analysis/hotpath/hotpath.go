@@ -1,0 +1,429 @@
+// Package hotpath defines the leadervet analyzer enforcing the 0-alloc
+// discipline of functions annotated //leadervet:hotpath — the read
+// plane (Group.Leader/Status, client.Leader/Cached), the monitor's
+// per-heartbeat Observe, the fan-out and the heartbeat encode path.
+//
+// Inside a hotpath function the analyzer flags the allocating
+// constructs that have historically crept back in:
+//
+//   - make and new
+//   - escaping composite literals (&T{...}; plain value literals are
+//     stack-allocated and allowed)
+//   - closures (function literals capture their environment) and go
+//     statements
+//   - append growth on a fresh local slice (append into a parameter,
+//     field, reslice or pooled buffer — a scratch buffer — is allowed)
+//   - interface boxing: passing or converting a non-pointer concrete
+//     value where an interface is expected (pointers fit the interface
+//     word and are free)
+//   - non-constant string concatenation and string<->[]byte
+//     conversions
+//   - calls into known-allocating helpers (fmt, log, sort, errors.New,
+//     the id.SortedMapKeys convenience wrapper — its Append variant
+//     with a scratch buffer is the hot-path form); the list is
+//     extendable with -hotpath.deny
+//
+// The check is intra-procedural by design: each function on a hot path
+// carries its own annotation, so a regression is reported in the
+// function that introduced it. A deliberate, measured exception (a
+// cold fallback branch inside a hot function) is silenced per line
+// with //leadervet:ignore.
+package hotpath
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+
+	"stableleader/internal/analysis/directive"
+)
+
+// DefaultDeny is the default set of denied callee prefixes, matched
+// against the callee's fully-qualified name.
+const DefaultDeny = "fmt.,log.,sort.,errors.New,stableleader/id.SortedMapKeys"
+
+var deny string
+
+// Analyzer is the hotpath analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name:     "hotpath",
+	Doc:      "check that //leadervet:hotpath functions contain no allocating constructs",
+	URL:      "https://pkg.go.dev/stableleader/internal/analysis/hotpath",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+func init() {
+	Analyzer.Flags.StringVar(&deny, "deny", DefaultDeny,
+		"comma-separated fully-qualified callee prefixes denied in hotpath functions")
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	in := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+
+	var denied []string
+	for _, d := range strings.Split(deny, ",") {
+		if d = strings.TrimSpace(d); d != "" {
+			denied = append(denied, d)
+		}
+	}
+
+	lines := make(map[*token.File]*directive.Lines)
+	for _, f := range pass.Files {
+		lines[pass.Fset.File(f.Pos())] = directive.FileLines(pass.Fset, f)
+	}
+	ignored := func(pos token.Pos) bool {
+		return lines[pass.Fset.File(pos)].Has(pos, "ignore")
+	}
+
+	in.Preorder([]ast.Node{(*ast.FuncDecl)(nil)}, func(n ast.Node) {
+		fd := n.(*ast.FuncDecl)
+		if fd.Body == nil || !directive.Has(fd.Doc, "hotpath") {
+			return
+		}
+		c := &checker{pass: pass, fd: fd, denied: denied, ignored: ignored}
+		c.check()
+	})
+	return nil, nil
+}
+
+type checker struct {
+	pass    *analysis.Pass
+	fd      *ast.FuncDecl
+	denied  []string
+	ignored func(token.Pos) bool
+}
+
+func (c *checker) reportf(pos token.Pos, format string, args ...interface{}) {
+	if c.ignored(pos) {
+		return
+	}
+	args = append(args, c.fd.Name.Name)
+	c.pass.Reportf(pos, format+" in //leadervet:hotpath function %s", args...)
+}
+
+func (c *checker) check() {
+	ast.Inspect(c.fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			c.reportf(n.Pos(), "closure allocates")
+			return false // its body is off the hot path by construction
+		case *ast.GoStmt:
+			c.reportf(n.Pos(), "go statement allocates a goroutine")
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					c.reportf(n.Pos(), "escaping composite literal allocates")
+				}
+			}
+		case *ast.BinaryExpr:
+			c.checkConcat(n)
+		case *ast.CallExpr:
+			c.checkCall(n)
+		}
+		return true
+	})
+}
+
+// checkConcat flags non-constant string concatenation.
+func (c *checker) checkConcat(b *ast.BinaryExpr) {
+	if b.Op != token.ADD {
+		return
+	}
+	t := c.pass.TypesInfo.TypeOf(b)
+	if t == nil || !isString(t) {
+		return
+	}
+	// Constant folding makes the whole expression free.
+	if tv, ok := c.pass.TypesInfo.Types[b]; ok && tv.Value != nil {
+		return
+	}
+	c.reportf(b.OpPos, "non-constant string concatenation allocates")
+}
+
+func (c *checker) checkCall(call *ast.CallExpr) {
+	// Builtins and conversions.
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if b, ok := c.pass.TypesInfo.Uses[fun].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				c.reportf(call.Pos(), "make allocates")
+			case "new":
+				c.reportf(call.Pos(), "new allocates")
+			case "append":
+				c.checkAppend(call)
+			}
+			return
+		}
+	}
+	// Conversion? (a type used in call position)
+	if tv, ok := c.pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
+		c.checkConversion(call, tv.Type)
+		return
+	}
+	// Denied callees.
+	if fn := calleeFunc(c.pass, call); fn != nil {
+		full := fn.FullName()
+		for _, d := range c.denied {
+			if strings.HasPrefix(full, d) {
+				c.reportf(call.Pos(), "call to %s (denied allocating helper)", full)
+				break
+			}
+		}
+		c.checkBoxing(call, fn)
+	}
+}
+
+// checkAppend flags append growth on fresh local slices. Appending into
+// a parameter, struct field, reslice of either, or any call result (a
+// pooled buffer) is the scratch-buffer idiom and allowed.
+func (c *checker) checkAppend(call *ast.CallExpr) {
+	if len(call.Args) == 0 {
+		return
+	}
+	base := call.Args[0]
+	for {
+		switch b := ast.Unparen(base).(type) {
+		case *ast.SliceExpr:
+			base = b.X
+			continue
+		case *ast.IndexExpr:
+			base = b.X
+			continue
+		case *ast.StarExpr:
+			base = b.X
+			continue
+		}
+		break
+	}
+	switch b := ast.Unparen(base).(type) {
+	case *ast.SelectorExpr, *ast.CallExpr:
+		return // field or pooled buffer: scratch
+	case *ast.Ident:
+		obj := c.pass.TypesInfo.Uses[b]
+		if obj == nil {
+			return
+		}
+		if v, ok := obj.(*types.Var); ok {
+			if c.isParam(v) || v.IsField() {
+				return
+			}
+			if c.scratchLocal(v) {
+				return
+			}
+		}
+		c.reportf(call.Pos(), "append growth on fresh slice %s allocates (use a scratch buffer)", b.Name)
+	default:
+		c.reportf(call.Pos(), "append growth allocates (use a scratch buffer)")
+	}
+}
+
+// isParam reports whether v is a parameter or receiver of the checked
+// function.
+func (c *checker) isParam(v *types.Var) bool {
+	obj, ok := c.pass.TypesInfo.Defs[c.fd.Name].(*types.Func)
+	if !ok {
+		return false
+	}
+	sig := obj.Type().(*types.Signature)
+	if r := sig.Recv(); r != nil && r == v {
+		return true
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if sig.Params().At(i) == v {
+			return true
+		}
+	}
+	return false
+}
+
+// scratchLocal reports whether local slice v originates from a scratch
+// source: its initialisation roots in a parameter, field, or call
+// result (chasing ident-to-ident chains a few hops).
+func (c *checker) scratchLocal(v *types.Var) bool {
+	for hop := 0; hop < 8; hop++ {
+		init := c.initExpr(v)
+		if init == nil {
+			return false
+		}
+		base := init
+		for {
+			switch b := ast.Unparen(base).(type) {
+			case *ast.SliceExpr:
+				base = b.X
+				continue
+			case *ast.IndexExpr:
+				base = b.X
+				continue
+			case *ast.StarExpr:
+				base = b.X
+				continue
+			}
+			break
+		}
+		switch b := ast.Unparen(base).(type) {
+		case *ast.SelectorExpr, *ast.CallExpr:
+			return true
+		case *ast.Ident:
+			obj := c.pass.TypesInfo.Uses[b]
+			if obj == nil {
+				obj = c.pass.TypesInfo.Defs[b]
+			}
+			nv, ok := obj.(*types.Var)
+			if !ok {
+				return false
+			}
+			if c.isParam(nv) || nv.IsField() {
+				return true
+			}
+			v = nv // chase the chain
+		default:
+			return false
+		}
+	}
+	return false
+}
+
+// initExpr finds the defining expression of local v within the checked
+// function (v := expr, var v = expr), ignoring self-appends.
+func (c *checker) initExpr(v *types.Var) ast.Expr {
+	var out ast.Expr
+	ast.Inspect(c.fd.Body, func(n ast.Node) bool {
+		if out != nil {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, l := range n.Lhs {
+				id, ok := l.(*ast.Ident)
+				if !ok || c.pass.TypesInfo.Defs[id] != v {
+					continue
+				}
+				if i < len(n.Rhs) {
+					out = n.Rhs[i]
+				} else if len(n.Rhs) == 1 {
+					out = n.Rhs[0] // multi-assign from one call: treat the call as origin
+				}
+			}
+		case *ast.ValueSpec:
+			for i, name := range n.Names {
+				if c.pass.TypesInfo.Defs[name] != v {
+					continue
+				}
+				if i < len(n.Values) {
+					out = n.Values[i]
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// checkConversion flags allocating conversions: boxing into an
+// interface, and string<->[]byte copies.
+func (c *checker) checkConversion(call *ast.CallExpr, to types.Type) {
+	if len(call.Args) != 1 {
+		return
+	}
+	from := c.pass.TypesInfo.TypeOf(call.Args[0])
+	if from == nil {
+		return
+	}
+	if types.IsInterface(to.Underlying()) && boxes(from) {
+		c.reportf(call.Pos(), "conversion to interface boxes a non-pointer value and allocates")
+		return
+	}
+	if isString(to) != isString(from) && (isByteSlice(to) || isByteSlice(from)) {
+		c.reportf(call.Pos(), "string/[]byte conversion copies and allocates")
+	}
+}
+
+// checkBoxing flags arguments boxed into interface parameters.
+func (c *checker) checkBoxing(call *ast.CallExpr, fn *types.Func) {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		var pname string
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // forwarding an existing slice: no boxing
+			}
+			last := params.At(params.Len() - 1)
+			s, ok := last.Type().Underlying().(*types.Slice)
+			if !ok {
+				continue
+			}
+			pt, pname = s.Elem(), last.Name()
+		case i < params.Len():
+			pt, pname = params.At(i).Type(), params.At(i).Name()
+		default:
+			return
+		}
+		if !types.IsInterface(pt.Underlying()) {
+			continue
+		}
+		at := c.pass.TypesInfo.TypeOf(arg)
+		if at == nil || !boxes(at) {
+			continue
+		}
+		// Untyped nil never boxes.
+		if tv, ok := c.pass.TypesInfo.Types[arg]; ok && tv.IsNil() {
+			continue
+		}
+		c.reportf(arg.Pos(), "argument boxes a non-pointer value into interface parameter %s and allocates", pname)
+	}
+}
+
+// boxes reports whether converting a value of type t to an interface
+// allocates: true for non-pointer concrete types (pointers, channels,
+// maps, funcs and unsafe pointers ride in the interface word).
+func boxes(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Interface, *types.Chan, *types.Map, *types.Signature, *types.TypeParam:
+		return false
+	}
+	if b, ok := t.Underlying().(*types.Basic); ok && b.Kind() == types.UnsafePointer {
+		return false
+	}
+	return true
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Byte
+}
+
+// calleeFunc resolves the static callee of a call, nil for dynamic
+// calls (which cannot be checked and are left to the alloc tests).
+func calleeFunc(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := pass.TypesInfo.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := pass.TypesInfo.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}

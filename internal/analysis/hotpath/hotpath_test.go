@@ -1,0 +1,12 @@
+package hotpath_test
+
+import (
+	"testing"
+
+	"stableleader/internal/analysis/hotpath"
+	"stableleader/internal/analysis/vettest"
+)
+
+func TestHotPath(t *testing.T) {
+	vettest.Run(t, hotpath.Analyzer, "testdata/a")
+}

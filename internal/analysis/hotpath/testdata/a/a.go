@@ -1,0 +1,54 @@
+// Package a is the hotpath fixture.
+package a
+
+import "fmt"
+
+type peer struct {
+	buf []byte
+	n   int
+}
+
+type reader interface{ Name() string }
+
+//leadervet:hotpath
+func allocZoo(p *peer, s string, n int) {
+	_ = make([]byte, 8) // want `make allocates`
+	_ = new(peer)       // want `new allocates`
+	_ = &peer{}         // want `escaping composite literal allocates`
+	go helper(n)        // want `go statement allocates a goroutine`
+	f := func() {}      // want `closure allocates`
+	_ = f
+	var fresh []int
+	fresh = append(fresh, n) // want `append growth on fresh slice fresh allocates`
+	_ = fresh
+	_ = s + "!"     // want `non-constant string concatenation allocates`
+	_ = []byte(s)   // want `string/\[\]byte conversion copies and allocates`
+	_ = any(n)      // want `conversion to interface boxes a non-pointer value`
+	fmt.Println(s)  // want `call to fmt.Println \(denied allocating helper\)` `argument boxes a non-pointer value into interface parameter a`
+	takesIface(p.n) // want `argument boxes a non-pointer value into interface parameter v`
+}
+
+func helper(n int) {}
+
+func takesIface(v interface{}) {}
+
+//leadervet:hotpath
+func okPath(p *peer, dst []byte, r reader) []byte {
+	dst = append(dst, 1) // parameter: the caller's buffer
+	buf := p.buf
+	buf = append(buf, 2) // scratch rooted in a field
+	p.buf = buf
+	const tag = "a" + "b" // constant-folded, free
+	_ = tag
+	takesIface(p) // pointers ride the interface word
+	takesIface(r) // interfaces re-box nothing
+	if p.n > cap(dst) {
+		dst = make([]byte, p.n) //leadervet:ignore — measured cold fallback
+	}
+	return dst
+}
+
+// unannotated is off the hot path: nothing here is flagged.
+func unannotated() *peer {
+	return &peer{buf: make([]byte, 1)}
+}

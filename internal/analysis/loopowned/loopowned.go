@@ -1,0 +1,438 @@
+// Package loopowned defines the leadervet analyzer enforcing the
+// loop-ownership discipline: struct fields annotated
+// //leadervet:loopOwned are part of an event loop's single-threaded
+// world and may only be touched from functions that provably run on
+// that loop.
+//
+// A function counts as on-loop when:
+//
+//   - its declaration carries //leadervet:onLoop (a contract: callers
+//     promise to invoke it on the owning loop — the annotation every
+//     loop-entry API carries), or
+//   - its declaration carries //leadervet:init (it runs before the
+//     loop exists and has exclusive access, e.g. a constructor), or
+//   - it is a function literal passed as a parameter annotated
+//     //leadervet:runsOnLoop on the callee (the enqueue/call pattern:
+//     the callee executes the value on the loop), or
+//   - every static reference to it in the package is a direct call
+//     from an on-loop function (inference; a reference from a go
+//     statement, or any use as a value, defeats it).
+//
+// Accesses in _test.go files are exempt (tests drive loops from the
+// test goroutine by construction), as is any line carrying
+// //leadervet:ignore.
+package loopowned
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+
+	"stableleader/internal/analysis/directive"
+)
+
+// Analyzer is the loopowned analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name:      "loopowned",
+	Doc:       "check that //leadervet:loopOwned fields are only accessed from the owning event loop",
+	URL:       "https://pkg.go.dev/stableleader/internal/analysis/loopowned",
+	Requires:  []*analysis.Analyzer{inspect.Analyzer},
+	FactTypes: []analysis.Fact{(*isLoopOwned)(nil), (*isOnLoop)(nil), (*runsOnLoop)(nil)},
+	Run:       run,
+}
+
+// isLoopOwned marks a struct field as loop-owned state.
+type isLoopOwned struct{}
+
+func (*isLoopOwned) AFact()         {}
+func (*isLoopOwned) String() string { return "loopOwned" }
+
+// isOnLoop marks a function whose contract is "called on the owning
+// loop" (//leadervet:onLoop) or "runs before the loop exists"
+// (//leadervet:init).
+type isOnLoop struct{}
+
+func (*isOnLoop) AFact()         {}
+func (*isOnLoop) String() string { return "onLoop" }
+
+// runsOnLoop marks a function that executes some of its func-typed
+// parameters on the owning event loop. Params holds their indices.
+type runsOnLoop struct{ Params []int }
+
+func (*runsOnLoop) AFact()         {}
+func (*runsOnLoop) String() string { return "runsOnLoop" }
+
+// fnode is one function (declaration or literal) in the package's
+// reference graph.
+type fnode struct {
+	name      string // for diagnostics
+	annotated bool   // //leadervet:onLoop or //leadervet:init
+	escapes   bool   // referenced as a value in an unknown context
+	noCallers bool   // resolved after the graph is built
+	onLoop    bool   // fixpoint result
+	fixed     bool   // onLoop may no longer change
+	callers   []edge
+}
+
+type edge struct {
+	from *fnode
+	goed bool // the call is the operand of a go statement
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	in := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+
+	lines := make(map[*token.File]*directive.Lines)
+	for _, f := range pass.Files {
+		lines[pass.Fset.File(f.Pos())] = directive.FileLines(pass.Fset, f)
+	}
+	lineFor := func(pos token.Pos) *directive.Lines { return lines[pass.Fset.File(pos)] }
+
+	// Pass 1: collect annotations — loop-owned fields, function
+	// contracts, runsOnLoop parameter marks.
+	owned := make(map[types.Object]bool)
+	decls := make(map[*types.Func]*fnode)     // declared funcs and methods
+	lits := make(map[*ast.FuncLit]*fnode)     // function literals
+	onLoopArgs := make(map[*types.Func][]int) // local runsOnLoop marks
+
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				obj, ok := pass.TypesInfo.Defs[n.Name].(*types.Func)
+				if !ok {
+					return true
+				}
+				fn := &fnode{name: n.Name.Name}
+				if directive.Has(n.Doc, "onLoop") || directive.Has(n.Doc, "init") {
+					fn.annotated = true
+					pass.ExportObjectFact(obj, &isOnLoop{})
+				}
+				if d, ok := directive.Find(n.Doc, "runsOnLoop"); ok {
+					idx := paramIndices(obj, d.Args)
+					if len(idx) == 0 {
+						pass.Reportf(d.Pos, "leadervet:runsOnLoop on %s names no parameter (args %q)", n.Name.Name, d.Args)
+					} else {
+						onLoopArgs[obj] = idx
+						pass.ExportObjectFact(obj, &runsOnLoop{Params: idx})
+					}
+				}
+				decls[obj] = fn
+			case *ast.GenDecl:
+				for _, spec := range n.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					doc := ts.Doc
+					if doc == nil && len(n.Specs) == 1 {
+						doc = n.Doc // unparenthesized type decl: doc sits on the GenDecl
+					}
+					collectOwnedFields(pass, ts, doc, owned)
+				}
+			}
+			return true
+		})
+	}
+
+	// resolve maps a call/reference target to its local fnode (nil for
+	// out-of-package or dynamic targets).
+	resolve := func(obj types.Object) *fnode {
+		fn, _ := obj.(*types.Func)
+		if fn == nil {
+			return nil
+		}
+		return decls[fn]
+	}
+	// onLoopParams reports the runsOnLoop indices of a callee, local or
+	// imported (via fact).
+	onLoopParams := func(obj types.Object) []int {
+		fn, _ := obj.(*types.Func)
+		if fn == nil {
+			return nil
+		}
+		if idx, ok := onLoopArgs[fn]; ok {
+			return idx
+		}
+		var fact runsOnLoop
+		if pass.ImportObjectFact(fn, &fact) {
+			return fact.Params
+		}
+		return nil
+	}
+
+	// Pass 2: build the reference graph with a stack walk.
+	stackTypes := []ast.Node{
+		(*ast.FuncDecl)(nil), (*ast.FuncLit)(nil),
+		(*ast.CallExpr)(nil), (*ast.Ident)(nil), (*ast.SelectorExpr)(nil),
+	}
+	enclosing := func(stack []ast.Node) *fnode {
+		for i := len(stack) - 1; i >= 0; i-- {
+			switch f := stack[i].(type) {
+			case *ast.FuncLit:
+				return lits[f]
+			case *ast.FuncDecl:
+				if obj, ok := pass.TypesInfo.Defs[f.Name].(*types.Func); ok {
+					return decls[obj]
+				}
+				return nil
+			}
+		}
+		return nil
+	}
+	// enclosingAt resolves the function enclosing stack[:i].
+	enclosingAt := func(stack []ast.Node, i int) *fnode { return enclosing(stack[:i]) }
+
+	// calleeOf returns the statically-resolved callee object of a call.
+	calleeOf := func(call *ast.CallExpr) types.Object {
+		switch fun := ast.Unparen(call.Fun).(type) {
+		case *ast.Ident:
+			return pass.TypesInfo.Uses[fun]
+		case *ast.SelectorExpr:
+			return pass.TypesInfo.Uses[fun.Sel]
+		}
+		return nil
+	}
+
+	// argContext classifies an expression that appears as a call
+	// argument: returns the runsOnLoop verdict for that slot.
+	argSlot := func(call *ast.CallExpr, arg ast.Expr) (int, bool) {
+		for i, a := range call.Args {
+			if a == arg {
+				return i, true
+			}
+		}
+		return 0, false
+	}
+
+	in.WithStack(stackTypes, func(n ast.Node, push bool, stack []ast.Node) bool {
+		if !push {
+			return true
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			fl := &fnode{name: "func literal"}
+			lits[n] = fl
+			// Classify by parent.
+			parent := stack[len(stack)-2]
+			switch p := parent.(type) {
+			case *ast.GoStmt:
+				// go func(){...}() — wrapped in the CallExpr below.
+				_ = p
+			case *ast.CallExpr:
+				if p.Fun == n {
+					// Immediately invoked: runs in the enclosing context.
+					goed := len(stack) >= 3 && isGoCall(stack[len(stack)-3], p)
+					if enc := enclosingAt(stack, len(stack)-2); enc != nil {
+						fl.callers = append(fl.callers, edge{from: enc, goed: goed})
+					} else {
+						fl.escapes = true
+					}
+					return true
+				}
+				// Passed as an argument.
+				if slot, ok := argSlot(p, n); ok {
+					for _, i := range onLoopParams(calleeOf(p)) {
+						if matchesSlot(i, slot, p, calleeOf(p)) {
+							fl.annotated = true // executes on the loop by the callee's contract
+							return true
+						}
+					}
+				}
+				fl.escapes = true
+			default:
+				fl.escapes = true
+			}
+		case *ast.CallExpr:
+			callee := calleeOf(n)
+			target := resolve(callee)
+			if target == nil {
+				return true
+			}
+			goed := len(stack) >= 2 && isGoCall(stack[len(stack)-2], n)
+			if enc := enclosingAt(stack, len(stack)-1); enc != nil {
+				target.callers = append(target.callers, edge{from: enc, goed: goed})
+			} else {
+				target.escapes = true // called from a package-level initializer
+			}
+		case *ast.Ident, *ast.SelectorExpr:
+			// A function referenced as a value (method value, function
+			// value): escapes unless it lands in a runsOnLoop slot.
+			var obj types.Object
+			var expr ast.Expr
+			switch e := n.(type) {
+			case *ast.Ident:
+				obj, expr = pass.TypesInfo.Uses[e], e
+			case *ast.SelectorExpr:
+				obj, expr = pass.TypesInfo.Uses[e.Sel], e
+			}
+			target := resolve(obj)
+			if target == nil {
+				return true
+			}
+			parent := stack[len(stack)-2]
+			// Skip idents that are part of a selector handled at the
+			// selector level, and call positions (handled above).
+			if sel, ok := parent.(*ast.SelectorExpr); ok && n == ast.Node(sel.Sel) {
+				return true
+			}
+			if call, ok := parent.(*ast.CallExpr); ok {
+				if call.Fun == expr {
+					return true // call position
+				}
+				if slot, ok := argSlot(call, expr); ok {
+					for _, i := range onLoopParams(calleeOf(call)) {
+						if matchesSlot(i, slot, call, calleeOf(call)) {
+							target.annotated = true
+							return true
+						}
+					}
+				}
+			}
+			target.escapes = true
+		}
+		return true
+	})
+
+	// Fixpoint: optimistic for inference, demote on contrary evidence.
+	var all []*fnode
+	for _, f := range decls {
+		all = append(all, f)
+	}
+	for _, f := range lits {
+		all = append(all, f)
+	}
+	for _, f := range all {
+		switch {
+		case f.annotated:
+			f.onLoop, f.fixed = true, true
+		case f.escapes || len(f.callers) == 0:
+			f.onLoop, f.fixed = false, true
+		default:
+			f.onLoop = true
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, f := range all {
+			if f.fixed || !f.onLoop {
+				continue
+			}
+			for _, e := range f.callers {
+				if e.goed || !e.from.onLoop {
+					f.onLoop = false
+					changed = true
+					break
+				}
+			}
+		}
+	}
+
+	// Pass 3: check every field access.
+	in.WithStack([]ast.Node{(*ast.SelectorExpr)(nil)}, func(n ast.Node, push bool, stack []ast.Node) bool {
+		if !push {
+			return true
+		}
+		sel := n.(*ast.SelectorExpr)
+		obj := pass.TypesInfo.Uses[sel.Sel]
+		v, ok := obj.(*types.Var)
+		if !ok || !v.IsField() {
+			return true
+		}
+		isOwned := owned[obj]
+		if !isOwned && v.Pkg() != nil && v.Pkg() != pass.Pkg {
+			isOwned = pass.ImportObjectFact(obj, &isLoopOwned{})
+		}
+		if !isOwned {
+			return true
+		}
+		if directive.InTestFile(pass.Fset, sel.Pos()) {
+			return true
+		}
+		if lineFor(sel.Pos()).Has(sel.Pos(), "ignore") {
+			return true
+		}
+		enc := enclosing(stack)
+		if enc != nil && enc.onLoop {
+			return true
+		}
+		where := "package-level code"
+		if enc != nil {
+			where = enc.name
+		}
+		pass.Reportf(sel.Sel.Pos(),
+			"field %s is //leadervet:loopOwned but %s does not run on the owning event loop (mark it //leadervet:onLoop or //leadervet:init if it does)",
+			sel.Sel.Name, where)
+		return true
+	})
+
+	return nil, nil
+}
+
+// collectOwnedFields records the loop-owned fields of one struct type:
+// every field when the type's doc carries loopOwned, otherwise the
+// fields whose own doc or line comment does.
+func collectOwnedFields(pass *analysis.Pass, ts *ast.TypeSpec, doc *ast.CommentGroup, owned map[types.Object]bool) {
+	st, ok := ts.Type.(*ast.StructType)
+	if !ok {
+		return
+	}
+	allOwned := directive.Has(doc, "loopOwned") || directive.Has(ts.Comment, "loopOwned")
+	for _, f := range st.Fields.List {
+		if !allOwned && !directive.Has(f.Doc, "loopOwned") && !directive.Has(f.Comment, "loopOwned") {
+			continue
+		}
+		for _, name := range f.Names {
+			if obj := pass.TypesInfo.Defs[name]; obj != nil {
+				owned[obj] = true
+				pass.ExportObjectFact(obj, &isLoopOwned{})
+			}
+		}
+	}
+}
+
+// isGoCall reports whether parent is a go statement launching call.
+func isGoCall(parent ast.Node, call *ast.CallExpr) bool {
+	g, ok := parent.(*ast.GoStmt)
+	return ok && g.Call == call
+}
+
+// matchesSlot reports whether the runsOnLoop parameter index i covers
+// argument slot in a call to callee (accounting for variadics).
+func matchesSlot(i, slot int, call *ast.CallExpr, callee types.Object) bool {
+	fn, _ := callee.(*types.Func)
+	if fn == nil {
+		return i == slot
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil {
+		return i == slot
+	}
+	if sig.Variadic() && i == sig.Params().Len()-1 {
+		return slot >= i
+	}
+	return i == slot
+}
+
+// paramIndices resolves runsOnLoop argument names to parameter indices.
+func paramIndices(fn *types.Func, names []string) []int {
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil {
+		return nil
+	}
+	var out []int
+	for _, want := range names {
+		want = strings.TrimSpace(want)
+		for i := 0; i < sig.Params().Len(); i++ {
+			if sig.Params().At(i).Name() == want {
+				out = append(out, i)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,12 @@
+package loopowned_test
+
+import (
+	"testing"
+
+	"stableleader/internal/analysis/loopowned"
+	"stableleader/internal/analysis/vettest"
+)
+
+func TestLoopOwned(t *testing.T) {
+	vettest.Run(t, loopowned.Analyzer, "testdata/a")
+}

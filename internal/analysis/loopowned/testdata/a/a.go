@@ -1,0 +1,60 @@
+// Package a is the loopowned fixture: a miniature event-loop shard.
+package a
+
+// shard mimics a service shard: seq is loop-owned, stats is not.
+type shard struct {
+	//leadervet:loopOwned
+	seq int
+
+	pending []int //leadervet:loopOwned
+
+	stats int // freely shared (atomics in real code)
+}
+
+// loop is the event loop body.
+//
+//leadervet:onLoop
+func (s *shard) loop() {
+	s.seq++
+	s.pending = s.pending[:0]
+	s.step()
+	go s.offLoop()
+}
+
+// step has a single static caller, loop, so it is inferred on-loop.
+func (s *shard) step() {
+	s.seq += 2
+	s.stats++
+}
+
+func (s *shard) offLoop() {
+	s.seq++ // want `field seq is //leadervet:loopOwned but offLoop does not run on the owning event loop`
+	s.stats++
+}
+
+// newShard runs before the loop exists.
+//
+//leadervet:init
+func newShard() *shard {
+	s := &shard{}
+	s.seq = 0
+	return s
+}
+
+// enqueue executes fn on the loop.
+//
+//leadervet:runsOnLoop fn
+func (s *shard) enqueue(fn func()) { fn() }
+
+// outside has no callers, so it is not on-loop.
+func outside(s *shard) {
+	s.seq++ // want `field seq is //leadervet:loopOwned but outside does not run on the owning event loop`
+	s.enqueue(func() {
+		s.seq++ // on-loop by enqueue's runsOnLoop contract
+	})
+	leaked := func() {
+		s.seq++ // want `field seq is //leadervet:loopOwned but func literal does not run on the owning event loop`
+	}
+	_ = leaked
+	s.seq = 7 //leadervet:ignore — audited in the fixture
+}

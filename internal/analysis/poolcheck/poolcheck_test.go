@@ -1,0 +1,12 @@
+package poolcheck_test
+
+import (
+	"testing"
+
+	"stableleader/internal/analysis/poolcheck"
+	"stableleader/internal/analysis/vettest"
+)
+
+func TestPoolCheck(t *testing.T) {
+	vettest.Run(t, poolcheck.Analyzer, "testdata/a")
+}

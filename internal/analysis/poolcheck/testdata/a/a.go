@@ -1,0 +1,125 @@
+// Package a is the poolcheck fixture: a miniature buffer pool with
+// acquire/release contracts.
+package a
+
+// get hands the caller a pooled buffer.
+//
+//leadervet:acquires
+func get() []byte { return nil }
+
+// put returns b to the pool.
+//
+//leadervet:releases b
+func put(b []byte) {}
+
+// use is a plain consumer with no ownership effect.
+func use(b []byte) {}
+
+func releaseOnStraightLine() {
+	b := get()
+	b = append(b, 1)
+	put(b)
+}
+
+func releaseViaDefer() {
+	b := get()
+	defer put(b)
+	use(b)
+}
+
+func releaseReslice() {
+	b := get()
+	use(b)
+	put(b[:0])
+}
+
+func selfReslice(n int) {
+	b := get()
+	b = b[:n]
+	b = append(b, 1)
+	put(b)
+}
+
+var sink []byte
+
+// scatter mirrors the service's steer: the pooled slice is released and
+// replaced on the too-small path, resliced in place otherwise, and the
+// survivor's ownership leaves by handoff. No path leaks.
+func scatter() {
+	b := get()
+	if cap(b) == 0 {
+		put(b)
+		b = make([]byte, 4)
+	} else {
+		b = b[:1]
+	}
+	use(b)
+	sink = b //leadervet:handoff — ownership moves to the sink
+}
+
+func leak() {
+	b := get() // want `pooled value from get is not released before this function returns`
+	use(b)
+}
+
+func discard() {
+	get() // want `result of get is a pooled value \(//leadervet:acquires\) but is discarded`
+}
+
+func discardBlank() {
+	_ = get() // want `pooled result 0 of get is discarded`
+}
+
+func doubleRelease() {
+	b := get()
+	put(b)
+	put(b) // want `pooled value from get released twice`
+}
+
+func useAfterRelease() {
+	b := get()
+	put(b)
+	use(b[:1]) // want `pooled value from get used after release`
+}
+
+func conditionalLeak(x bool) {
+	b := get() // want `pooled value from get is not released on some paths`
+	if x {
+		put(b)
+	}
+}
+
+func releaseBothArms(x bool) {
+	b := get()
+	if x {
+		put(b)
+	} else {
+		put(b)
+	}
+}
+
+func overwrite() {
+	b := get()
+	b = nil // want `pooled value from get overwritten before release`
+	use(b)
+}
+
+func escapeUnannotated() []byte {
+	b := get()
+	return b // want `pooled value from get returned by escapeUnannotated, which is not annotated //leadervet:acquires`
+}
+
+// forward passes ownership to its own caller, declared loudly.
+//
+//leadervet:acquires
+func forward() []byte {
+	b := get()
+	return b
+}
+
+type carrier struct{ buf []byte }
+
+func handoff(c *carrier) {
+	b := get()
+	c.buf = b //leadervet:handoff — ownership moves into the carrier
+}

@@ -1,0 +1,259 @@
+// Package vettest is a self-contained analysistest substitute: it runs
+// one analyzer over a fixture package and checks its diagnostics
+// against // want comments.
+//
+// The toolchain this repository builds against vendors the go/analysis
+// framework (it ships inside cmd/vendor) but not the analysistest
+// helper, which depends on go/packages and a module cache. vettest
+// re-implements the part the leadervet fixtures need: parse a fixture
+// directory, typecheck it against the standard library via the source
+// importer (no export data, no network), execute the analyzer's
+// Requires closure, and match diagnostics to expectations.
+//
+// Expectation syntax, a compatible subset of analysistest:
+//
+//	x.f = 1 // want `regexp`
+//	y.g = 2 // want "one" "two"
+//
+// Each quoted string is a regular expression that must match the
+// message of a distinct diagnostic reported on that line; diagnostics
+// without a matching want, and wants without a matching diagnostic,
+// fail the test.
+package vettest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"reflect"
+	"regexp"
+	"runtime"
+	"sort"
+	"strings"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// Run analyzes the fixture package in dir with a and verifies its
+// diagnostics against the fixture's // want comments.
+func Run(t *testing.T, a *analysis.Analyzer, dir string) {
+	t.Helper()
+	if err := analysis.Validate([]*analysis.Analyzer{a}); err != nil {
+		t.Fatalf("invalid analyzer: %v", err)
+	}
+
+	fset := token.NewFileSet()
+	files, err := parseDir(fset, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatalf("no Go files in %s", dir)
+	}
+
+	info := &types.Info{
+		Types:        make(map[ast.Expr]types.TypeAndValue),
+		Instances:    make(map[*ast.Ident]types.Instance),
+		Defs:         make(map[*ast.Ident]types.Object),
+		Uses:         make(map[*ast.Ident]types.Object),
+		Implicits:    make(map[ast.Node]types.Object),
+		Selections:   make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:       make(map[ast.Node]*types.Scope),
+		FileVersions: make(map[*ast.File]string),
+	}
+	conf := types.Config{
+		// The source importer typechecks std from GOROOT sources:
+		// fixtures stay runnable with no export data and no network.
+		Importer: importer.ForCompiler(fset, "source", nil),
+	}
+	pkg, err := conf.Check(files[0].Name.Name, fset, files, info)
+	if err != nil {
+		t.Fatalf("fixture does not typecheck: %v", err)
+	}
+
+	var diags []analysis.Diagnostic
+	runner := &runner{
+		fset:     fset,
+		files:    files,
+		pkg:      pkg,
+		info:     info,
+		results:  make(map[*analysis.Analyzer]interface{}),
+		objFacts: make(map[types.Object][]analysis.Fact),
+		pkgFacts: make(map[*types.Package][]analysis.Fact),
+		report:   func(d analysis.Diagnostic) { diags = append(diags, d) },
+	}
+	if err := runner.run(a); err != nil {
+		t.Fatal(err)
+	}
+
+	check(t, fset, files, diags)
+}
+
+type runner struct {
+	fset     *token.FileSet
+	files    []*ast.File
+	pkg      *types.Package
+	info     *types.Info
+	results  map[*analysis.Analyzer]interface{}
+	objFacts map[types.Object][]analysis.Fact
+	pkgFacts map[*types.Package][]analysis.Fact
+	report   func(analysis.Diagnostic)
+}
+
+// run executes a's Requires closure depth-first, then a itself.
+func (r *runner) run(a *analysis.Analyzer) error {
+	if _, done := r.results[a]; done {
+		return nil
+	}
+	for _, dep := range a.Requires {
+		if err := r.run(dep); err != nil {
+			return err
+		}
+	}
+	pass := &analysis.Pass{
+		Analyzer:   a,
+		Fset:       r.fset,
+		Files:      r.files,
+		Pkg:        r.pkg,
+		TypesInfo:  r.info,
+		TypesSizes: types.SizesFor("gc", runtime.GOARCH),
+		ResultOf:   make(map[*analysis.Analyzer]interface{}),
+		Report:     r.report,
+
+		ImportObjectFact: func(obj types.Object, fact analysis.Fact) bool {
+			return lookupFact(r.objFacts[obj], fact)
+		},
+		ExportObjectFact: func(obj types.Object, fact analysis.Fact) {
+			r.objFacts[obj] = append(r.objFacts[obj], fact)
+		},
+		ImportPackageFact: func(pkg *types.Package, fact analysis.Fact) bool {
+			return lookupFact(r.pkgFacts[pkg], fact)
+		},
+		ExportPackageFact: func(fact analysis.Fact) {
+			r.pkgFacts[r.pkg] = append(r.pkgFacts[r.pkg], fact)
+		},
+		AllObjectFacts:  func() []analysis.ObjectFact { return nil },
+		AllPackageFacts: func() []analysis.PackageFact { return nil },
+	}
+	for _, dep := range a.Requires {
+		pass.ResultOf[dep] = r.results[dep]
+	}
+	res, err := a.Run(pass)
+	if err != nil {
+		return fmt.Errorf("analyzer %s: %v", a.Name, err)
+	}
+	r.results[a] = res
+	return nil
+}
+
+// lookupFact copies the first stored fact of fact's dynamic type into
+// fact, mirroring the framework's ImportObjectFact semantics.
+func lookupFact(stored []analysis.Fact, fact analysis.Fact) bool {
+	want := reflect.TypeOf(fact)
+	for _, f := range stored {
+		if reflect.TypeOf(f) == want {
+			reflect.ValueOf(fact).Elem().Set(reflect.ValueOf(f).Elem())
+			return true
+		}
+	}
+	return false
+}
+
+// parseDir parses every .go file in dir, sorted by name.
+func parseDir(fset *token.FileSet, dir string) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// wantRx extracts the quoted expectations from one comment text.
+var wantRx = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+type expectation struct {
+	rx      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// check matches diagnostics against // want comments.
+func check(t *testing.T, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) {
+	t.Helper()
+	// key: "file:line"
+	wants := make(map[string][]*expectation)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				i := strings.Index(text, "want ")
+				if i < 0 {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+				for _, q := range wantRx.FindAllString(text[i+len("want "):], -1) {
+					raw := q[1 : len(q)-1]
+					if q[0] == '"' {
+						raw = strings.ReplaceAll(raw, `\"`, `"`)
+					}
+					rx, err := regexp.Compile(raw)
+					if err != nil {
+						t.Errorf("%s: bad want regexp %q: %v", key, raw, err)
+						continue
+					}
+					wants[key] = append(wants[key], &expectation{rx: rx, raw: raw})
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+		found := false
+		for _, w := range wants[key] {
+			if !w.matched && w.rx.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: unexpected diagnostic: %s", key, d.Message)
+		}
+	}
+	var keys []string
+	for k := range wants {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		for _, w := range wants[k] {
+			if !w.matched {
+				t.Errorf("%s: expected diagnostic matching %q, got none", k, w.raw)
+			}
+		}
+	}
+}

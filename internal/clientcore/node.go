@@ -262,6 +262,8 @@ func (n *Node) Stop(graceful bool) {
 // Batch envelope whose inner snapshots dispatch individually. Hosts call
 // it on the node's event loop; other kinds are ignored (a client shares
 // transports with nothing else, but hostile traffic must be harmless).
+//
+//leadervet:hotpath
 func (n *Node) HandleMessage(m wire.Message) {
 	if n.stopped || m == nil {
 		return
@@ -288,6 +290,8 @@ func (n *Node) endpointOrder() []id.Process {
 }
 
 // handleSnapshot is the receive path for one (possibly batched) snapshot.
+//
+//leadervet:hotpath
 func (n *Node) handleSnapshot(m *wire.LeaderSnapshot) {
 	sub, ok := n.groups[m.Group]
 	if !ok {

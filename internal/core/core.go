@@ -403,6 +403,8 @@ func (n *Node) Stop() {
 // HandleMessage dispatches one received datagram: a protocol message, or a
 // Batch envelope whose inner messages dispatch individually. Hosts call it
 // on the node's event loop.
+//
+//leadervet:hotpath
 func (n *Node) HandleMessage(m wire.Message) {
 	if n.stopped || m == nil {
 		return
@@ -426,6 +428,8 @@ func (n *Node) HandleMessage(m wire.Message) {
 }
 
 // handleOne dispatches a single protocol message.
+//
+//leadervet:hotpath
 func (n *Node) handleOne(m wire.Message) {
 	if m.From() == n.self {
 		// A process never processes its own traffic (possible with
@@ -477,12 +481,16 @@ func (n *Node) handleOne(m wire.Message) {
 
 // sendNow enqueues m for to on the urgent path: the destination's staging
 // buffer is flushed synchronously, m included, preserving per-peer order.
+//
+//leadervet:hotpath
 func (n *Node) sendNow(to id.Process, m wire.Message) {
 	n.out.Enqueue(to, m, 0)
 }
 
 // sendLazy enqueues m for to on the coalescing path: m may wait up to the
 // link's coalescing delay for companions bound to the same peer.
+//
+//leadervet:hotpath
 func (n *Node) sendLazy(to id.Process, m wire.Message) {
 	n.out.Enqueue(to, m, n.coalesceDelayFor(to))
 }

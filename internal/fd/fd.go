@@ -120,6 +120,8 @@ func (m *Monitor) Deadline() time.Time { return m.deadline }
 // estimator; the monitor extends the freshness deadline if the heartbeat is
 // fresh enough. sendTime and interval come from the message; now is the
 // local receive time.
+//
+//leadervet:hotpath
 func (m *Monitor) Observe(sendTime time.Time, interval time.Duration, now time.Time) {
 	if m.stopped {
 		return

@@ -87,6 +87,8 @@ func New(cfg Config) *Scheduler {
 // Enqueue stages m for transmission to to. maxDelay bounds how long m may
 // wait for companions; zero (or negative) flushes the destination's whole
 // queue synchronously — the immediate path for latency-critical kinds.
+//
+//leadervet:hotpath
 func (s *Scheduler) Enqueue(to id.Process, m wire.Message, maxDelay time.Duration) {
 	if s.stopped {
 		return
@@ -98,8 +100,11 @@ func (s *Scheduler) Enqueue(to id.Process, m wire.Message, maxDelay time.Duratio
 	}
 	q := s.queues[to]
 	if q == nil {
-		q = &queue{}
-		q.timer = clock.NewTimer(s.cfg.Clock, func() { s.flushExpired(to, q) })
+		// First contact with this peer: the queue and its timer live for
+		// the rest of the scheduler's life, so both allocations are
+		// one-time, not per-message.
+		q = &queue{}                                                            //leadervet:ignore — once per peer
+		q.timer = clock.NewTimer(s.cfg.Clock, func() { s.flushExpired(to, q) }) //leadervet:ignore — once per peer
 		s.queues[to] = q
 	}
 	item := wire.ItemSize(m)

@@ -608,7 +608,7 @@ func (r *Registry) sendSnapshot(l *lease, seq uint64, v View) {
 		At:                viewAt(v),
 		Lease:             int64(l.ttl),
 	}
-	r.cfg.Send(l.sub.client, m, false)
+	r.cfg.Send(l.sub.client, m, false) //leadervet:handoff — the host's send path releases it
 }
 
 // sendTombstone emits a final "not serving this group" snapshot. The last
@@ -637,5 +637,5 @@ func (r *Registry) sendTombstone(to id.Process, g id.Group, v View, urgent bool)
 		Tombstone:         true,
 		At:                viewAt(v),
 	}
-	r.cfg.Send(to, m, urgent)
+	r.cfg.Send(to, m, urgent) //leadervet:handoff — the host's send path releases it
 }

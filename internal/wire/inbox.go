@@ -25,6 +25,8 @@ func NewInbox() *Inbox { return &Inbox{dec: NewDecoder()} }
 // error. The returned slice must go back through Recycle exactly once —
 // with release once the messages have been dispatched (handlers copy
 // what they keep), without it when they never will be.
+//
+//leadervet:acquires
 func (ib *Inbox) Decode(payload []byte) ([]Message, int64, error) {
 	ib.mu.Lock()
 	var msgs []Message
@@ -43,6 +45,8 @@ func (ib *Inbox) Decode(payload []byte) ([]Message, int64, error) {
 // steering stage scatters a datagram's messages into shard-contiguous
 // runs. Like a Decode result, the slice must go back through Recycle
 // exactly once.
+//
+//leadervet:acquires
 func (ib *Inbox) TakeSlice() []Message {
 	ib.mu.Lock()
 	var msgs []Message
@@ -56,6 +60,8 @@ func (ib *Inbox) TakeSlice() []Message {
 
 // Recycle returns a decoded message slice (and, when release is set, the
 // messages themselves) to the pools.
+//
+//leadervet:releases msgs
 func (ib *Inbox) Recycle(msgs []Message, release bool) {
 	if msgs == nil {
 		return

@@ -24,6 +24,8 @@ var snapshotPool = sync.Pool{New: func() any { return new(LeaderSnapshot) }}
 
 // GetLeaderSnapshot returns a zeroed LeaderSnapshot, recycled when the
 // consuming host releases them through ReleaseOutbound.
+//
+//leadervet:acquires
 func GetLeaderSnapshot() *LeaderSnapshot {
 	return snapshotPool.Get().(*LeaderSnapshot)
 }
@@ -35,6 +37,8 @@ func GetLeaderSnapshot() *LeaderSnapshot {
 // rows) that must not be recycled out from under a retainer. The caller
 // must own m outright (the outbound scheduler transfers ownership at
 // Emit) and must not touch it after the call.
+//
+//leadervet:releases m
 func ReleaseOutbound(m Message) {
 	switch t := m.(type) {
 	case *LeaderSnapshot:

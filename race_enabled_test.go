@@ -1,0 +1,8 @@
+//go:build race
+
+package stableleader_test
+
+// raceEnabled reports that this binary runs under the race detector —
+// the mode the race hammers exist for. Same convention as
+// internal/subs/race_enabled_test.go.
+const raceEnabled = true

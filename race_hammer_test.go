@@ -23,6 +23,9 @@ import (
 )
 
 func TestReadPlaneRaceHammer(t *testing.T) {
+	if !raceEnabled {
+		t.Log("running without -race: this hammer only detects races under the race detector")
+	}
 	hub := transport.NewInproc(nil)
 	ctx := context.Background()
 	spec := qos.Spec{
@@ -146,6 +149,9 @@ func TestReadPlaneRaceHammer(t *testing.T) {
 // counters, per-shard registries, aggregate shutdown) in front of the
 // race detector at once.
 func TestCrossShardChurnRaceHammer(t *testing.T) {
+	if !raceEnabled {
+		t.Log("running without -race: this hammer only detects races under the race detector")
+	}
 	hub := transport.NewInproc(nil)
 	ctx := context.Background()
 	spec := qos.Spec{

@@ -135,6 +135,8 @@ func (fl *inFlight) release() {
 // New creates and starts a Service for process self on the given
 // transport. Options refine construction; the zero-option call is a fully
 // functional service.
+//
+//leadervet:init
 func New(self id.Process, tr transport.Transport, opts ...Option) (*Service, error) {
 	if self == "" {
 		return nil, errors.New("stableleader: a process id is required")
@@ -276,6 +278,8 @@ func (s *Service) ClientStats(ctx context.Context) (ClientStats, error) {
 // loop is a shard's event loop: every entry point of the shard's node
 // funnels through here — commands, steered inbound traffic, and (via the
 // driver's enqueued advance) timer deadlines.
+//
+//leadervet:onLoop
 func (sh *serviceShard) loop() {
 	defer close(sh.done)
 	defer sh.rt.stopDriver()
@@ -305,6 +309,8 @@ func (sh *serviceShard) loop() {
 }
 
 // handleInbound dispatches one steered datagram part on the shard loop.
+//
+//leadervet:hotpath
 func (sh *serviceShard) handleInbound(p inboundPart) {
 	fl := p.fl
 	sh.svc.counters.CountInPart(p.hi-p.lo, fl.bytes, p.datagram, fl.batch)
@@ -316,6 +322,8 @@ func (sh *serviceShard) handleInbound(p inboundPart) {
 
 // enqueue schedules fn on the shard's event loop; it drops work once the
 // service is closing.
+//
+//leadervet:runsOnLoop fn
 func (sh *serviceShard) enqueue(fn func()) {
 	select {
 	case sh.commands <- fn:
@@ -339,6 +347,8 @@ func (sh *serviceShard) enqueueInbound(p inboundPart) {
 // blocking on the loop. When call returns a context error the command may
 // or may not still execute; callers needing certainty enqueue idempotent
 // compensation.
+//
+//leadervet:runsOnLoop fn
 func (sh *serviceShard) call(ctx context.Context, fn func()) error {
 	if ctx == nil {
 		ctx = context.Background()
@@ -372,6 +382,8 @@ func (sh *serviceShard) call(ctx context.Context, fn func()) error {
 // dispatched. The protocol handlers copy everything they keep, so the
 // recycle-after-handle contract holds by construction. Safe for
 // concurrent delivery (multi-receiver transports).
+//
+//leadervet:hotpath
 func (s *Service) onDatagram(payload []byte) {
 	s.dispatchDatagram(payload, netip.AddrPort{})
 }
@@ -385,6 +397,7 @@ func (s *Service) onDatagramFrom(payload []byte, src netip.AddrPort) {
 	s.dispatchDatagram(payload, src)
 }
 
+//leadervet:hotpath
 func (s *Service) dispatchDatagram(payload []byte, src netip.AddrPort) {
 	ib := s.inboxes.Get().(*wire.Inbox)
 	msgs, unknown, err := ib.Decode(payload)
@@ -443,6 +456,8 @@ func (s *Service) dispatchWhole(fl *inFlight, ib *wire.Inbox, sh *serviceShard) 
 // order, which is what preserves the per-peer FIFO the protocol relies
 // on. The datagram-level counters ride with the part holding the first
 // message.
+//
+//leadervet:hotpath
 func (s *Service) steer(fl *inFlight, ib *wire.Inbox) {
 	msgs := fl.msgs
 	var counts [MaxShards]int32
@@ -470,7 +485,9 @@ func (s *Service) steer(fl *inFlight, ib *wire.Inbox) {
 	}
 	dst := ib.TakeSlice()
 	if cap(dst) < len(msgs) {
-		dst = make([]wire.Message, len(msgs))
+		// Too small to scatter into: back to the pool, not the floor.
+		ib.Recycle(dst, false)
+		dst = make([]wire.Message, len(msgs)) //leadervet:ignore — cold pool-miss fallback, amortised away
 	} else {
 		dst = dst[:len(msgs)]
 	}
@@ -752,12 +769,12 @@ type serviceRuntime struct {
 	// armed caches the instant driver is set for, so a re-arm is skipped
 	// when the earliest deadline did not move. All three fields are
 	// loop-owned.
-	wheel  *timerwheel.Wheel
-	driver *time.Timer
-	armed  time.Time
+	wheel  *timerwheel.Wheel //leadervet:loopOwned
+	driver *time.Timer       //leadervet:loopOwned
+	armed  time.Time         //leadervet:loopOwned
 	// advancing suppresses per-callback driver re-arms while Advance
 	// fires a batch of deadlines; the single kick afterwards covers them.
-	advancing bool
+	advancing bool //leadervet:loopOwned
 }
 
 var _ core.Runtime = (*serviceRuntime)(nil)
@@ -768,7 +785,10 @@ func (r *serviceRuntime) Now() time.Time { return time.Now() }
 
 // AfterFunc implements clock.Clock: the deadline goes onto the wheel (one
 // entry allocation — one-shot timers are rare, re-armed paths use
-// NewTimer), and fires on the shard loop via the driver.
+// NewTimer), and fires on the shard loop via the driver. Like every
+// core.Runtime entry point, it is invoked on the shard's loop.
+//
+//leadervet:onLoop
 func (r *serviceRuntime) AfterFunc(d time.Duration, fn func()) clock.Timer {
 	t := &wheelRearmer{rt: r, e: timerwheel.NewEntry(fn)}
 	t.Reset(d)
@@ -789,6 +809,7 @@ type wheelRearmer struct {
 	e  *timerwheel.Entry
 }
 
+//leadervet:onLoop
 func (t *wheelRearmer) Reset(d time.Duration) bool {
 	stopped := t.e.Pending()
 	at := time.Now().Add(d)
@@ -804,6 +825,7 @@ func (t *wheelRearmer) Reset(d time.Duration) bool {
 	return stopped
 }
 
+//leadervet:onLoop
 func (t *wheelRearmer) Stop() bool {
 	// No driver re-arm: a wake-up with nothing due is harmless and rarer
 	// than Stops.
@@ -876,6 +898,8 @@ var sendBufPool = sync.Pool{
 // kinds (the client plane's fan-out snapshots) are recycled here — the
 // release half of the send pool that keeps a 10k-subscriber fan-out
 // allocation-free.
+//
+//leadervet:hotpath
 func (r *serviceRuntime) Send(to id.Process, m wire.Message) {
 	bp := sendBufPool.Get().(*[]byte)
 	buf := wire.MarshalAppend((*bp)[:0], m)
