@@ -75,6 +75,7 @@ func main() {
 		pa        = flag.Float64("pa", 0.99999988, "QoS: query accuracy lower bound (PaL)")
 		shards    = flag.Int("shards", 0, "event-loop shards (0 = one per CPU); groups hash across them")
 		receivers = flag.Int("udp-receivers", 1, "parallel UDP receive sockets (needs SO_REUSEPORT; falls back to 1)")
+		udpBatch  = flag.Bool("udp-batch", true, "syscall-batched UDP packet plane (recvmmsg/sendmmsg+GSO where the kernel has them)")
 	)
 	flag.StringVar(algoName, "algo", *algoName, "alias for -algorithm")
 	flag.Var(peers, "peer", "peer address as id=host:port (repeatable)")
@@ -90,7 +91,8 @@ func main() {
 		log.Fatalf("leaderd: %v", err)
 	}
 
-	tr, err := transport.NewUDP(*listen, peers, transport.WithReceivers(*receivers))
+	tr, err := transport.NewUDP(*listen, peers,
+		transport.WithReceivers(*receivers), transport.WithBatchIO(*udpBatch))
 	if err != nil {
 		log.Fatalf("leaderd: %v", err)
 	}
@@ -131,8 +133,8 @@ func main() {
 		log.Fatalf("leaderd: join: %v", err)
 	}
 
-	log.Printf("leaderd: %s joined group %q on %s (algorithm=%s candidate=%v peers=%d serve-clients=%v shards=%d receivers=%d)",
-		*self, *group, tr.LocalAddr(), algo, *candidate, len(peers), *serveCli, svc.Shards(), tr.Receivers())
+	log.Printf("leaderd: %s joined group %q on %s (algorithm=%s candidate=%v peers=%d serve-clients=%v shards=%d receivers=%d batch-io=%v)",
+		*self, *group, tr.LocalAddr(), algo, *candidate, len(peers), *serveCli, svc.Shards(), tr.Receivers(), tr.BatchIO())
 
 	watchOpts := []stableleader.WatchOption{stableleader.WithInitialState()}
 	if !*events {

@@ -3,18 +3,19 @@
 // performance trajectory of the hot paths instead of eyeballing bench
 // logs. It shells out to `go test -bench` for the benchmark sets named
 // below, parses the standard benchmark output, and writes one JSON file
-// (default BENCH_pr5.json, the snapshot this PR introduces).
+// (default BENCH_pr7.json, the current snapshot; BENCH_pr5.json is the
+// pre-batching baseline kept for comparison).
 //
 // Usage:
 //
-//	go run ./cmd/perfsnap [-out BENCH_pr5.json] [-benchtime 1s]
-//	go run ./cmd/perfsnap -check BENCH_pr5.json [-factor 2] [-benchtime 200ms]
+//	go run ./cmd/perfsnap [-out BENCH_pr7.json] [-benchtime 1s]
+//	go run ./cmd/perfsnap -check BENCH_pr7.json [-factor 2] [-benchtime 200ms]
 //
 // -check is the CI bench-regression smoke: it re-runs the gate
-// benchmarks (LeaderQuery, MonitorObserve, Fanout) and fails if any is
-// more than -factor times slower than the committed snapshot — so a
-// reintroduced hot-path regression fails the build instead of drifting
-// until someone profiles.
+// benchmarks (LeaderQuery, MonitorObserve, Fanout, and the batched UDP
+// receive drain) and fails if any is more than -factor times slower
+// than the committed snapshot — so a reintroduced hot-path regression
+// fails the build instead of drifting until someone profiles.
 package main
 
 import (
@@ -51,6 +52,7 @@ var suites = []suite{
 	{Pkg: "./client", Bench: "ClientLeaderQuery"},
 	{Pkg: "./internal/subs", Bench: "Fanout"},
 	{Pkg: ".", Bench: "Saturation"},
+	{Pkg: "./transport", Bench: "UDPReceive|UDPSaturation|UDPRecvDrain"},
 }
 
 // gateSuites are the -check regression gates: the cheapest benchmarks
@@ -60,10 +62,11 @@ var gateSuites = []suite{
 	{Pkg: ".", Bench: "LeaderQuery$"},
 	{Pkg: "./internal/fd", Bench: "MonitorObserve$"},
 	{Pkg: "./internal/subs", Bench: "Fanout$"},
+	{Pkg: "./transport", Bench: "UDPRecvDrain/mode=batched$"},
 }
 
 // gateNames are the benchmark names the gates compare.
-var gateNames = []string{"LeaderQuery", "MonitorObserve", "Fanout"}
+var gateNames = []string{"LeaderQuery", "MonitorObserve", "Fanout", "UDPRecvDrain/mode=batched"}
 
 // result is one parsed benchmark line.
 type result struct {
@@ -88,7 +91,7 @@ type snapshot struct {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_pr5.json", "output file")
+	out := flag.String("out", "BENCH_pr7.json", "output file")
 	benchtime := flag.String("benchtime", "1s", "go test -benchtime value")
 	check := flag.String("check", "", "committed snapshot to gate against (CI regression smoke)")
 	factor := flag.Float64("factor", 2, "allowed ns/op slowdown factor in -check mode")
@@ -153,6 +156,26 @@ func main() {
 		if cap8 := snap.Derived["saturation_modeled_capacity_msgs_per_sec_8shards"]; cap8 > 0 {
 			snap.Derived["saturation_speedup_8shards_vs_1"] = cap8 / (1e9 / base)
 		}
+	}
+	// Syscall-batched packet plane: socket-level throughput, batched vs
+	// the forced classic one-datagram-one-syscall path on the identical
+	// workload. The wall-clock ratio is host-dependent — it scales with
+	// the kernel's syscall entry cost (KPTI etc.), while the underlying
+	// syscalls-per-datagram reduction (~32x, see pkts/recvcall in the
+	// bench output) is structural.
+	for _, m := range []string{"batched", "classic"} {
+		if v := ns["UDPSaturation/mode="+m]; v > 0 {
+			snap.Derived["udp_saturation_msgs_per_sec_"+m] = 1e9 / v
+		}
+		if v := ns["UDPRecvDrain/mode="+m]; v > 0 {
+			snap.Derived["udp_recv_drain_msgs_per_sec_"+m] = 1e9 / v
+		}
+	}
+	if a, b := ns["UDPSaturation/mode=batched"], ns["UDPSaturation/mode=classic"]; a > 0 && b > 0 {
+		snap.Derived["udp_saturation_speedup_batched_vs_classic"] = b / a
+	}
+	if a, b := ns["UDPRecvDrain/mode=batched"], ns["UDPRecvDrain/mode=classic"]; a > 0 && b > 0 {
+		snap.Derived["udp_recv_drain_speedup_batched_vs_classic"] = b / a
 	}
 
 	buf, err := json.MarshalIndent(snap, "", "  ")

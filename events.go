@@ -236,6 +236,45 @@ type PacketStats struct {
 	// drops whole). A nonzero value under homogeneous versions indicates
 	// garbage or hostile traffic.
 	UnknownDropped int64
+
+	// RecvSyscalls and SendSyscalls count the kernel crossings behind the
+	// datagram columns, filled in when the transport accounts its syscall
+	// traffic (the UDP transport does; in-process transports report zero).
+	// On the syscall-batched packet plane one recvmmsg/sendmmsg crossing
+	// carries many datagrams, so the per-syscall ratios run above 1.
+	RecvSyscalls int64
+	SendSyscalls int64
+}
+
+// RecvPacketsPerSyscall reports how many received datagrams each receive
+// syscall carried on average — 1 on the classic path, above 1 when
+// recvmmsg batching is active. Zero when the transport does not account
+// syscalls (or nothing was received).
+func (s PacketStats) RecvPacketsPerSyscall() float64 {
+	if s.RecvSyscalls == 0 {
+		return 0
+	}
+	return float64(s.DatagramsIn) / float64(s.RecvSyscalls)
+}
+
+// SendPacketsPerSyscall is RecvPacketsPerSyscall for the send direction
+// (sendmmsg vectors and GSO super-datagrams raise it above 1).
+func (s PacketStats) SendPacketsPerSyscall() float64 {
+	if s.SendSyscalls == 0 {
+		return 0
+	}
+	return float64(s.DatagramsOut) / float64(s.SendSyscalls)
+}
+
+// PacketsPerSyscall aggregates both directions: total datagrams moved
+// per kernel crossing. Zero when the transport does not account
+// syscalls.
+func (s PacketStats) PacketsPerSyscall() float64 {
+	calls := s.RecvSyscalls + s.SendSyscalls
+	if calls == 0 {
+		return 0
+	}
+	return float64(s.DatagramsIn+s.DatagramsOut) / float64(calls)
 }
 
 // ClientStats is a point-in-time summary of the remote client plane (see

@@ -53,6 +53,16 @@ type PacketStats struct {
 	BytesIn     int64
 
 	UnknownDropped int64
+
+	// RecvSyscalls and SendSyscalls count the kernel crossings behind the
+	// datagram columns. They are not counters of this set — the transport
+	// owns syscall accounting — so Snapshot leaves them zero; the host
+	// fills them from the transport when it exposes them (see
+	// transport.IOStatser). DatagramsIn/RecvSyscalls and
+	// DatagramsOut/SendSyscalls are the packets-per-syscall ratios the
+	// batched packet plane exists to raise above 1.
+	RecvSyscalls int64
+	SendSyscalls int64
 }
 
 // Snapshot reads every counter. The fields are read individually, so a

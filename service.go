@@ -17,6 +17,7 @@ import (
 	"stableleader/internal/election"
 	"stableleader/internal/group"
 	"stableleader/internal/metrics"
+	"stableleader/internal/outbound"
 	"stableleader/internal/subs"
 	"stableleader/internal/timerwheel"
 	"stableleader/internal/wire"
@@ -46,6 +47,15 @@ type Service struct {
 	self id.Process
 	tr   transport.Transport
 	inc  int64 // one process lifetime, shared by every shard's node
+
+	// batchTr/hintTr are tr's optional batched and socket-steered send
+	// doors (the UDP transport implements both): non-nil when available,
+	// detected once at New. With batchTr set, every shard stages its sends
+	// and flushes them as whole vectors — one sendmmsg per loop wakeup
+	// instead of one syscall per datagram; hintTr additionally pins each
+	// shard's traffic to its own send socket.
+	batchTr transport.BatchSender
+	hintTr  transport.HintedSender
 
 	// shards are the event-loop shards; groups map onto them by stable
 	// hash (shardIndex). Immutable after New.
@@ -168,6 +178,12 @@ func New(self id.Process, tr transport.Transport, opts ...Option) (*Service, err
 		groups:   make(map[id.Group]*Group),
 	}
 	s.inboxes.New = func() any { return wire.NewInbox() }
+	if bt, ok := tr.(transport.BatchSender); ok {
+		s.batchTr = bt
+	}
+	if ht, ok := tr.(transport.HintedSender); ok {
+		s.hintTr = ht
+	}
 	s.shards = make([]*serviceShard, nshards)
 	for i := range s.shards {
 		sh := &serviceShard{
@@ -284,6 +300,10 @@ func (sh *serviceShard) loop() {
 	defer close(sh.done)
 	defer sh.rt.stopDriver()
 	for {
+		// Every arm ends by flushing the shard's staged sends: whatever a
+		// command (timer advance, API call) or an inbound burst produced
+		// leaves as one vectored send before the loop blocks again, so
+		// staging adds batching without adding latency.
 		select {
 		case fn := <-sh.commands:
 			fn()
@@ -297,14 +317,18 @@ func (sh *serviceShard) loop() {
 				select {
 				case fn := <-sh.commands:
 					fn()
+					sh.rt.flushSends()
 				case p := <-sh.inbound:
 					sh.handleInbound(p)
+					sh.rt.flushSends()
 				default:
 					sh.node.Stop()
+					sh.rt.flushSends()
 					return
 				}
 			}
 		}
+		sh.rt.flushSends()
 	}
 }
 
@@ -520,11 +544,19 @@ func (s *Service) steer(fl *inFlight, ib *wire.Inbox) {
 func (s *Service) ID() id.Process { return s.self }
 
 // PacketStats snapshots the packet-plane counters: datagrams, batches and
-// coalesced messages in both directions. Safe from any goroutine.
+// coalesced messages in both directions, plus — on transports that
+// account their kernel crossings, like UDP — the syscall columns behind
+// them. Safe from any goroutine.
 func (s *Service) PacketStats() PacketStats {
 	// A struct conversion, so a counter added to the internal set without
 	// a public mirror fails to compile instead of silently reporting zero.
-	return PacketStats(s.counters.Snapshot())
+	ps := PacketStats(s.counters.Snapshot())
+	if st, ok := s.tr.(transport.IOStatser); ok {
+		io := st.IOStats()
+		ps.RecvSyscalls = io.RecvSyscalls
+		ps.SendSyscalls = io.SendSyscalls
+	}
+	return ps
 }
 
 // Incarnation returns this service instance's incarnation number. Every
@@ -775,7 +807,21 @@ type serviceRuntime struct {
 	// advancing suppresses per-callback driver re-arms while Advance
 	// fires a batch of deadlines; the single kick afterwards covers them.
 	advancing bool //leadervet:loopOwned
+
+	// Send staging (only with a batch-capable transport): marshalled
+	// datagrams accumulate here during one loop wakeup and leave as one
+	// vectored send — flushSends runs at the end of every loop arm, or
+	// mid-arm when the vector fills. pendBuf keeps the pooled marshal
+	// buffer of each staged payload so the flush can recycle it.
+	pend    [sendVector]transport.Datagram //leadervet:loopOwned
+	pendBuf [sendVector]*[]byte            //leadervet:loopOwned
+	npend   int                            //leadervet:loopOwned
 }
+
+// sendVector is the per-shard send staging depth, matching what one
+// sendmmsg comfortably carries; a wakeup producing more simply flushes
+// mid-arm.
+const sendVector = 32
 
 var _ core.Runtime = (*serviceRuntime)(nil)
 var _ clock.TimerFactory = (*serviceRuntime)(nil)
@@ -903,10 +949,74 @@ var sendBufPool = sync.Pool{
 func (r *serviceRuntime) Send(to id.Process, m wire.Message) {
 	bp := sendBufPool.Get().(*[]byte)
 	buf := wire.MarshalAppend((*bp)[:0], m)
-	_ = r.sh.svc.tr.Send(to, buf)
-	*bp = buf[:0]
-	sendBufPool.Put(bp)
+	svc := r.sh.svc
+	if svc.batchTr == nil {
+		_ = svc.tr.Send(to, buf)
+		*bp = buf[:0]
+		sendBufPool.Put(bp)
+		wire.ReleaseOutbound(m)
+		return
+	}
+	// Batch-capable transport: stage instead of sending. The marshal
+	// buffer stays out of the pool (pendBuf holds it) until flushSends
+	// hands the staged payloads to the transport; the Transport contract
+	// still holds — the transport sees the bytes only during the batch
+	// call.
+	*bp = buf
+	r.pend[r.npend] = transport.Datagram{To: to, Payload: buf}
+	r.pendBuf[r.npend] = bp
+	r.npend++
 	wire.ReleaseOutbound(m)
+	if r.npend == sendVector {
+		r.flushSends()
+	}
+}
+
+// SendBatch implements core.BatchSender: the outbound scheduler's
+// gathered drains land in the same staging vector Send feeds, so a
+// multi-destination drain leaves as one sendmmsg.
+//
+//leadervet:onLoop
+func (r *serviceRuntime) SendBatch(batch []outbound.Flushed) {
+	for _, f := range batch {
+		r.Send(f.To, f.Msg)
+	}
+}
+
+// flushSends transmits the staged datagrams as one vector on the
+// transport's batch door, steered to this shard's send socket, then
+// recycles the marshal buffers. Runs on the shard loop; the loop calls
+// it before blocking, so nothing ever lingers staged across a wait.
+//
+//leadervet:onLoop
+func (r *serviceRuntime) flushSends() {
+	n := r.npend
+	if n == 0 {
+		return
+	}
+	svc := r.sh.svc
+	if n == 1 {
+		// One datagram needs no vector; the hint still keeps the shard on
+		// its own socket.
+		d := r.pend[0]
+		if svc.hintTr != nil {
+			_ = svc.hintTr.SendHint(transport.SenderHint(r.sh.idx), d.To, d.Payload)
+		} else {
+			_ = svc.tr.Send(d.To, d.Payload)
+		}
+	} else if svc.hintTr != nil {
+		_, _ = svc.hintTr.SendBatchHint(transport.SenderHint(r.sh.idx), r.pend[:n])
+	} else {
+		_, _ = svc.batchTr.SendBatch(r.pend[:n])
+	}
+	for i := 0; i < n; i++ {
+		bp := r.pendBuf[i]
+		*bp = (*bp)[:0]
+		sendBufPool.Put(bp)
+		r.pendBuf[i] = nil
+		r.pend[i] = transport.Datagram{}
+	}
+	r.npend = 0
 }
 
 // Rand implements core.Runtime.

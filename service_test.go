@@ -453,4 +453,69 @@ func TestPacketStatsCountCoalescedTraffic(t *testing.T) {
 	if st.BatchesIn == 0 || st.MessagesIn <= st.DatagramsIn {
 		t.Errorf("receive side saw no coalescing: %+v", st)
 	}
+	// The in-process hub does not account kernel crossings: the syscall
+	// counters stay zero and the ratios report "not accounted".
+	if st.RecvSyscalls != 0 || st.SendSyscalls != 0 || st.PacketsPerSyscall() != 0 {
+		t.Errorf("inproc transport must not report syscalls: %+v", st)
+	}
+}
+
+// TestPacketStatsSyscallCountersOverUDP boots two members over real UDP
+// sockets and checks that the service surfaces the transport's kernel
+// crossing counters: RecvSyscalls/SendSyscalls fill from the transport's
+// IOStats and the PacketsPerSyscall ratios become meaningful. At the
+// protocol's trickle rate datagrams mostly arrive alone, so the ratios
+// are asserted positive, not >1 — the >1-under-load property is proven
+// by the transport package's burst test and drain benchmark.
+func TestPacketStatsSyscallCountersOverUDP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real sockets in -short mode")
+	}
+	trA, err := transport.NewUDP("127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trB, err := transport.NewUDP("127.0.0.1:0", map[id.Process]string{
+		"a": trA.LocalAddr().String(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trA.SetPeer("b", trB.LocalAddr().String()); err != nil {
+		t.Fatal(err)
+	}
+	svcs := map[id.Process]*stableleader.Service{}
+	for i, w := range []struct {
+		name id.Process
+		tr   transport.Transport
+	}{{"a", trA}, {"b", trB}} {
+		svc, err := stableleader.New(w.name, w.tr, stableleader.WithSeed(int64(i+1)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		svcs[w.name] = svc
+	}
+	defer func() {
+		for _, s := range svcs {
+			_ = s.Crash()
+		}
+	}()
+	joinAll(t, svcs, "udp-stats", []id.Process{"a", "b"})
+
+	deadline := time.Now().Add(10 * time.Second)
+	var st stableleader.PacketStats
+	for time.Now().Before(deadline) {
+		st = svcs["a"].PacketStats()
+		if st.RecvSyscalls > 0 && st.SendSyscalls > 0 {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if st.RecvSyscalls == 0 || st.SendSyscalls == 0 {
+		t.Fatalf("UDP-backed service never surfaced syscall counters: %+v", st)
+	}
+	if st.RecvPacketsPerSyscall() <= 0 || st.SendPacketsPerSyscall() <= 0 || st.PacketsPerSyscall() <= 0 {
+		t.Errorf("ratios must be positive once syscalls are accounted: recv=%.2f send=%.2f total=%.2f",
+			st.RecvPacketsPerSyscall(), st.SendPacketsPerSyscall(), st.PacketsPerSyscall())
+	}
 }

@@ -1,0 +1,11 @@
+//go:build linux && amd64
+
+package transport
+
+// recvmmsg(2)/sendmmsg(2) syscall numbers for linux/amd64. The stdlib
+// syscall package's frozen tables predate sendmmsg (Linux 3.0), so the
+// numbers are spelled here; they are ABI and can never change.
+const (
+	sysRecvmmsg = 299
+	sysSendmmsg = 307
+)

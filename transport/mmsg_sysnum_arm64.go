@@ -1,0 +1,12 @@
+//go:build linux && arm64
+
+package transport
+
+// recvmmsg(2)/sendmmsg(2) syscall numbers for linux/arm64 (the
+// asm-generic table). The stdlib syscall package's frozen tables predate
+// sendmmsg, so the numbers are spelled here; they are ABI and can never
+// change.
+const (
+	sysRecvmmsg = 243
+	sysSendmmsg = 269
+)

@@ -40,6 +40,80 @@ type Transport interface {
 	Close() error
 }
 
+// Datagram is one send-ready packet: an opaque payload bound for one
+// process. Batch send paths move slices of these so a burst of datagrams
+// can cross the kernel boundary in a single syscall (sendmmsg on Linux).
+type Datagram struct {
+	// To names the destination process (resolved through the transport's
+	// address book, like Send).
+	To id.Process
+	// Payload is the wire bytes. Like Send, the transport must not retain
+	// it after the batch call returns.
+	Payload []byte
+}
+
+// BatchSender is implemented by transports that can hand several
+// datagrams to the network in fewer syscalls than one per datagram.
+//
+// SendBatch attempts every datagram in the batch: each entry is
+// independent best effort (exactly as if sent through Send one by one, in
+// order), so one unresolvable destination or transient send error skips
+// that entry rather than aborting the rest. sent is the number of
+// datagrams actually handed to the network; err is the first per-entry
+// error, nil when sent == len(batch). A kernel that transmits only a
+// prefix of the vector (partial sendmmsg) is retried internally — the
+// remainder is never silently dropped. Per-destination payload order is
+// preserved: batch[i] and batch[j] to the same destination leave the
+// socket in index order.
+type BatchSender interface {
+	SendBatch(batch []Datagram) (sent int, err error)
+}
+
+// SenderHint pins a caller's traffic to one send socket of a
+// multi-socket transport. Callers that send concurrently (the sharded
+// service's event-loop shards) pass a stable per-caller hint so their
+// streams stop funneling through one socket's write lock; a given hint
+// always selects the same socket, which preserves per-(hint,
+// destination) send order. Hints beyond the socket count wrap around.
+type SenderHint int
+
+// HintedSender is implemented by transports with more than one send
+// socket (the UDP transport in multi-receiver mode): Send/SendBatch
+// variants that let the caller steer its traffic onto a stable socket
+// instead of the default first one. Semantics are otherwise identical to
+// Send and SendBatch.
+type HintedSender interface {
+	SendHint(h SenderHint, to id.Process, payload []byte) error
+	SendBatchHint(h SenderHint, batch []Datagram) (sent int, err error)
+}
+
+// IOStats counts the syscall-level traffic of a transport: how many
+// kernel crossings the packet plane paid and how many datagrams each one
+// carried. RecvDatagrams/RecvSyscalls and SendDatagrams/SendSyscalls are
+// the packets-per-syscall ratios the batched I/O plane exists to raise
+// above 1.
+type IOStats struct {
+	// RecvSyscalls counts receive syscalls (recvmmsg or single reads).
+	RecvSyscalls int64
+	// RecvDatagrams counts datagrams those syscalls returned.
+	RecvDatagrams int64
+	// SendSyscalls counts send syscalls (sendmmsg or single writes).
+	SendSyscalls int64
+	// SendDatagrams counts datagrams those syscalls transmitted (GSO
+	// super-datagrams count once per wire datagram they segment into).
+	SendDatagrams int64
+	// GSOBatches counts kernel-segmented super-datagrams sent, and
+	// GSOSegments the wire datagrams they expanded to.
+	GSOBatches  int64
+	GSOSegments int64
+}
+
+// IOStatser is implemented by transports that account their syscall
+// traffic. The service folds these numbers into PacketStats.
+type IOStatser interface {
+	IOStats() IOStats
+}
+
 // SourceAware is implemented by transports that expose each datagram's
 // network source and can learn id-to-address mappings from it. The
 // service uses it for the remote client plane: clients are a dynamic,

@@ -4,13 +4,40 @@ import (
 	"fmt"
 	"net"
 	"net/netip"
+	"os"
+	"strings"
 	"sync"
+	"sync/atomic"
 
 	"stableleader/id"
 )
 
 // maxDatagram bounds received datagrams; service messages are far smaller.
 const maxDatagram = 64 * 1024
+
+// maxSendBatch is the sendmmsg vector width: SendBatch transmits at most
+// this many datagrams per syscall and chunks longer batches.
+const maxSendBatch = 64
+
+// Socket address families, abstracted from syscall constants so the
+// portable build carries no syscall dependency.
+const (
+	famIPv4 = 4
+	famIPv6 = 6
+)
+
+// batchEnvVar force-disables the syscall-batched packet plane when set
+// to an off value — the escape hatch for CI's portable-path runs and for
+// production triage without a rebuild.
+const batchEnvVar = "STABLELEADER_UDP_BATCH"
+
+func batchEnvDefault() bool {
+	switch strings.ToLower(os.Getenv(batchEnvVar)) {
+	case "0", "off", "false", "no":
+		return false
+	}
+	return true
+}
 
 // maxLearnedPeers bounds the learned (non-pinned) half of the address
 // book: a spray of datagrams with unique sender ids must not grow memory
@@ -30,6 +57,57 @@ var payloadPool = sync.Pool{
 	},
 }
 
+// getPayloadBuf takes one receive buffer from the pool. The batched read
+// loop pins a ring of these for its lifetime; the classic loop cycles
+// one per datagram.
+//
+//leadervet:acquires
+func getPayloadBuf() *[]byte {
+	return payloadPool.Get().(*[]byte)
+}
+
+// putPayloadBuf returns a receive buffer to the pool.
+//
+//leadervet:releases bp
+func putPayloadBuf(bp *[]byte) {
+	payloadPool.Put(bp)
+}
+
+// sendScratch is the per-SendBatch-chunk working state: resolved
+// destination addresses, per-entry resolve/routing flags, and the
+// platform sendmmsg vector. Pooled because SendBatch runs on every
+// shard's flush path.
+type sendScratch struct {
+	addrs  [maxSendBatch]netip.AddrPort
+	ok     [maxSendBatch]bool
+	direct [maxSendBatch]bool
+	vec    sendVec
+}
+
+var sendScratchPool = sync.Pool{
+	New: func() any { return new(sendScratch) },
+}
+
+//leadervet:acquires
+func getSendScratch() *sendScratch {
+	return sendScratchPool.Get().(*sendScratch)
+}
+
+//leadervet:releases s
+func putSendScratch(s *sendScratch) {
+	sendScratchPool.Put(s)
+}
+
+// ioCounters is the transport's syscall-level accounting (see IOStats).
+type ioCounters struct {
+	recvSyscalls  atomic.Int64
+	recvDatagrams atomic.Int64
+	sendSyscalls  atomic.Int64
+	sendDatagrams atomic.Int64
+	gsoBatches    atomic.Int64
+	gsoSegments   atomic.Int64
+}
+
 // UDP is the real-network transport: one or more UDP sockets per process
 // plus a static address book mapping process ids to peer addresses,
 // mirroring the deployment style of the paper's testbed (a fixed set of
@@ -42,6 +120,23 @@ type UDP struct {
 	// conns are the bound sockets; conns[0] is the send socket and the
 	// address LocalAddr reports. Immutable after construction.
 	conns []*net.UDPConn
+
+	// family is the socket address family (famIPv4/famIPv6), fixed at
+	// construction; the raw sendmmsg path encodes sockaddrs for it.
+	family int
+	// batch enables the syscall-batched packet plane (WithBatchIO and the
+	// STABLELEADER_UDP_BATCH environment variable); mmsgDown latches the
+	// runtime downgrade when the kernel or a seccomp policy refuses
+	// recvmmsg/sendmmsg, demoting both directions to the classic
+	// one-datagram-per-syscall path for the transport's lifetime.
+	batch    bool
+	mmsgDown atomic.Bool
+	// gsoOK records whether the kernel accepts UDP_SEGMENT (probed once
+	// at construction).
+	gsoOK bool
+
+	// io counts syscalls and datagrams in both directions (see IOStats).
+	io ioCounters
 
 	// readerDone is closed when every readLoop has returned; Close waits
 	// on it so no handler invocation can be in flight once Close has
@@ -66,6 +161,8 @@ type UDP struct {
 // udpConfig is the result of applying UDPOptions.
 type udpConfig struct {
 	receivers int
+	batchIO   bool
+	sockBuf   int
 }
 
 // UDPOption configures a UDP transport at construction (see NewUDP).
@@ -85,10 +182,36 @@ func WithReceivers(n int) UDPOption {
 	}
 }
 
+// WithBatchIO forces the syscall-batched packet plane (recvmmsg/sendmmsg
+// with optional UDP GSO) on or off. The default is on where the platform
+// supports it, unless the STABLELEADER_UDP_BATCH environment variable
+// says otherwise ("0", "off", "false", "no" disable); an explicit option
+// wins over the environment. On platforms without the fast path, and on
+// kernels that refuse the syscalls at runtime, the transport behaves
+// identically either way — one datagram per syscall.
+func WithBatchIO(on bool) UDPOption {
+	return func(c *udpConfig) { c.batchIO = on }
+}
+
+// WithSocketBuffers asks the kernel for n-byte receive and send buffers
+// on every socket (default: kernel defaults, typically ~208KiB). Larger
+// buffers absorb the bursts the batched packet plane produces — a single
+// sendmmsg vector can land dozens of datagrams on a receiver between two
+// of its scheduler slots, and a default-sized buffer drops the overflow.
+// Best effort: the kernel clamps to net.core.{r,w}mem_max, and a refusal
+// is ignored.
+func WithSocketBuffers(n int) UDPOption {
+	return func(c *udpConfig) {
+		if n > 0 {
+			c.sockBuf = n
+		}
+	}
+}
+
 // NewUDP opens a socket on listen (e.g. ":7400" or "10.0.0.3:7400") and
 // resolves the peer address book, e.g. {"b": "10.0.0.4:7400"}.
 func NewUDP(listen string, peers map[id.Process]string, opts ...UDPOption) (*UDP, error) {
-	cfg := udpConfig{receivers: 1}
+	cfg := udpConfig{receivers: 1, batchIO: batchEnvDefault()}
 	for _, o := range opts {
 		o(&cfg)
 	}
@@ -100,11 +223,23 @@ func NewUDP(listen string, peers map[id.Process]string, opts ...UDPOption) (*UDP
 	if err != nil {
 		return nil, err
 	}
+	if cfg.sockBuf > 0 {
+		for _, c := range conns {
+			_ = c.SetReadBuffer(cfg.sockBuf)
+			_ = c.SetWriteBuffer(cfg.sockBuf)
+		}
+	}
 	u := &UDP{
 		conns:      conns,
+		family:     sockFamily(conns[0]),
+		batch:      cfg.batchIO && mmsgSupported,
 		readerDone: make(chan struct{}),
 		book:       make(map[id.Process]netip.AddrPort, len(peers)),
 		pinned:     make(map[id.Process]bool, len(peers)),
+	}
+	if u.batch {
+		// GSO support is a kernel property; one socket answers for all.
+		u.gsoOK = probeGSO(conns[0])
 	}
 	for p, addr := range peers {
 		a, err := resolveAddrPort(addr)
@@ -198,21 +333,117 @@ func (u *UDP) SetPeer(p id.Process, addr string) error {
 	return nil
 }
 
-// readLoop pumps one socket's datagrams into the handler until the socket
-// closes. Each iteration reads into a pooled buffer, hands it to the
-// handler, and returns it to the pool — zero copies and zero allocations
-// per datagram (the handler must not retain the payload, per the Receive
-// contract). In multi-receiver mode several readLoops run concurrently,
-// which the handler contract has always permitted.
+// sockFamily detects the bound socket's address family. Wildcard and
+// IPv6 binds (the stdlib default) are AF_INET6; only an explicit IPv4
+// listen address yields an AF_INET socket.
+func sockFamily(conn *net.UDPConn) int {
+	if a, ok := conn.LocalAddr().(*net.UDPAddr); ok && a.IP.To4() != nil {
+		return famIPv4
+	}
+	return famIPv6
+}
+
+// batchActive reports whether the syscall-batched fast path is live:
+// built in, enabled, and not runtime-downgraded.
+//
+//leadervet:hotpath
+func (u *UDP) batchActive() bool {
+	return mmsgSupported && u.batch && !u.mmsgDown.Load()
+}
+
+// BatchIO reports whether the syscall-batched packet plane is currently
+// active (see WithBatchIO); false after a runtime downgrade.
+func (u *UDP) BatchIO() bool { return u.batchActive() }
+
+// IOStats implements IOStatser.
+func (u *UDP) IOStats() IOStats {
+	return IOStats{
+		RecvSyscalls:  u.io.recvSyscalls.Load(),
+		RecvDatagrams: u.io.recvDatagrams.Load(),
+		SendSyscalls:  u.io.sendSyscalls.Load(),
+		SendDatagrams: u.io.sendDatagrams.Load(),
+		GSOBatches:    u.io.gsoBatches.Load(),
+		GSOSegments:   u.io.gsoSegments.Load(),
+	}
+}
+
+// readLoop pumps one socket's datagrams into the handler until the
+// socket closes, through the batched recvmmsg path where active and the
+// classic one-read-per-datagram path everywhere else. A batched loop
+// that discovers the kernel refuses recvmmsg (ENOSYS, seccomp) demotes
+// the whole transport and continues classically — no datagram is lost in
+// the handoff.
 func (u *UDP) readLoop(conn *net.UDPConn) {
 	defer u.readers.Done()
-	for {
-		bp := payloadPool.Get().(*[]byte)
-		n, src, err := conn.ReadFromUDPAddrPort(*bp)
-		if err != nil {
-			payloadPool.Put(bp)
+	if u.batchActive() {
+		if u.readLoopBatched(conn) {
 			return
 		}
+		u.mmsgDown.Store(true)
+	}
+	u.readLoopClassic(conn)
+}
+
+// readLoopBatched drains up to mmsgRecvBatch datagrams per syscall into
+// a pinned buffer ring and delivers each through the handler contract.
+// Returns true when the loop is done (socket closed), false to demote to
+// the classic loop.
+func (u *UDP) readLoopBatched(conn *net.UDPConn) bool {
+	r := newMmsgReader(conn)
+	if r == nil {
+		return false
+	}
+	defer r.release()
+	for {
+		n, err := r.recv()
+		if err != nil {
+			// The poller's error (socket closed) ends the loop; a refused
+			// syscall demotes the transport.
+			return !mmsgDowngradeError(err)
+		}
+		if n == 0 {
+			continue
+		}
+		u.io.recvSyscalls.Add(1)
+		u.io.recvDatagrams.Add(int64(n))
+		// Snapshot the handler under the lock and re-check closed, exactly
+		// like the classic loop: a burst that raced the shutdown is dropped
+		// rather than delivered.
+		u.mu.RLock()
+		h := u.handler
+		sh := u.srcHandler
+		closed := u.closed
+		u.mu.RUnlock()
+		if closed {
+			return true
+		}
+		for i := 0; i < n; i++ {
+			switch {
+			case sh != nil:
+				sh(r.payload(i), r.src(i))
+			case h != nil:
+				h(r.payload(i))
+			}
+		}
+	}
+}
+
+// readLoopClassic reads one datagram per syscall into a pooled buffer,
+// hands it to the handler, and returns it to the pool — zero copies and
+// zero allocations per datagram (the handler must not retain the
+// payload, per the Receive contract). In multi-receiver mode several
+// readLoops run concurrently, which the handler contract has always
+// permitted.
+func (u *UDP) readLoopClassic(conn *net.UDPConn) {
+	for {
+		bp := getPayloadBuf()
+		n, src, err := conn.ReadFromUDPAddrPort(*bp)
+		if err != nil {
+			putPayloadBuf(bp)
+			return
+		}
+		u.io.recvSyscalls.Add(1)
+		u.io.recvDatagrams.Add(1)
 		// Snapshot the handler under the lock and re-check closed: Close
 		// clears the handler before closing the socket, so a datagram that
 		// raced the shutdown is dropped here rather than delivered.
@@ -229,13 +460,25 @@ func (u *UDP) readLoop(conn *net.UDPConn) {
 				h((*bp)[:n])
 			}
 		}
-		payloadPool.Put(bp)
+		putPayloadBuf(bp)
 	}
 }
 
 // Send implements Transport. The payload is written synchronously and not
-// retained, per the Transport contract.
+// retained, per the Transport contract. Send always uses the first
+// socket; concurrent callers that want their own socket pass a hint
+// through SendHint.
 func (u *UDP) Send(to id.Process, payload []byte) error {
+	return u.SendHint(0, to, payload)
+}
+
+// SendHint implements HintedSender: Send on the socket the hint selects.
+// A stable hint per caller (the service passes its shard index) spreads
+// concurrent senders across the multi-receiver sockets instead of
+// funneling them through one socket's write lock, while keeping each
+// (hint, destination) stream on one socket — per-pair send order is
+// preserved.
+func (u *UDP) SendHint(h SenderHint, to id.Process, payload []byte) error {
 	u.mu.RLock()
 	addr, ok := u.book[to]
 	closed := u.closed
@@ -246,8 +489,147 @@ func (u *UDP) Send(to id.Process, payload []byte) error {
 	if !ok {
 		return fmt.Errorf("transport: no address for process %q", to)
 	}
-	_, err := u.conns[0].WriteToUDPAddrPort(payload, addr)
+	return u.writeOne(u.sendConn(h), payload, addr)
+}
+
+// sendConn maps a sender hint onto one of the sockets, stably.
+//
+//leadervet:hotpath
+func (u *UDP) sendConn(h SenderHint) *net.UDPConn {
+	if h <= 0 || len(u.conns) == 1 {
+		return u.conns[0]
+	}
+	return u.conns[int(h)%len(u.conns)]
+}
+
+// writeOne is the single-datagram write: one syscall, counted.
+//
+//leadervet:hotpath
+func (u *UDP) writeOne(conn *net.UDPConn, payload []byte, addr netip.AddrPort) error {
+	_, err := conn.WriteToUDPAddrPort(payload, addr)
+	u.io.sendSyscalls.Add(1)
+	if err == nil {
+		u.io.sendDatagrams.Add(1)
+	}
 	return err
+}
+
+// SendBatch implements BatchSender on the default send socket.
+func (u *UDP) SendBatch(batch []Datagram) (int, error) {
+	return u.SendBatchHint(0, batch)
+}
+
+// SendBatchHint implements HintedSender: SendBatch on the socket the
+// hint selects. Where the platform fast path is active the batch goes
+// out in sendmmsg vectors of up to maxSendBatch datagrams (GSO-coalesced
+// where profitable); otherwise it degrades to exactly the loop of writes
+// Send would have performed, same per-entry semantics.
+func (u *UDP) SendBatchHint(h SenderHint, batch []Datagram) (int, error) {
+	sent := 0
+	var firstErr error
+	for off := 0; off < len(batch); off += maxSendBatch {
+		end := off + maxSendBatch
+		if end > len(batch) {
+			end = len(batch)
+		}
+		n, err := u.sendChunk(h, batch[off:end])
+		sent += n
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	return sent, firstErr
+}
+
+// sendChunk transmits one ≤ maxSendBatch slice of a batch: resolve every
+// destination under one lock acquisition, vector the resolvable entries
+// through sendmmsg when active, and sweep the leftovers (unroutable by
+// the raw path, or everything after a downgrade) through single writes.
+// Entries to one destination never change lanes, so per-destination
+// index order holds.
+func (u *UDP) sendChunk(h SenderHint, batch []Datagram) (int, error) {
+	s := getSendScratch()
+	defer putSendScratch(s)
+	u.mu.RLock()
+	closed := u.closed
+	if !closed {
+		for i := range batch {
+			s.addrs[i], s.ok[i] = u.book[batch[i].To]
+		}
+	}
+	u.mu.RUnlock()
+	if closed {
+		return 0, fmt.Errorf("udp: %w", errClosed)
+	}
+	var firstErr error
+	for i := range batch {
+		if !s.ok[i] {
+			s.direct[i] = false
+			if firstErr == nil {
+				firstErr = fmt.Errorf("transport: no address for process %q", batch[i].To)
+			}
+			continue
+		}
+		s.direct[i] = u.needsDirect(s.addrs[i])
+	}
+	conn := u.sendConn(h)
+	if u.batchActive() {
+		n, err, downgrade := u.sendMmsg(conn, s, batch)
+		if !downgrade {
+			if firstErr == nil {
+				firstErr = err
+			}
+			sent := n
+			for i := range batch {
+				if !s.ok[i] || !s.direct[i] {
+					continue
+				}
+				if werr := u.writeOne(conn, batch[i].Payload, s.addrs[i]); werr != nil {
+					if firstErr == nil {
+						firstErr = werr
+					}
+					continue
+				}
+				sent++
+			}
+			return sent, firstErr
+		}
+		// The kernel (or a seccomp policy) refuses sendmmsg: demote the
+		// transport for good and fall through — nothing of this chunk has
+		// hit the wire yet.
+		u.mmsgDown.Store(true)
+	}
+	sent := 0
+	for i := range batch {
+		if !s.ok[i] {
+			continue
+		}
+		if err := u.writeOne(conn, batch[i].Payload, s.addrs[i]); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		sent++
+	}
+	return sent, firstErr
+}
+
+// needsDirect reports whether addr cannot ride the raw sendmmsg vector
+// and must take the stdlib write path instead: zoned IPv6 (the raw
+// sockaddr builder does not carry scope ids) or an address family the
+// socket's raw encoding cannot express.
+//
+//leadervet:hotpath
+func (u *UDP) needsDirect(addr netip.AddrPort) bool {
+	if !mmsgSupported {
+		return true
+	}
+	a := addr.Addr()
+	if a.Zone() != "" {
+		return true
+	}
+	return u.family == famIPv4 && !a.Is4() && !a.Is4In6()
 }
 
 // Receive implements Transport. Installing a handler after Close is a
@@ -330,3 +712,6 @@ func (u *UDP) Close() error {
 
 var _ Transport = (*UDP)(nil)
 var _ SourceAware = (*UDP)(nil)
+var _ BatchSender = (*UDP)(nil)
+var _ HintedSender = (*UDP)(nil)
+var _ IOStatser = (*UDP)(nil)
