@@ -21,6 +21,167 @@ import (
 	"stableleader/transport"
 )
 
+// TestClientFailoverToStandbyNoStaleWindow pins the client half of the
+// planned-handover plane: a client pinned to the leader's endpoint, when
+// that leader closes gracefully, re-pins to the announced warm standby off
+// the successor hint carried in the tombstone fan-out — adopting a fresh
+// elected view in one step, with no stale window (no LeaseLost) and no
+// reactive tombstone/retry cycle in between.
+func TestClientFailoverToStandbyNoStaleWindow(t *testing.T) {
+	hub := transport.NewInproc(nil)
+	ctx := context.Background()
+	eps := []id.Process{"a", "b", "c"}
+	svcs := make([]*stableleader.Service, len(eps))
+	grps := make([]*stableleader.Group, len(eps))
+	for i, p := range eps {
+		svc, err := stableleader.New(p, hub.Endpoint(p),
+			stableleader.WithSeed(int64(i+1)), stableleader.WithClientPlane())
+		if err != nil {
+			t.Fatal(err)
+		}
+		svcs[i] = svc
+		grp, err := svc.Join(ctx, "g",
+			stableleader.AsCandidate(),
+			stableleader.WithQoS(fastSpec),
+			stableleader.WithSeeds(eps...),
+			stableleader.WithHelloInterval(100*time.Millisecond),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		grps[i] = grp
+	}
+	defer func() {
+		for _, s := range svcs {
+			_ = s.Close(ctx)
+		}
+	}()
+
+	// Wait until the group has a leader that has nominated (and announced)
+	// a warm standby.
+	var leaderIdx int
+	var standby id.Process
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		leaderIdx = -1
+		for i := range grps {
+			li, err := grps[i].Leader(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if li.Elected && li.Leader == svcs[i].ID() {
+				leaderIdx = i
+			}
+		}
+		if leaderIdx >= 0 {
+			p, _, ok, err := grps[leaderIdx].Standby(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ok {
+				standby = p
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no leader with an announced standby within 15s")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	leader := svcs[leaderIdx].ID()
+
+	// Pin the client to the leader's endpoint (ordered: no shuffle), with a
+	// lease long enough that only the handover path can beat it.
+	order := []id.Process{leader}
+	for _, p := range eps {
+		if p != leader {
+			order = append(order, p)
+		}
+	}
+	cli, err := client.New(hub.Endpoint("cli"),
+		client.WithID("cli"), client.WithEndpoints(order...),
+		client.WithOrderedEndpoints(),
+		client.WithLeaseTTL(30*time.Second), client.WithSeed(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close(ctx)
+
+	qctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	var lease client.LeaderLease
+	for {
+		lease, err = cli.Leader(qctx, "g")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lease.Elected {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	cancel()
+	if lease.ServedBy != leader {
+		t.Fatalf("client served by %q, want pinned to leader %q", lease.ServedBy, leader)
+	}
+	if lease.Leader != leader {
+		t.Fatalf("lease names leader %q, want %q", lease.Leader, leader)
+	}
+
+	events := cli.Watch(ctx, "g")
+
+	// Graceful close: planned handover in the group, successor hint in the
+	// client-plane tombstone fan-out.
+	if err := svcs[leaderIdx].Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// The FIRST leadership event must already be the fresh successor view:
+	// no LeaseLost (stale window) and no reactive tombstone beforehand.
+	evDeadline := time.After(10 * time.Second)
+	for {
+		select {
+		case ev, ok := <-events:
+			if !ok {
+				t.Fatal("watch closed prematurely")
+			}
+			switch e := ev.(type) {
+			case client.LeaseLost:
+				t.Fatalf("stale window during planned handover: %+v", e)
+			case client.EndpointTombstoned:
+				t.Fatalf("reactive tombstone failover despite successor hint: %+v", e)
+			case client.LeaderUpdated:
+				if !e.Lease.Elected || e.Lease.Stale {
+					t.Fatalf("first post-close view not fresh+elected: %+v", e.Lease)
+				}
+				if e.Lease.Leader != standby {
+					t.Fatalf("client adopted leader %q, want announced standby %q",
+						e.Lease.Leader, standby)
+				}
+				// The cached view stayed fresh throughout.
+				if cached, ok := cli.Cached("g"); !ok || cached.Stale {
+					t.Fatalf("Cached went stale across the handover: %+v, %v", cached, ok)
+				}
+				// The client re-pinned: renewals now flow to the successor,
+				// keeping the lease fresh well past the close.
+				fctx, fcancel := context.WithTimeout(ctx, 10*time.Second)
+				defer fcancel()
+				for {
+					l2, err := cli.Leader(fctx, "g")
+					if err != nil {
+						t.Fatalf("Leader after handover: %v", err)
+					}
+					if l2.ServedBy == standby && l2.Elected && !l2.Stale {
+						return
+					}
+					time.Sleep(50 * time.Millisecond)
+				}
+			}
+		case <-evDeadline:
+			t.Fatal("no leadership event within 10s of graceful close")
+		}
+	}
+}
+
 func TestClientPlaneChurnRaceHammer(t *testing.T) {
 	if !raceEnabled {
 		t.Log("running without -race: this hammer only detects races under the race detector")

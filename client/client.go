@@ -140,6 +140,7 @@ func New(tr transport.Transport, opts ...Option) (*Client, error) {
 		Self:      cfg.self,
 		Endpoints: cfg.endpoints,
 		TTL:       cfg.ttl,
+		NoShuffle: cfg.ordered,
 		OnUpdate:  c.onUpdate,
 	})
 	tr.Receive(c.onDatagram)

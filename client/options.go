@@ -14,6 +14,7 @@ type config struct {
 	endpoints []id.Process
 	ttl       time.Duration
 	seed      int64
+	ordered   bool
 }
 
 // Option configures a Client at construction (see New).
@@ -65,6 +66,18 @@ func WithLeaseTTL(d time.Duration) Option {
 func WithSeed(seed int64) Option {
 	return func(c *config) error {
 		c.seed = seed
+		return nil
+	}
+}
+
+// WithOrderedEndpoints keeps the endpoint list in the order given to
+// WithEndpoints instead of shuffling it once per client: the first endpoint
+// is preferred, the rest are failover targets in order. Use it when
+// endpoints have a deliberate priority (e.g. nearest first); the default
+// shuffle spreads a client population across the service nodes.
+func WithOrderedEndpoints() Option {
+	return func(c *config) error {
+		c.ordered = true
 		return nil
 	}
 }

@@ -8,6 +8,7 @@
 //	leaderbench -figure headline -seed 42
 //	leaderbench -figure multigroup          # packet-plane sweep: coalescing on vs off
 //	leaderbench -figure clients             # client-plane fan-out sweep: 100..1000 subscribers
+//	leaderbench -figure failover            # leaderless windows: planned handover vs reactive
 //
 // Each cell simulates the paper's setup: a group of workstations that crash
 // and recover at random, over links that lose, delay, or stop delivering
@@ -27,7 +28,7 @@ import (
 
 func main() {
 	var (
-		figure   = flag.String("figure", "all", "figure to regenerate: 3..8, headline, multigroup, clients, or all")
+		figure   = flag.String("figure", "all", "figure to regenerate: 3..8, headline, multigroup, clients, failover, or all")
 		duration = flag.Duration("duration", time.Hour, "simulated measurement time per cell")
 		warmup   = flag.Duration("warmup", 30*time.Second, "simulated warm-up excluded from measurement")
 		seed     = flag.Int64("seed", 1, "base random seed (results are deterministic per seed)")

@@ -20,10 +20,14 @@
 // leadership snapshots under renewable leases. Client addresses are
 // learned from their own traffic, so clients need no -peer entries.
 //
-// On SIGINT or SIGTERM the daemon leaves its group gracefully — a LEAVE is
-// announced so peers re-elect immediately instead of waiting for failure
-// detection, and subscribed clients receive final tombstone snapshots so
-// they fail over at once — and then shuts down.
+// On SIGINT or SIGTERM the daemon leaves its group gracefully. If it holds
+// leadership, it first performs a planned handover: the continuously agreed
+// warm standby (nominated in the heartbeat stream at zero extra packets) is
+// granted the group-minimal rank in a HANDOVER that ships in the same
+// datagram as the LEAVE, so peers elect the standby in one event instead of
+// waiting out the failure detector, and subscribed clients receive final
+// tombstone snapshots carrying a successor hint so they re-pin at once with
+// no stale window — and then it shuts down.
 package main
 
 import (
@@ -163,6 +167,12 @@ func main() {
 			log.Printf("member %s of %q trusted", e.Member, e.Group)
 		case stableleader.QoSReconfigured:
 			log.Printf("link from %s reconfigured: η=%v δ=%v", e.Member, e.Interval, e.Timeout)
+		case stableleader.StandbyChanged:
+			if e.Standby == "" {
+				log.Printf("group %q has no warm standby", e.Group)
+			} else {
+				log.Printf("warm standby of %q is now %s (planned handovers land here)", e.Group, e.Standby)
+			}
 		}
 	}
 

@@ -2,14 +2,16 @@
 // machine-readable JSON snapshot, so successive PRs can diff the
 // performance trajectory of the hot paths instead of eyeballing bench
 // logs. It shells out to `go test -bench` for the benchmark sets named
-// below, parses the standard benchmark output, and writes one JSON file
-// (default BENCH_pr7.json, the current snapshot; BENCH_pr5.json is the
-// pre-batching baseline kept for comparison).
+// below, parses the standard benchmark output, runs the simulated
+// failover sweep (leaderless-window percentiles with the planned-handover
+// plane on versus off), and writes one JSON file (default BENCH_pr8.json,
+// the current snapshot; BENCH_pr7.json and BENCH_pr5.json are earlier
+// baselines kept for comparison).
 //
 // Usage:
 //
-//	go run ./cmd/perfsnap [-out BENCH_pr7.json] [-benchtime 1s]
-//	go run ./cmd/perfsnap -check BENCH_pr7.json [-factor 2] [-benchtime 200ms]
+//	go run ./cmd/perfsnap [-out BENCH_pr8.json] [-benchtime 1s]
+//	go run ./cmd/perfsnap -check BENCH_pr8.json [-factor 2] [-benchtime 200ms]
 //
 // -check is the CI bench-regression smoke: it re-runs the gate
 // benchmarks (LeaderQuery, MonitorObserve, Fanout, and the batched UDP
@@ -31,6 +33,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"stableleader/sim"
 )
 
 // suite is one `go test -bench` invocation.
@@ -91,7 +95,7 @@ type snapshot struct {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_pr7.json", "output file")
+	out := flag.String("out", "BENCH_pr8.json", "output file")
 	benchtime := flag.String("benchtime", "1s", "go test -benchtime value")
 	check := flag.String("check", "", "committed snapshot to gate against (CI regression smoke)")
 	factor := flag.Float64("factor", 2, "allowed ns/op slowdown factor in -check mode")
@@ -177,6 +181,12 @@ func main() {
 	if a, b := ns["UDPRecvDrain/mode=batched"], ns["UDPRecvDrain/mode=classic"]; a > 0 && b > 0 {
 		snap.Derived["udp_recv_drain_speedup_batched_vs_classic"] = b / a
 	}
+	// Simulated failover sweep: the planned-handover plane's leaderless
+	// window percentiles and dual-leader (split-brain) integrals, standby
+	// on versus off (virtual time: seconds of wall clock).
+	if err := addFailoverDerived(snap.Derived); err != nil {
+		log.Fatalf("perfsnap: failover sweep: %v", err)
+	}
 
 	buf, err := json.MarshalIndent(snap, "", "  ")
 	if err != nil {
@@ -187,6 +197,30 @@ func main() {
 		log.Fatalf("perfsnap: %v", err)
 	}
 	fmt.Printf("perfsnap: wrote %d benchmarks to %s\n", len(snap.Benchmarks), *out)
+}
+
+// addFailoverDerived runs the sim failover sweep and records one
+// leaderless-window p50/p99 and dual-leader figure per (series, setting)
+// cell, plus the headline improvement ratio the PR's acceptance gate
+// asserts (p99 over a graceful rolling restart, reactive vs handover).
+func addFailoverDerived(d map[string]float64) error {
+	exp, err := sim.Failover(sim.Options{Duration: 5 * time.Minute, Seed: 1})
+	if err != nil {
+		return err
+	}
+	for _, c := range exp.Cells {
+		key := strings.ReplaceAll(c.Series+"_"+c.Setting, "-", "_")
+		m := c.Result.Metrics
+		d["sim_leaderless_p50_ms_"+key] = float64(m.LeaderlessP50) / 1e6
+		d["sim_leaderless_p99_ms_"+key] = float64(m.LeaderlessP99) / 1e6
+		d["sim_dual_leader_ms_"+key] = float64(m.DualLeaderTime) / 1e6
+	}
+	a := d["sim_leaderless_p99_ms_handover_rolling_restart"]
+	b := d["sim_leaderless_p99_ms_reactive_rolling_restart"]
+	if a > 0 && b > 0 {
+		d["sim_leaderless_p99_improvement_rolling_restart"] = b / a
+	}
+	return nil
 }
 
 // runCheck re-runs the gate benchmarks and compares against the committed

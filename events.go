@@ -25,6 +25,8 @@ const (
 	// KindQoSReconfigured is the configurator adopting new failure
 	// detection parameters for one monitored link.
 	KindQoSReconfigured
+	// KindStandbyChanged is the leader's warm-standby nomination changing.
+	KindStandbyChanged
 )
 
 // String names the kind for logs.
@@ -42,6 +44,8 @@ func (k EventKind) String() string {
 		return "member-trusted"
 	case KindQoSReconfigured:
 		return "qos-reconfigured"
+	case KindStandbyChanged:
+		return "standby-changed"
 	default:
 		return "unknown"
 	}
@@ -50,8 +54,8 @@ func (k EventKind) String() string {
 // Event is one observation delivered on a Group.Watch stream: a sum type
 // over leadership, membership, suspicion and QoS reconfiguration events.
 // The concrete types are LeaderChanged, MemberJoined, MemberLeft,
-// MemberSuspected, MemberTrusted and QoSReconfigured; switch on the value's
-// type or on Kind().
+// MemberSuspected, MemberTrusted, QoSReconfigured and StandbyChanged;
+// switch on the value's type or on Kind().
 type Event interface {
 	// Kind identifies the concrete event type.
 	Kind() EventKind
@@ -204,6 +208,32 @@ func (e QoSReconfigured) GroupID() id.Group { return e.Group }
 func (e QoSReconfigured) When() time.Time { return e.At }
 
 func (QoSReconfigured) isEvent() {}
+
+// StandbyChanged reports the group's warm standby changing as seen
+// locally: the follower the current leader nominates (and continuously
+// re-announces in its heartbeat stream) to take over on a planned
+// handover. An empty Standby means no live follower qualifies.
+type StandbyChanged struct {
+	// Group is the group concerned.
+	Group id.Group
+	// Standby identifies the nominated process and Incarnation its
+	// lifetime; both are zero when the nomination was withdrawn.
+	Standby     id.Process
+	Incarnation int64
+	// At is the local observation time.
+	At time.Time
+}
+
+// Kind implements Event.
+func (e StandbyChanged) Kind() EventKind { return KindStandbyChanged }
+
+// GroupID implements Event.
+func (e StandbyChanged) GroupID() id.Group { return e.Group }
+
+// When implements Event.
+func (e StandbyChanged) When() time.Time { return e.At }
+
+func (StandbyChanged) isEvent() {}
 
 // PacketStats is a point-in-time snapshot of the service's packet plane:
 // how many datagrams crossed the wire, how many protocol messages rode

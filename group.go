@@ -62,6 +62,23 @@ type statusView struct {
 	err  error // tombstone: the group was left
 }
 
+// standbyView is the copy-on-write warm-standby snapshot behind
+// Group.Standby, published on the event loop at every nomination change.
+type standbyView struct {
+	p   id.Process
+	inc int64
+	err error // tombstone: the group was left
+}
+
+// Deposition errors, mirrored from the core so callers can test with
+// errors.Is against the public package.
+var (
+	// ErrNotLeader reports a Depose on a group this process does not lead.
+	ErrNotLeader = core.ErrNotLeader
+	// ErrNoStandby reports a Depose with no live standby to hand over to.
+	ErrNoStandby = core.ErrNoStandby
+)
+
 // Group is a handle on one joined group.
 type Group struct {
 	svc *Service
@@ -71,12 +88,13 @@ type Group struct {
 	sh *serviceShard
 	id id.Group
 
-	// leader and status are the atomic read plane: Leader and Status are
-	// single atomic loads against these, with no event-loop round-trip
-	// and no contention with protocol work. Writers (the event loop, plus
-	// Leave's tombstone) publish whole new views.
-	leader atomic.Pointer[leaderView]
-	status atomic.Pointer[statusView]
+	// leader, status and standby are the atomic read plane: Leader, Status
+	// and Standby are single atomic loads against these, with no event-loop
+	// round-trip and no contention with protocol work. Writers (the event
+	// loop, plus Leave's tombstone) publish whole new views.
+	leader  atomic.Pointer[leaderView]
+	status  atomic.Pointer[statusView]
+	standby atomic.Pointer[standbyView]
 
 	mu     sync.Mutex
 	subs   map[*subscriber]struct{}
@@ -127,6 +145,12 @@ func (g *Group) seedLeader(info LeaderInfo) {
 // OnStatus hook on the event loop, already sorted and never re-mutated.
 func (g *Group) storeStatus(rows []core.MemberStatus) {
 	g.status.Store(&statusView{rows: publicStatusRows(rows)})
+}
+
+// storeStandby publishes a warm-standby view; called from the core's
+// OnStandbyChange hook on the event loop.
+func (g *Group) storeStandby(p id.Process, inc int64) {
+	g.standby.Store(&standbyView{p: p, inc: inc})
 }
 
 // publicStatusRows converts the internal status rows.
@@ -337,6 +361,50 @@ func (g *Group) statusSync(ctx context.Context) ([]MemberStatus, error) {
 	return out, serr
 }
 
+// Standby returns the group's current warm standby as seen locally: the
+// follower the leader has nominated (and continuously announces in its
+// heartbeat stream) to take over on a planned handover. ok is false while
+// no nomination has been observed — on followers that predates the first
+// STANDBY adoption; on the leader it means no live follower qualifies.
+// Like Leader, it is a single atomic load against the copy-on-write view
+// the event loop publishes.
+func (g *Group) Standby(ctx context.Context) (p id.Process, incarnation int64, ok bool, err error) {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return "", 0, false, err
+		}
+	}
+	select {
+	case <-g.svc.closing:
+		return "", 0, false, ErrClosed
+	default:
+	}
+	sv := g.standby.Load()
+	if sv == nil {
+		return "", 0, false, nil
+	}
+	if sv.err != nil {
+		return "", 0, false, sv.err
+	}
+	return sv.p, sv.inc, sv.p != "", nil
+}
+
+// Depose steps this process down as the group's leader without leaving:
+// a planned handover transfers leadership to the current warm standby
+// immediately (urgent HANDOVER to every peer), and this process stays in
+// the group as a ranked-last follower. It fails with ErrNotLeader when
+// this process does not lead the group, and with ErrNoStandby when no
+// live follower qualifies as successor (deposing would leave the group
+// leaderless until the next election). Serialised through the group's
+// event-loop shard.
+func (g *Group) Depose(ctx context.Context) error {
+	var derr error
+	if err := g.sh.call(ctx, func() { derr = g.sh.node.Depose(g.id) }); err != nil {
+		return err
+	}
+	return derr
+}
+
 // Leave departs the group gracefully: a LEAVE is announced so peers
 // re-elect immediately rather than waiting for failure detection. It
 // honours ctx for cancellation; the departure still completes in the
@@ -359,6 +427,7 @@ func (g *Group) Leave(ctx context.Context) error {
 		tomb := fmt.Errorf("%w: %q", core.ErrNotJoined, g.id)
 		g.leader.Store(&leaderView{err: tomb})
 		g.status.Store(&statusView{err: tomb})
+		g.standby.Store(&standbyView{err: tomb})
 	}
 	var lerr error
 	err := g.sh.call(ctx, func() {

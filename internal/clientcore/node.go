@@ -143,6 +143,14 @@ type groupSub struct {
 	last     Update
 	haveView bool
 	stale    bool
+	// succ/succInc/succLease hold the successor hint a departing endpoint
+	// stages just before its tombstone (haveSucc marks it set): the next
+	// tombstone from the same stream fails over to the named successor
+	// without a stale window instead of probing blindly.
+	succ      id.Process
+	succInc   int64
+	succLease time.Duration
+	haveSucc  bool
 	// leaseDur is the granted lease (the server may clamp the requested
 	// TTL); renewals pace off it, not off the request.
 	leaseDur time.Duration
@@ -258,10 +266,11 @@ func (n *Node) Stop(graceful bool) {
 	n.groups = make(map[id.Group]*groupSub)
 }
 
-// HandleMessage dispatches one received datagram: a LeaderSnapshot, or a
-// Batch envelope whose inner snapshots dispatch individually. Hosts call
-// it on the node's event loop; other kinds are ignored (a client shares
-// transports with nothing else, but hostile traffic must be harmless).
+// HandleMessage dispatches one received datagram: a LeaderSnapshot or a
+// SuccessorHint, or a Batch envelope whose inner messages dispatch
+// individually. Hosts call it on the node's event loop; other kinds are
+// ignored (a client shares transports with nothing else, but hostile
+// traffic must be harmless).
 //
 //leadervet:hotpath
 func (n *Node) HandleMessage(m wire.Message) {
@@ -270,14 +279,23 @@ func (n *Node) HandleMessage(m wire.Message) {
 	}
 	if b, ok := m.(*wire.Batch); ok {
 		for _, inner := range b.Msgs {
-			if snap, ok := inner.(*wire.LeaderSnapshot); ok && !n.stopped {
-				n.handleSnapshot(snap)
+			if n.stopped {
+				return
+			}
+			switch t := inner.(type) {
+			case *wire.LeaderSnapshot:
+				n.handleSnapshot(t)
+			case *wire.SuccessorHint:
+				n.handleHint(t)
 			}
 		}
 		return
 	}
-	if snap, ok := m.(*wire.LeaderSnapshot); ok {
-		n.handleSnapshot(snap)
+	switch t := m.(type) {
+	case *wire.LeaderSnapshot:
+		n.handleSnapshot(t)
+	case *wire.SuccessorHint:
+		n.handleHint(t)
 	}
 }
 
@@ -302,6 +320,15 @@ func (n *Node) handleSnapshot(m *wire.LeaderSnapshot) {
 		return
 	}
 	sub.handleSnapshot(m)
+}
+
+// handleHint is the receive path for a departing endpoint's successor
+// hint. Unknown groups are simply dropped: the tombstone that follows the
+// hint handles any unsubscribe bookkeeping.
+func (n *Node) handleHint(m *wire.SuccessorHint) {
+	if sub, ok := n.groups[m.Group]; ok {
+		sub.handleHint(m)
+	}
 }
 
 // sendUnsubscribe emits one UNSUBSCRIBE on the coalescing path.
@@ -369,6 +396,25 @@ func (sub *groupSub) rotate() {
 	sub.haveServer = false
 	sub.seq = 0
 	sub.serverInc = 0
+	sub.haveSucc = false
+}
+
+// rotateTo re-pins the subscription to the named endpoint if it is in the
+// rotation; otherwise it falls back to plain rotation.
+func (sub *groupSub) rotateTo(ep id.Process) {
+	for i, e := range sub.eps {
+		if e != ep {
+			continue
+		}
+		sub.n.sendUnsubscribe(sub.currentEP(), sub.gid)
+		sub.epIdx = i
+		sub.haveServer = false
+		sub.seq = 0
+		sub.serverInc = 0
+		sub.haveSucc = false
+		return
+	}
+	sub.rotate()
 }
 
 // handleSnapshot applies one snapshot from the wire.
@@ -396,6 +442,10 @@ func (sub *groupSub) handleSnapshot(m *wire.LeaderSnapshot) {
 
 	now := sub.n.rt.Now()
 	if m.Tombstone {
+		if sub.haveSucc {
+			sub.failoverToSuccessor(m, now)
+			return
+		}
 		// The endpoint stopped serving the group: publish the edge (the
 		// last view rides along as a stale hint), then fail over. After a
 		// full lap of tombstoning endpoints, pace the retries instead of
@@ -427,6 +477,7 @@ func (sub *groupSub) handleSnapshot(m *wire.LeaderSnapshot) {
 	}
 	sub.attempts = 0
 	sub.stale = false
+	sub.haveSucc = false // a healthy snapshot supersedes any staged hint
 	sub.leaseDur = lease
 	sub.publish(Update{
 		Group:             sub.gid,
@@ -437,6 +488,63 @@ func (sub *groupSub) handleSnapshot(m *wire.LeaderSnapshot) {
 		At:                now,
 		Expires:           now.Add(lease),
 	})
+	if !sub.renewArmed {
+		sub.renewArmed = true
+		sub.renewTimer.Reset(lease / 3)
+	}
+	sub.deadTimer.Reset(lease)
+}
+
+// handleHint stages a successor hint from the wire. It shares the
+// snapshot stream's (incarnation, seq) ordering — the server numbers hints
+// and tombstones from the same counter, hint first — so a reordered
+// delivery (tombstone before hint) degrades to the reactive failover path
+// rather than applying the hint late.
+func (sub *groupSub) handleHint(m *wire.SuccessorHint) {
+	if sub.removed || m.Sender != sub.currentEP() {
+		return
+	}
+	if sub.haveServer {
+		if m.Incarnation < sub.serverInc {
+			return
+		}
+		if m.Incarnation == sub.serverInc && m.Seq <= sub.seq {
+			return
+		}
+	}
+	sub.haveServer = true
+	sub.serverInc = m.Incarnation
+	sub.seq = m.Seq
+	sub.succ, sub.succInc = m.Successor, m.SuccessorInc
+	sub.succLease = time.Duration(m.Lease)
+	sub.haveSucc = m.Successor != ""
+}
+
+// failoverToSuccessor handles a tombstone whose stream carried a successor
+// hint: the departing leader already handed the group to the named
+// successor, so the client publishes the successor as the fresh leader —
+// no stale window — and re-pins to the successor's endpoint for its next
+// lease.
+func (sub *groupSub) failoverToSuccessor(m *wire.LeaderSnapshot, now time.Time) {
+	succ, succInc, lease := sub.succ, sub.succInc, sub.succLease
+	sub.haveSucc = false
+	if lease <= 0 {
+		lease = sub.n.cfg.TTL
+	}
+	sub.attempts = 0
+	sub.stale = false
+	sub.leaseDur = lease
+	sub.rotateTo(succ)
+	sub.publish(Update{
+		Group:             sub.gid,
+		Leader:            succ,
+		LeaderIncarnation: succInc,
+		Elected:           true,
+		ServedBy:          m.Sender,
+		At:                now,
+		Expires:           now.Add(lease),
+	})
+	sub.sendSubscribe()
 	if !sub.renewArmed {
 		sub.renewArmed = true
 		sub.renewTimer.Reset(lease / 3)

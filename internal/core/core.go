@@ -60,6 +60,14 @@ var (
 	ErrAlreadyJoined = errors.New("core: group already joined")
 	ErrNotJoined     = errors.New("core: group not joined")
 	ErrStopped       = errors.New("core: node is stopped")
+	// ErrNotLeader reports a deposition request on a group the local
+	// process does not currently lead (or whose election core cannot
+	// express a rank transfer — Ωid).
+	ErrNotLeader = errors.New("core: not the group's leader")
+	// ErrNoStandby reports a deposition request with nobody to hand the
+	// group to: no live standby is nominated, or the handover plane is
+	// disabled for the group.
+	ErrNoStandby = errors.New("core: no live standby to hand over to")
 )
 
 // LeaderInfo describes one group's leadership as seen by the local node.
@@ -116,6 +124,12 @@ type JoinOptions struct {
 	// new failure detection parameters (η, δ) for the link from p.
 	// Invoked on the node's event loop.
 	OnReconfigured func(p id.Process, params qos.Params)
+	// OnStandbyChange, if set, reports changes of the group's warm
+	// standby as seen locally: the member the current leader nominated to
+	// take over on a planned handover, announced in the heartbeat stream.
+	// An empty p means no standby is currently known. Invoked on the
+	// node's event loop.
+	OnStandbyChange func(p id.Process, incarnation int64)
 	// OnStatus, if set, receives a freshly built snapshot of the group's
 	// complete membership/FD status (the rows Node.Status would return)
 	// whenever it changes: membership deltas, trust edges and QoS
@@ -135,6 +149,12 @@ type JoinOptions struct {
 	// recovers inside the detection bound transiently re-elects itself
 	// against the group's stale views, inflating the mistake rate.
 	DisableStartupGrace bool
+	// DisableHandover turns off the warm-standby and planned-handover
+	// plane for this group: no standby is nominated or announced, graceful
+	// departures fail over reactively (peers wait out the failure
+	// detector), and received STANDBY/HANDOVER messages are ignored. It
+	// exists as the before/after baseline of the handover experiments.
+	DisableHandover bool
 }
 
 // withDefaults fills unset options.
@@ -367,6 +387,37 @@ func (n *Node) Leader(g id.Group) (LeaderInfo, error) {
 	return gs.currentInfo(), nil
 }
 
+// Standby returns group g's current warm standby as seen locally: the
+// member the leader nominated to take over on a planned handover. An empty
+// process means none is known (no leader, no eligible follower, or the
+// handover plane is disabled). Like every Node method, callers must be on
+// the owning event loop.
+//
+//leadervet:onLoop
+func (n *Node) Standby(g id.Group) (id.Process, int64, error) {
+	gs, ok := n.groups[g]
+	if !ok {
+		return "", 0, fmt.Errorf("%w: %q", ErrNotJoined, g)
+	}
+	return gs.standby, gs.standbyInc, nil
+}
+
+// Depose hands group g's leadership — which the local process must
+// currently hold — to the warm standby immediately: an urgent HANDOVER
+// grants the standby the group-minimal rank, so every receiver elects it
+// in one event instead of waiting out the failure detector. The local
+// process stays in the group as an ordinary member (and future candidate).
+func (n *Node) Depose(g id.Group) error {
+	if n.stopped {
+		return ErrStopped
+	}
+	gs, ok := n.groups[g]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNotJoined, g)
+	}
+	return gs.depose()
+}
+
 // MemberStatus is one fellow group member as seen by the local failure
 // detection layer — the query surface of the underlying shared FD service
 // (Section 4 of the paper).
@@ -473,6 +524,9 @@ func (n *Node) handleOne(m wire.Message) {
 	case *wire.LeaderSnapshot:
 		// Client-bound; a service node receiving one drops it.
 		return
+	case *wire.SuccessorHint:
+		// Client-bound half of a goodbye; a service node drops it too.
+		return
 	}
 	gs, ok := n.groups[m.GroupID()]
 	if !ok {
@@ -491,6 +545,10 @@ func (n *Node) handleOne(m wire.Message) {
 		gs.handleAccuse(t)
 	case *wire.Rate:
 		gs.handleRate(t)
+	case *wire.Standby:
+		gs.handleStandby(t)
+	case *wire.Handover:
+		gs.handleHandover(t)
 	}
 }
 

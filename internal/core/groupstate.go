@@ -24,11 +24,30 @@ const (
 	maxRateInterval = 10 * time.Second
 )
 
+// Warm-standby plane constants.
+const (
+	// standbyRefreshEvery is the per-destination re-announcement period of
+	// the leader's standby nomination. The STANDBY rides the heartbeat
+	// datagram already going to the peer (enqueued on the coalescing path
+	// right before the ALIVE), so the refresh repairs announcement loss at
+	// zero extra steady-state packets.
+	standbyRefreshEvery = time.Second
+
+	// standbyLivenessFactor scales HelloInterval into the window within
+	// which a silent follower must have been heard (HELLO gossip, RATE
+	// requests, ...) to stay nominable. ΩL followers stop heartbeating on
+	// purpose, so the failure detector legitimately distrusts them and
+	// group-maintenance traffic is the only liveness signal left.
+	standbyLivenessFactor = 4
+)
+
 // monitorEntry pairs a failure detector monitor with the incarnation it
-// watches.
+// watches. lastHeard is the liveness evidence for standby nomination:
+// when any group traffic arrives from the member (see noteHeard).
 type monitorEntry struct {
-	mon *fd.Monitor
-	inc int64
+	mon       *fd.Monitor
+	inc       int64
+	lastHeard time.Time
 }
 
 // destState is the per-(group, destination) heartbeat stream state. The
@@ -38,6 +57,10 @@ type destState struct {
 	interval time.Duration // requested via RATE; 0 means default
 	seq      uint64
 	lastSent time.Time
+	// standbyAt is when this destination last received a STANDBY
+	// announcement; zero forces one onto the next heartbeat (newcomers,
+	// nomination changes).
+	standbyAt time.Time
 }
 
 // groupState is one group's complete machinery on a node. It implements
@@ -54,6 +77,17 @@ type groupState struct {
 
 	active   bool
 	lastInfo LeaderInfo
+
+	// Warm-standby plane (loop-owned). As leader, standby/standbyInc is
+	// the follower we nominate and announce in the heartbeat stream
+	// (standbySeq numbers the announcements); as follower, it is the view
+	// adopted from the leader's STANDBY stream, guarded by
+	// (standbyFromInc, standbyFromSeq).
+	standby        id.Process //leadervet:loopOwned
+	standbyInc     int64      //leadervet:loopOwned
+	standbySeq     uint64     //leadervet:loopOwned
+	standbyFromInc int64      //leadervet:loopOwned
+	standbyFromSeq uint64     //leadervet:loopOwned
 
 	// lastActive is the previous active membership view, kept so that
 	// membership changes can be reported as per-member deltas.
@@ -195,7 +229,16 @@ func (gs *groupState) intervalFor(ds *destState) time.Duration {
 }
 
 // sendAliveTo emits one heartbeat to dest through the coalescing path.
+// When we lead and the destination's standby announcement is due, the
+// STANDBY is enqueued right before the ALIVE so both coalesce into the one
+// datagram already leaving — the piggyback that keeps the standby plane at
+// zero extra steady-state packets.
+//
+//leadervet:onLoop
 func (gs *groupState) sendAliveTo(dest id.Process, ds *destState) {
+	if m := gs.standbyToAnnounce(ds); m != nil {
+		gs.n.sendLazy(dest, m)
+	}
 	ds.seq++
 	ds.lastSent = gs.n.rt.Now()
 	m := &wire.Alive{
@@ -208,6 +251,36 @@ func (gs *groupState) sendAliveTo(dest id.Process, ds *destState) {
 	}
 	gs.algo.FillAlive(m)
 	gs.n.sendLazy(dest, m)
+}
+
+// standbyToAnnounce returns the STANDBY announcement due for a heartbeat
+// destination, or nil: non-leaders announce nothing, and a leader
+// re-announces per destination only every standbyRefreshEvery (loss
+// repair) or immediately after a nomination change (standbyAt zeroed).
+//
+//leadervet:onLoop
+func (gs *groupState) standbyToAnnounce(ds *destState) *wire.Standby {
+	if gs.opts.DisableHandover {
+		return nil
+	}
+	info := gs.lastInfo
+	if !info.Elected || info.Leader != gs.n.self {
+		return nil
+	}
+	now := gs.n.rt.Now()
+	if !ds.standbyAt.IsZero() && now.Sub(ds.standbyAt) < standbyRefreshEvery {
+		return nil
+	}
+	ds.standbyAt = now
+	gs.standbySeq++
+	return &wire.Standby{
+		Group:       gs.gid,
+		Sender:      gs.n.self,
+		Incarnation: gs.n.inc,
+		Seq:         gs.standbySeq,
+		Standby:     gs.standby,
+		StandbyInc:  gs.standbyInc,
+	}
 }
 
 // --- peer bookkeeping ---------------------------------------------------
@@ -283,6 +356,8 @@ func (gs *groupState) newMonitor(p id.Process, inc int64) *monitorEntry {
 			}
 			gs.afterEvent()
 			gs.publishStatus()
+			// A trust edge changes nomination eligibility; re-rank.
+			gs.nominateStandby()
 		},
 		RequestRate: func(interval time.Duration) {
 			gs.n.sendLazy(p, &wire.Rate{
@@ -347,13 +422,16 @@ func (gs *groupState) scheduleHello() {
 	gs.helloTimer.Reset(time.Duration(float64(gs.opts.HelloInterval) * jitter))
 }
 
-// helloTick is one gossip round; it re-arms itself.
+// helloTick is one gossip round; it re-arms itself. The round also
+// re-ranks the standby nomination: link estimates drift between trust
+// edges, and the gossip cadence is a cheap place to track them.
 func (gs *groupState) helloTick() {
 	if gs.stopped {
 		return
 	}
 	gs.gossip()
 	gs.scheduleHello()
+	gs.nominateStandby()
 }
 
 // gossip sends the membership table to a few random members.
@@ -400,7 +478,18 @@ func (gs *groupState) sendHelloTo(p id.Process) {
 
 // --- message handlers -----------------------------------------------------
 
+// noteHeard records group traffic from p as liveness evidence for standby
+// nomination: ΩL followers stop heartbeating on purpose, so the failure
+// detector legitimately distrusts them and HELLO/RATE receipt is the only
+// signal that they are still there.
+func (gs *groupState) noteHeard(p id.Process, inc int64) {
+	if entry, ok := gs.monitors[p]; ok && entry.inc == inc {
+		entry.lastHeard = gs.n.rt.Now()
+	}
+}
+
 func (gs *groupState) handleJoin(m *wire.Join) {
+	gs.noteHeard(m.Sender, m.Incarnation)
 	changed := gs.table.Upsert(group.Member{
 		ID:          m.Sender,
 		Incarnation: m.Incarnation,
@@ -425,6 +514,7 @@ func (gs *groupState) handleLeave(m *wire.Leave) {
 }
 
 func (gs *groupState) handleHello(m *wire.Hello) {
+	gs.noteHeard(m.Sender, m.Incarnation)
 	rows := make([]group.Member, len(m.Members))
 	for i, r := range m.Members {
 		rows[i] = group.Member{
@@ -451,6 +541,7 @@ func (gs *groupState) handleAlive(m *wire.Alive) {
 	delay := now.Sub(time.Unix(0, m.SendTime))
 	gs.n.estimatorFor(m.Sender, m.Incarnation).Observe(gs.gid, m.Seq, delay)
 	if entry, ok := gs.monitors[m.Sender]; ok {
+		entry.lastHeard = now
 		entry.mon.Observe(time.Unix(0, m.SendTime), time.Duration(m.Interval), now)
 	}
 	if gs.stopped {
@@ -463,11 +554,13 @@ func (gs *groupState) handleAlive(m *wire.Alive) {
 }
 
 func (gs *groupState) handleAccuse(m *wire.Accuse) {
+	gs.noteHeard(m.Sender, m.Incarnation)
 	gs.algo.HandleAccuse(m)
 	gs.afterEvent()
 }
 
 func (gs *groupState) handleRate(m *wire.Rate) {
+	gs.noteHeard(m.Sender, m.Incarnation)
 	ds, ok := gs.dests[m.Sender]
 	if !ok {
 		return
@@ -492,6 +585,38 @@ func (gs *groupState) handleRate(m *wire.Rate) {
 	}
 }
 
+// handleStandby adopts the leader's standby nomination. Only the current
+// leader's announcements count, and (incarnation, seq) ordering drops
+// duplicated or reordered deliveries.
+//
+//leadervet:onLoop
+func (gs *groupState) handleStandby(m *wire.Standby) {
+	gs.noteHeard(m.Sender, m.Incarnation)
+	if gs.opts.DisableHandover {
+		return
+	}
+	info := gs.lastInfo
+	if !info.Elected || info.Leader != m.Sender || info.Incarnation != m.Incarnation {
+		return
+	}
+	if m.Incarnation == gs.standbyFromInc && m.Seq <= gs.standbyFromSeq {
+		return
+	}
+	gs.standbyFromInc, gs.standbyFromSeq = m.Incarnation, m.Seq
+	gs.setStandby(m.Standby, m.StandbyInc)
+}
+
+// handleHandover feeds a planned handover to the election core; the core
+// itself guards that the sender is our current leader.
+func (gs *groupState) handleHandover(m *wire.Handover) {
+	gs.noteHeard(m.Sender, m.Incarnation)
+	if gs.opts.DisableHandover {
+		return
+	}
+	gs.algo.HandleHandover(m)
+	gs.afterEvent()
+}
+
 // onMembershipChange reconciles peers, reports membership deltas, and
 // informs the algorithm.
 func (gs *groupState) onMembershipChange() {
@@ -500,6 +625,7 @@ func (gs *groupState) onMembershipChange() {
 	gs.algo.HandleMembership()
 	gs.afterEvent()
 	gs.publishStatus()
+	gs.nominateStandby()
 }
 
 // reportMembershipDelta diffs the active view against the previous one and
@@ -603,14 +729,196 @@ func (gs *groupState) afterEvent() {
 		// learn of the change in the same event that notified local ones.
 		gs.n.subs.PublishLeaderChange(gs.gid, clientView(info))
 	}
+	gs.onLeaderEdge(info)
+}
+
+// onLeaderEdge maintains the standby plane across leadership changes: a
+// fresh leader nominates immediately, and a follower whose adopted standby
+// just became the leader clears the consumed nomination.
+//
+//leadervet:onLoop
+func (gs *groupState) onLeaderEdge(info LeaderInfo) {
+	if info.Elected && info.Leader == gs.n.self {
+		gs.nominateStandby()
+		return
+	}
+	if info.Elected && gs.standby == info.Leader && gs.standbyInc == info.Incarnation {
+		gs.setStandby("", 0)
+	}
+}
+
+// --- warm standby & planned handover --------------------------------------
+
+// setStandby records the current standby view and fires the host callback
+// on change.
+//
+//leadervet:onLoop
+func (gs *groupState) setStandby(p id.Process, inc int64) {
+	if gs.standby == p && gs.standbyInc == inc {
+		return
+	}
+	gs.standby, gs.standbyInc = p, inc
+	if gs.opts.OnStandbyChange != nil {
+		gs.opts.OnStandbyChange(p, inc)
+	}
+}
+
+// nominateStandby re-evaluates the leader's choice of warm standby. On a
+// change, every destination's announcement clock is zeroed so the next
+// heartbeat to each peer carries the new nomination.
+//
+//leadervet:onLoop
+func (gs *groupState) nominateStandby() {
+	if gs.stopped || gs.opts.DisableHandover {
+		return
+	}
+	info := gs.lastInfo
+	if !info.Elected || info.Leader != gs.n.self {
+		return
+	}
+	p, inc := gs.bestFollower()
+	if p == gs.standby && inc == gs.standbyInc {
+		return
+	}
+	gs.setStandby(p, inc)
+	for _, dest := range sortedKeys(gs.dests) {
+		gs.dests[dest].standbyAt = time.Time{}
+	}
+}
+
+// bestFollower picks the standby: the live candidate follower with the best
+// link to us, preferring failure-detector trust, then lowest estimated loss,
+// then lowest mean delay, then smallest id. Under ΩL followers are silent on
+// purpose, so untrusted members heard from recently (HELLO gossip, RATE)
+// remain eligible. Under Ωid the handover carries no rank, and the LEAVE
+// that follows elects the smallest remaining id — nominate exactly that so
+// the successor hint matches what the group will actually do.
+func (gs *groupState) bestFollower() (id.Process, int64) {
+	now := gs.n.rt.Now()
+	window := time.Duration(standbyLivenessFactor) * gs.opts.HelloInterval
+	var bestID id.Process
+	var bestInc int64
+	var bestTrusted bool
+	var bestLoss float64
+	var bestDelay time.Duration
+	found := false
+	for _, m := range gs.Members() { // sorted by id: deterministic ties
+		if m.ID == gs.n.self || !m.Candidate {
+			continue
+		}
+		entry, ok := gs.monitors[m.ID]
+		if !ok || entry.inc != m.Incarnation {
+			continue
+		}
+		trusted := entry.mon.Trusted()
+		if !trusted && (entry.lastHeard.IsZero() || now.Sub(entry.lastHeard) > window) {
+			continue
+		}
+		if gs.opts.Algorithm == election.OmegaID {
+			// First eligible in id order is the next leader after our LEAVE.
+			return m.ID, m.Incarnation
+		}
+		st := gs.n.estimatorFor(m.ID, m.Incarnation).Snapshot()
+		if found && !followerBetter(trusted, st.Loss, st.MeanDelay, bestTrusted, bestLoss, bestDelay) {
+			continue
+		}
+		bestID, bestInc = m.ID, m.Incarnation
+		bestTrusted, bestLoss, bestDelay = trusted, st.Loss, st.MeanDelay
+		found = true
+	}
+	if !found {
+		return "", 0
+	}
+	return bestID, bestInc
+}
+
+// followerBetter is the strict nomination order: trust beats distrust, then
+// lower loss, then lower delay. Equal candidates keep the incumbent (the
+// smaller id, by iteration order).
+func followerBetter(aTrusted bool, aLoss float64, aDelay time.Duration, bTrusted bool, bLoss float64, bDelay time.Duration) bool {
+	if aTrusted != bTrusted {
+		return aTrusted
+	}
+	if aLoss != bLoss {
+		return aLoss < bLoss
+	}
+	return aDelay < bDelay
+}
+
+// performHandover executes a planned handover if we lead and a standby is
+// available: broadcast HANDOVER granting the standby the group-minimal rank,
+// then self-apply so our own view (and the tombstone derived from it) names
+// the successor. Urgent handovers (deposition) flush immediately; lazy ones
+// (leave) stay staged so the LEAVE that follows flushes [HANDOVER, LEAVE]
+// to each peer as one datagram.
+//
+//leadervet:onLoop
+func (gs *groupState) performHandover(urgent bool) (id.Process, int64, bool) {
+	if gs.stopped || gs.opts.DisableHandover {
+		return "", 0, false
+	}
+	grant, ok := gs.algo.HandoverGrant()
+	if !ok {
+		return "", 0, false
+	}
+	// Re-nominate at the last moment: the standby view may predate a
+	// membership change.
+	gs.nominateStandby()
+	succ, succInc := gs.standby, gs.standbyInc
+	if succ == "" {
+		return "", 0, false
+	}
+	m := &wire.Handover{
+		Group:        gs.gid,
+		Sender:       gs.n.self,
+		Incarnation:  gs.n.inc,
+		Successor:    succ,
+		SuccessorInc: succInc,
+		GrantAcc:     grant,
+		At:           gs.n.rt.Now().UnixNano(),
+	}
+	for _, mem := range gs.table.Active() {
+		if mem.ID == gs.n.self {
+			continue
+		}
+		if urgent {
+			gs.n.sendNow(mem.ID, m)
+		} else {
+			gs.n.sendLazy(mem.ID, m)
+		}
+	}
+	gs.algo.HandleHandover(m)
+	gs.afterEvent()
+	return succ, succInc, true
+}
+
+// depose steps down as leader without leaving the group: the standby takes
+// over immediately and we stay as a ranked-last follower.
+func (gs *groupState) depose() error {
+	if gs.stopped {
+		return ErrStopped
+	}
+	if gs.opts.DisableHandover {
+		return ErrNoStandby
+	}
+	if _, ok := gs.algo.HandoverGrant(); !ok {
+		return ErrNotLeader
+	}
+	if _, _, ok := gs.performHandover(true); !ok {
+		return ErrNoStandby
+	}
+	return nil
 }
 
 // --- lifecycle -------------------------------------------------------------
 
-// leave announces departure and tears the group down. LEAVE rides the
-// urgent path: peers must re-elect immediately, and the flush also drains
-// any traffic still staged for them.
+// leave announces departure and tears the group down. A departing leader
+// first performs a planned handover: the HANDOVER is staged lazily so the
+// urgent LEAVE that follows flushes [HANDOVER, LEAVE] to each peer as one
+// datagram — the standby assumes leadership in the same delivery that
+// removes us, instead of the group waiting out a detection timeout.
 func (gs *groupState) leave() {
+	succ, succInc, handedOver := gs.performHandover(false)
 	msg := &wire.Leave{Group: gs.gid, Sender: gs.n.self, Incarnation: gs.n.inc}
 	for _, m := range gs.table.Active() {
 		if m.ID != gs.n.self {
@@ -620,8 +928,13 @@ func (gs *groupState) leave() {
 	if gs.n.subs != nil {
 		// Final tombstone snapshots, flushed urgently: subscribed clients
 		// fail over to another service node immediately instead of waiting
-		// out their leases against a dead endpoint.
-		gs.n.subs.PublishTombstone(gs.gid, clientView(gs.currentInfo()))
+		// out their leases against a dead endpoint. After a handover the
+		// tombstone carries the successor, so clients re-pin without probing.
+		v := clientView(gs.currentInfo())
+		if handedOver {
+			v.Successor, v.SuccessorInc = succ, succInc
+		}
+		gs.n.subs.PublishTombstone(gs.gid, v)
 	}
 	gs.shutdown()
 }

@@ -97,6 +97,19 @@ type Algorithm interface {
 	HandleAlive(m *wire.Alive)
 	// HandleAccuse processes an accusation addressed to the local process.
 	HandleAccuse(m *wire.Accuse)
+	// HandleHandover processes a planned leadership handover: the named
+	// sender steps down and grants its successor the group-minimal rank.
+	// The host also self-applies the handover it originates (Sender equal
+	// to the local process), which is how the departing leader demotes
+	// itself. Cores without accusation-time state may ignore the message.
+	HandleHandover(m *wire.Handover)
+	// HandoverGrant returns the accusation-time grant a planned handover
+	// should carry, and whether the local process may grant one at all —
+	// true only when the core currently elects the local process and can
+	// express an instant transfer of its rank. The grant is strictly
+	// better (smaller) than every accusation time in the group, so the
+	// successor assumes leadership the moment the HANDOVER is applied.
+	HandoverGrant() (grantAcc int64, ok bool)
 	// HandleTrust reports a failure detector trust edge for p.
 	HandleTrust(p id.Process, incarnation int64)
 	// HandleSuspect reports a failure detector suspect edge for p.

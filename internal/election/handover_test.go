@@ -1,0 +1,243 @@
+package election
+
+import (
+	"testing"
+
+	"stableleader/id"
+	"stableleader/internal/wire"
+)
+
+// aliveFrom builds a heartbeat payload from p with the given election state.
+func aliveFrom(p id.Process, inc int64, seq uint64, acc int64) *wire.Alive {
+	return &wire.Alive{Group: "g", Sender: p, Incarnation: inc, Seq: seq, AccTime: acc}
+}
+
+// lcAliveFrom builds an Ωlc heartbeat that also vouches for a local leader.
+func lcAliveFrom(p id.Process, inc int64, seq uint64, acc int64, ll id.Process, llAcc int64) *wire.Alive {
+	m := aliveFrom(p, inc, seq, acc)
+	m.HasLocalLeader = true
+	m.LocalLeader = ll
+	m.LocalLeaderAcc = llAcc
+	return m
+}
+
+// handoverMsg builds a HANDOVER from sender granting succ the given rank.
+func handoverMsg(sender id.Process, senderInc int64, succ id.Process, succInc, grant, at int64) *wire.Handover {
+	return &wire.Handover{
+		Group: "g", Sender: sender, Incarnation: senderInc,
+		Successor: succ, SuccessorInc: succInc, GrantAcc: grant, At: at,
+	}
+}
+
+// TestOmegaLHandoverElectsSilentStandby: a follower that applies a handover
+// elects the successor in the same event even though the successor — a
+// silent standby under ΩL — has never sent it an ALIVE.
+func TestOmegaLHandoverElectsSilentStandby(t *testing.T) {
+	env := newFakeEnv("b", true)
+	a := New(OmegaL, env)
+	a.Start()
+	env.addMember(a, "a", 500, true)
+	env.addMember(a, "c", 600, true)
+	a.HandleAlive(aliveFrom("a", 500, 1, 50))
+	if l, ok := leaderID(t, a); !ok || l != "a" {
+		t.Fatalf("precondition: leader = %q, %v; want a", l, ok)
+	}
+	a.HandleHandover(handoverMsg("a", 500, "c", 600, 49, env.now.UnixNano()))
+	if l, ok := leaderID(t, a); !ok || l != "c" {
+		t.Fatalf("after handover: leader = %q, %v; want the successor c", l, ok)
+	}
+}
+
+// TestOmegaLHandoverToSelf: the nominated standby adopts the granted rank
+// and assumes leadership immediately.
+func TestOmegaLHandoverToSelf(t *testing.T) {
+	env := newFakeEnv("b", true)
+	a := New(OmegaL, env)
+	a.Start()
+	env.pastGrace()
+	env.addMember(a, "a", 500, true)
+	a.HandleAlive(aliveFrom("a", 500, 1, 50))
+	if l, _ := leaderID(t, a); l != "a" {
+		t.Fatalf("precondition: leader = %q, want a", l)
+	}
+	a.HandleHandover(handoverMsg("a", 500, "b", env.inc, 49, env.now.UnixNano()))
+	if l, ok := leaderID(t, a); !ok || l != "b" {
+		t.Fatalf("after handover to self: leader = %q, %v; want self", l, ok)
+	}
+	if !env.active() {
+		t.Error("successor did not start competing (SetActive true)")
+	}
+}
+
+// TestOmegaLHandoverSelfApply: the departing leader applies the handover it
+// originated and stops electing itself — the successor wins its local view
+// too, so the tombstone it fans out to clients names the successor.
+func TestOmegaLHandoverSelfApply(t *testing.T) {
+	env := newFakeEnv("a", true)
+	a := New(OmegaL, env)
+	a.Start()
+	env.pastGrace()
+	env.addMember(a, "c", 600, true)
+	if l, _ := leaderID(t, a); l != "a" {
+		t.Fatalf("precondition: leader = %q, want self", l)
+	}
+	grant, ok := a.HandoverGrant()
+	if !ok {
+		t.Fatal("leader could not grant a handover")
+	}
+	a.HandleHandover(handoverMsg("a", env.inc, "c", 600, grant, env.now.UnixNano()))
+	if l, ok := leaderID(t, a); !ok || l != "c" {
+		t.Fatalf("after self-apply: leader = %q, %v; want the successor c", l, ok)
+	}
+}
+
+// TestOmegaLHandoverGuards: handovers from processes that are not the
+// current leader — forged, stale-incarnation, or out of context — change
+// nothing.
+func TestOmegaLHandoverGuards(t *testing.T) {
+	env := newFakeEnv("b", true)
+	a := New(OmegaL, env)
+	a.Start()
+	env.addMember(a, "a", 500, true)
+	env.addMember(a, "c", 600, true)
+	env.addMember(a, "d", 700, true)
+	a.HandleAlive(aliveFrom("a", 500, 1, 50))
+	a.HandleAlive(aliveFrom("d", 700, 1, 60))
+	// d is not the leader; its handover must be ignored.
+	a.HandleHandover(handoverMsg("d", 700, "c", 600, 1, env.now.UnixNano()))
+	if l, _ := leaderID(t, a); l != "a" {
+		t.Fatalf("non-leader handover applied: leader = %q, want a", l)
+	}
+	// Stale incarnation of the real leader: ignored too.
+	a.HandleHandover(handoverMsg("a", 499, "c", 600, 1, env.now.UnixNano()))
+	if l, _ := leaderID(t, a); l != "a" {
+		t.Fatalf("stale-incarnation handover applied: leader = %q, want a", l)
+	}
+}
+
+// TestOmegaLStragglerHealsThroughAliveAssignment: a process that missed the
+// HANDOVER itself still converges on the successor, because in-order ALIVE
+// self-reports assign (not max-merge) the sender's accusation time — the
+// successor's post-grant heartbeats carry the lowered rank.
+func TestOmegaLStragglerHealsThroughAliveAssignment(t *testing.T) {
+	env := newFakeEnv("b", true)
+	a := New(OmegaL, env)
+	a.Start()
+	env.addMember(a, "a", 500, true)
+	env.addMember(a, "c", 600, true)
+	// c competed earlier with a worse rank than a, then went silent.
+	a.HandleAlive(aliveFrom("a", 500, 1, 50))
+	a.HandleAlive(aliveFrom("c", 600, 1, 90))
+	if l, _ := leaderID(t, a); l != "a" {
+		t.Fatalf("precondition: leader = %q, want a", l)
+	}
+	// The handover a→c happened but this process missed it. a departs
+	// (suspected and pruned), and c's fresh heartbeat carries the granted
+	// rank, lower than what we knew for it.
+	a.HandleSuspect("a")
+	a.HandleAlive(aliveFrom("c", 600, 2, 49))
+	if l, ok := leaderID(t, a); !ok || l != "c" {
+		t.Fatalf("straggler: leader = %q, %v; want c at the granted rank", l, ok)
+	}
+}
+
+// TestOmegaLCHandoverElectsSuccessor: Ωlc moves leadership on the rank
+// change alone — trust in the grantor is untouched, so a deposed leader
+// that stays in the group needs no re-trust edge to remain electable later.
+func TestOmegaLCHandoverElectsSuccessor(t *testing.T) {
+	env := newFakeEnv("b", true)
+	a := New(OmegaLC, env)
+	a.Start()
+	env.addMember(a, "a", 500, true)
+	env.addMember(a, "c", 600, true)
+	a.HandleTrust("a", 500)
+	a.HandleTrust("c", 600)
+	a.HandleAlive(lcAliveFrom("a", 500, 1, 50, "a", 50))
+	a.HandleAlive(lcAliveFrom("c", 600, 1, 90, "a", 50))
+	if l, _ := leaderID(t, a); l != "a" {
+		t.Fatalf("precondition: leader = %q, want a", l)
+	}
+	at := env.now.UnixNano()
+	a.HandleHandover(handoverMsg("a", 500, "c", 600, 49, at))
+	if l, ok := leaderID(t, a); !ok || l != "c" {
+		t.Fatalf("after handover: leader = %q, %v; want the successor c", l, ok)
+	}
+	// The grantor must still be electable if the successor later fails:
+	// its rank rose, but nothing removed it from the candidate pool.
+	a.HandleSuspect("c")
+	a.HandleAlive(lcAliveFrom("a", 500, 2, at, "a", at))
+	if l, ok := leaderID(t, a); !ok || l != "a" {
+		t.Fatalf("after successor failure: leader = %q, %v; want the deposed a back", l, ok)
+	}
+}
+
+// TestOmegaLCHandoverToSelf: the standby's own core adopts the grant.
+func TestOmegaLCHandoverToSelf(t *testing.T) {
+	env := newFakeEnv("b", true)
+	a := New(OmegaLC, env)
+	a.Start()
+	env.pastGrace()
+	env.addMember(a, "a", 500, true)
+	a.HandleTrust("a", 500)
+	a.HandleAlive(lcAliveFrom("a", 500, 1, 50, "a", 50))
+	if l, _ := leaderID(t, a); l != "a" {
+		t.Fatalf("precondition: leader = %q, want a", l)
+	}
+	a.HandleHandover(handoverMsg("a", 500, "b", env.inc, 49, env.now.UnixNano()))
+	if l, ok := leaderID(t, a); !ok || l != "b" {
+		t.Fatalf("after handover to self: leader = %q, %v; want self", l, ok)
+	}
+}
+
+// TestHandoverGrantOnlyFromLeader pins the grant rule across the cores: a
+// leader grants a rank strictly better than its own; a non-leader (and Ωid
+// always, having no rank to transfer) refuses.
+func TestHandoverGrantOnlyFromLeader(t *testing.T) {
+	for _, k := range []Kind{OmegaL, OmegaLC} {
+		env := newFakeEnv("b", true)
+		a := New(k, env)
+		a.Start()
+		// A better competitor leads; we must not grant.
+		env.addMember(a, "a", 500, true)
+		if k == OmegaLC {
+			a.HandleTrust("a", 500)
+		}
+		a.HandleAlive(lcAliveFrom("a", 500, 1, 50, "a", 50))
+		if _, ok := a.HandoverGrant(); ok {
+			t.Errorf("%v: non-leader granted a handover", k)
+		}
+		// Remove it; we lead and may grant.
+		a.HandleSuspect("a")
+		grant, ok := a.HandoverGrant()
+		if !ok {
+			t.Errorf("%v: leader refused to grant", k)
+		}
+		if grant >= env.now.UnixNano() {
+			t.Errorf("%v: grant %d not better than own rank", k, grant)
+		}
+	}
+	env := newFakeEnv("b", true)
+	a := New(OmegaID, env)
+	a.Start()
+	env.pastGrace()
+	if _, ok := a.HandoverGrant(); ok {
+		t.Error("omega-id granted a handover despite having no rank to transfer")
+	}
+}
+
+// TestOmegaIDHandoverIgnored: Ωid ignores handovers entirely; the LEAVE
+// that follows a graceful departure is what fails the group over.
+func TestOmegaIDHandoverIgnored(t *testing.T) {
+	env := newFakeEnv("b", true)
+	a := New(OmegaID, env)
+	a.Start()
+	env.addMember(a, "a", 500, true)
+	a.HandleTrust("a", 500)
+	if l, _ := leaderID(t, a); l != "a" {
+		t.Fatalf("precondition: leader = %q, want a", l)
+	}
+	a.HandleHandover(handoverMsg("a", 500, "c", 600, 0, env.now.UnixNano()))
+	if l, _ := leaderID(t, a); l != "a" {
+		t.Fatalf("omega-id changed leaders on a handover: leader = %q", l)
+	}
+}

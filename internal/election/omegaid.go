@@ -40,6 +40,17 @@ func (o *omegaID) HandleAlive(*wire.Alive) {}
 // HandleAccuse implements Algorithm. Ωid has no accusation mechanism.
 func (o *omegaID) HandleAccuse(*wire.Accuse) {}
 
+// HandleHandover implements Algorithm. Ωid has no rank a grant could
+// transfer — the smallest trusted id leads, always — so handovers are
+// ignored. A graceful departure still fails over instantly: the LEAVE that
+// follows the handover removes the sender from the membership table, and
+// every receiver elects the next-smallest id in the same event.
+func (o *omegaID) HandleHandover(*wire.Handover) {}
+
+// HandoverGrant implements Algorithm: Ωid cannot express a rank transfer,
+// so it never grants one.
+func (o *omegaID) HandoverGrant() (int64, bool) { return 0, false }
+
 // HandleTrust implements Algorithm.
 func (o *omegaID) HandleTrust(p id.Process, incarnation int64) {
 	o.trusted[p] = incarnation

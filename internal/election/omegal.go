@@ -76,7 +76,12 @@ func (o *omegaL) HandleAlive(m *wire.Alive) {
 			return
 		}
 		cur.seq = m.Seq
-		cur.acc = maxInt64(cur.acc, m.AccTime)
+		// In-order self-reports are authoritative for the sender's own
+		// accusation time: plain assignment (not max-merge) lets a
+		// handover grant *lower* a competitor's rank for processes that
+		// missed the HANDOVER itself. The seq guard above already rejects
+		// the reordered heartbeats a max-merge protected against.
+		cur.acc = m.AccTime
 		if m.Phase > cur.phase {
 			cur.phase = m.Phase
 		}
@@ -96,6 +101,60 @@ func (o *omegaL) HandleAccuse(m *wire.Accuse) {
 	}
 	o.acc = maxInt64(o.acc, o.env.Now().UnixNano())
 	o.recompute()
+}
+
+// HandleHandover implements Algorithm: the sender — which must be our
+// current leader at the matching incarnation — steps down and grants its
+// successor the group-minimal accusation time. Standbys are silent in ΩL
+// (they dropped out of the competition), so receivers synthesize the
+// successor's competitor entry at the granted rank instead of waiting for
+// its first ALIVE: every process that applies the handover elects the
+// successor in the same event.
+func (o *omegaL) HandleHandover(m *wire.Handover) {
+	if m.Sender == o.env.Self() {
+		// Self-application by the departing leader: raise our own
+		// accusation time to the handover stamp, then fall through to the
+		// successor synthesis — the standby is silent, so without it the
+		// departing leader would keep electing itself as the only
+		// competitor it knows.
+		if m.Incarnation != o.env.Incarnation() {
+			return
+		}
+		o.acc = maxInt64(o.acc, m.At)
+	} else {
+		c, ok := o.comp[m.Sender]
+		if !ok || c.inc != m.Incarnation || !o.hasLeader || o.leader != m.Sender {
+			// Forged, stale or out-of-context handover: ignore it. A
+			// receiver that misses the handover still converges through the
+			// successor's own heartbeat stream (assignment merge above).
+			return
+		}
+		// The grantor is stepping down: drop it from the competition. If
+		// it stays in the group (deposition rather than leave), its next
+		// ALIVE re-enters it with its raised accusation time.
+		delete(o.comp, m.Sender)
+	}
+	if m.Successor == o.env.Self() {
+		if o.env.Incarnation() == m.SuccessorInc && m.GrantAcc < o.acc {
+			o.acc = m.GrantAcc
+		}
+	} else if cur, ok := o.comp[m.Successor]; !ok || cur.inc != m.SuccessorInc || m.GrantAcc < cur.acc {
+		// Seq 0 lets the successor's own heartbeat stream take over the
+		// entry immediately; its self-reported accusation time equals the
+		// grant once it applies the same handover.
+		o.comp[m.Successor] = lCompetitor{inc: m.SuccessorInc, acc: m.GrantAcc}
+	}
+	o.recompute()
+}
+
+// HandoverGrant implements Algorithm: while we lead, our accusation time is
+// the group minimum, so acc-1 is strictly better than every rank in the
+// group.
+func (o *omegaL) HandoverGrant() (int64, bool) {
+	if !o.hasLeader || o.leader != o.env.Self() {
+		return 0, false
+	}
+	return o.acc - 1, true
 }
 
 // HandleTrust implements Algorithm. Competitor state is established by the

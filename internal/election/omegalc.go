@@ -42,9 +42,13 @@ type omegaLC struct {
 	stopped   bool
 }
 
-// report is the local-leader vouch carried by a process's latest ALIVE.
+// report is the freshest ALIVE state heard from a process: the per-sender
+// seq tracking (one entry per sender regardless of whether it currently
+// vouches for a local leader) plus the local-leader vouch itself when has
+// is set.
 type report struct {
 	leader id.Process
+	has    bool
 	inc    int64 // sender incarnation the report came from
 	seq    uint64
 }
@@ -80,18 +84,73 @@ func (o *omegaLC) mergeAcc(p id.Process, acc int64) {
 
 // HandleAlive implements Algorithm.
 func (o *omegaLC) HandleAlive(m *wire.Alive) {
-	o.mergeAcc(m.Sender, m.AccTime)
 	cur, ok := o.reports[m.Sender]
 	fresh := !ok || cur.inc != m.Incarnation || m.Seq >= cur.seq
+	if fresh {
+		// In-order self-reports are authoritative for the sender's own
+		// accusation time: plain assignment (not max-merge) lets a
+		// handover grant *lower* the successor's rank for processes that
+		// missed the HANDOVER itself. Forwarded third-party accusation
+		// times below stay max-merged — they carry no seq stream.
+		o.knownAcc[m.Sender] = m.AccTime
+		rep := report{inc: m.Incarnation, seq: m.Seq}
+		if m.HasLocalLeader {
+			rep.leader, rep.has = m.LocalLeader, true
+		}
+		o.reports[m.Sender] = rep
+	} else {
+		o.mergeAcc(m.Sender, m.AccTime)
+	}
 	if m.HasLocalLeader {
 		o.mergeAcc(m.LocalLeader, m.LocalLeaderAcc)
-		if fresh {
-			o.reports[m.Sender] = report{leader: m.LocalLeader, inc: m.Incarnation, seq: m.Seq}
-		}
-	} else if fresh {
-		delete(o.reports, m.Sender)
 	}
 	o.recompute()
+}
+
+// HandleHandover implements Algorithm: the sender — our current leader at
+// the matching incarnation — steps down as of the handover stamp and grants
+// its successor the group-minimal accusation time.
+func (o *omegaLC) HandleHandover(m *wire.Handover) {
+	self := o.env.Self()
+	idx := o.members.index(o.env)
+	if m.Sender == self {
+		// Self-application by the departing leader: raise our own rank,
+		// then fall through to the successor grant so we elect the
+		// successor locally in the same event.
+		if m.Incarnation != o.env.Incarnation() {
+			return
+		}
+		o.acc = maxInt64(o.acc, m.At)
+		o.knownAcc[self] = o.acc
+	} else {
+		mem, ok := idx[m.Sender]
+		if !ok || mem.Incarnation != m.Incarnation || !o.hasLeader || o.leader != m.Sender {
+			return
+		}
+		// The grantor demoted itself as of the handover stamp; trust in it
+		// is untouched (it may stay in the group after a deposition) — the
+		// rank change alone moves leadership.
+		o.mergeAcc(m.Sender, m.At)
+	}
+	if sm, ok := idx[m.Successor]; ok && sm.Incarnation == m.SuccessorInc {
+		if cur, ok := o.knownAcc[m.Successor]; !ok || m.GrantAcc < cur {
+			o.knownAcc[m.Successor] = m.GrantAcc
+		}
+		if m.Successor == self && m.GrantAcc < o.acc {
+			o.acc = m.GrantAcc
+		}
+	}
+	o.recompute()
+}
+
+// HandoverGrant implements Algorithm: while we lead, our accusation time is
+// the group minimum, so acc-1 is strictly better than every rank in the
+// group.
+func (o *omegaLC) HandoverGrant() (int64, bool) {
+	if !o.hasLeader || o.leader != o.env.Self() {
+		return 0, false
+	}
+	return o.acc - 1, true
 }
 
 // HandleAccuse implements Algorithm: any accusation naming the current
@@ -219,6 +278,9 @@ func (o *omegaLC) recompute() {
 		consider(ll)
 	}
 	for q, rep := range o.reports {
+		if !rep.has {
+			continue
+		}
 		if inc, ok := o.trusted[q]; !ok || inc != rep.inc {
 			continue
 		}

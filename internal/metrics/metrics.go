@@ -18,6 +18,8 @@ package metrics
 
 import (
 	"fmt"
+	"math"
+	"sort"
 	"time"
 
 	"stableleader/id"
@@ -66,6 +68,20 @@ type Observer struct {
 	trSamples   stats.Welford
 	trAll       []time.Duration
 
+	// leaderless windows: every maximal interval without a common leader,
+	// whatever the cause (crash, graceful departure, demotion churn),
+	// clipped to the accounting window. The distribution separates planned
+	// handovers (near-zero windows) from reactive failovers (detection-time
+	// windows) in a way the Tr mean — crash recoveries only — cannot.
+	llOpen    bool
+	llStart   time.Time
+	llWindows []time.Duration
+
+	// dualTime integrates the time during which two or more up processes
+	// simultaneously considered themselves leader (at their current
+	// incarnations) — the split-brain exposure of the run.
+	dualTime time.Duration
+
 	// unjustified demotions (λu)
 	lastCommon        id.Process
 	lastCommonInc     int64
@@ -104,10 +120,28 @@ func (o *Observer) advance(t time.Time) {
 		if o.hasLeader {
 			o.leaderTime += d
 		}
+		// advance always runs before the event mutates state, so the
+		// current views describe the whole (start, t] interval.
+		if o.selfLeaders() >= 2 {
+			o.dualTime += d
+		}
 	}
 	if t.After(o.last) {
 		o.last = t
 	}
+}
+
+// selfLeaders counts up processes that currently consider themselves the
+// leader at their own running incarnation.
+func (o *Observer) selfLeaders() int {
+	n := 0
+	for p := range o.up {
+		v := o.views[p]
+		if v.ok && v.leader == p && v.inc == o.curInc[p] {
+			n++
+		}
+	}
+	return n
 }
 
 // NodeUp records that p's service instance started (or recovered) at t
@@ -186,7 +220,11 @@ func (o *Observer) LeaderView(t time.Time, p id.Process, leader id.Process, lead
 func (o *Observer) refresh(t time.Time, countChange bool) {
 	had, prev, prevInc := o.hasLeader, o.leader, o.leaderInc
 	o.hasLeader, o.leader, o.leaderInc = o.evaluate()
+	if had && !o.hasLeader {
+		o.llOpen, o.llStart = true, t
+	}
 	if !had && o.hasLeader {
+		o.closeLeaderlessWindow(t)
 		o.established(t)
 	}
 	if countChange && had && o.hasLeader && (prev != o.leader || prevInc != o.leaderInc) {
@@ -225,6 +263,25 @@ func (o *Observer) evaluate() (bool, id.Process, int64) {
 		return false, "", 0
 	}
 	return true, leader, leaderInc
+}
+
+// closeLeaderlessWindow records the leaderless interval ending at t,
+// clipped to the accounting window.
+func (o *Observer) closeLeaderlessWindow(t time.Time) {
+	if !o.llOpen {
+		return
+	}
+	o.llOpen = false
+	if t.Before(o.from) {
+		return
+	}
+	start := o.llStart
+	if start.Before(o.from) {
+		start = o.from
+	}
+	if d := t.Sub(start); d > 0 {
+		o.llWindows = append(o.llWindows, d)
+	}
 }
 
 // established handles the moment a common alive leader exists (again).
@@ -278,18 +335,53 @@ type Report struct {
 	Demotions       int64
 	// LeaderChanges counts all common-leader successions (justified or not).
 	LeaderChanges int64
+	// Leaderless holds every leaderless-window sample — each maximal
+	// interval without a common leader, whatever the cause — and
+	// LeaderlessP50/LeaderlessP99 its percentiles (zero with no samples).
+	Leaderless    []time.Duration
+	LeaderlessP50 time.Duration
+	LeaderlessP99 time.Duration
+	// DualLeaderTime is the integrated time during which two or more up
+	// processes considered themselves leader simultaneously — the run's
+	// split-brain exposure. Zero in every correct execution that keeps
+	// agreement; the partition/skew scenarios assert on it.
+	DualLeaderTime time.Duration
+}
+
+// percentile returns the q-quantile (0 < q ≤ 1) of sorted samples.
+func percentile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
 }
 
 // Finish closes the observation window at end and returns the report.
 func (o *Observer) Finish(end time.Time) Report {
 	o.advance(end)
+	o.closeLeaderlessWindow(end)
 	r := Report{
-		Group:         o.group,
-		Duration:      o.total,
-		TrSamples:     o.trSamples.N(),
-		Tr:            append([]time.Duration(nil), o.trAll...),
-		Demotions:     o.demotions,
-		LeaderChanges: o.leaderChanges,
+		Group:          o.group,
+		Duration:       o.total,
+		TrSamples:      o.trSamples.N(),
+		Tr:             append([]time.Duration(nil), o.trAll...),
+		Demotions:      o.demotions,
+		LeaderChanges:  o.leaderChanges,
+		Leaderless:     append([]time.Duration(nil), o.llWindows...),
+		DualLeaderTime: o.dualTime,
+	}
+	if len(r.Leaderless) > 0 {
+		sorted := append([]time.Duration(nil), r.Leaderless...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		r.LeaderlessP50 = percentile(sorted, 0.50)
+		r.LeaderlessP99 = percentile(sorted, 0.99)
 	}
 	if o.total > 0 {
 		r.Pleader = float64(o.leaderTime) / float64(o.total)

@@ -72,3 +72,28 @@ func ScheduleAllLinkFaults(eng *Engine, net *Network, procs []id.Process, plan F
 		}
 	}
 }
+
+// SetPartition crashes (down=true) or heals (down=false) every directed
+// link between the two sides, in both directions: a network partition.
+// Links within a side are untouched.
+func SetPartition(net *Network, sideA, sideB []id.Process, down bool) {
+	for _, a := range sideA {
+		for _, b := range sideB {
+			if a == b {
+				continue
+			}
+			net.SetLinkDown(a, b, down)
+			net.SetLinkDown(b, a, down)
+		}
+	}
+}
+
+// SchedulePartition partitions the two sides at a given virtual time and
+// heals them at a later one. healAt of zero (or ≤ at) leaves the partition
+// permanent.
+func SchedulePartition(eng *Engine, net *Network, sideA, sideB []id.Process, at, healAt time.Duration) {
+	eng.After(at, func() { SetPartition(net, sideA, sideB, true) })
+	if healAt > at {
+		eng.After(healAt, func() { SetPartition(net, sideA, sideB, false) })
+	}
+}

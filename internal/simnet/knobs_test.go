@@ -1,0 +1,130 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+
+	"stableleader/id"
+)
+
+// TestDupKnobDuplicates: with Dup = 1 every datagram arrives exactly twice,
+// each copy with its own delay draw.
+func TestDupKnobDuplicates(t *testing.T) {
+	eng, net, c := newPair(t, LinkModel{MeanDelay: time.Millisecond, Dup: 1})
+	const n = 100
+	for i := 0; i < n; i++ {
+		net.Send("a", "b", testMsg("a"))
+	}
+	eng.RunFor(time.Minute)
+	if len(c.msgs) != 2*n {
+		t.Fatalf("delivered %d messages, want %d (every datagram duplicated)", len(c.msgs), 2*n)
+	}
+}
+
+// TestReorderKnobReorders: a datagram held back by the reorder knob is
+// overtaken by one sent after it.
+func TestReorderKnobReorders(t *testing.T) {
+	eng, net, c := newPair(t, LinkModel{
+		MeanDelay: time.Microsecond, Reorder: 1, ReorderDelay: time.Second,
+	})
+	first := testMsg("a")
+	net.Send("a", "b", first)
+	// Second datagram goes over a clean link model: no hold-back.
+	net.SetLinkModel("a", "b", LinkModel{MeanDelay: time.Microsecond})
+	second := testMsg("a")
+	net.Send("a", "b", second)
+	eng.RunFor(time.Minute)
+	if len(c.msgs) != 2 {
+		t.Fatalf("delivered %d messages, want 2", len(c.msgs))
+	}
+	if c.msgs[0] != second || c.msgs[1] != first {
+		t.Fatalf("delivery order not reordered: got [%v %v]", c.msgs[0], c.msgs[1])
+	}
+}
+
+// TestZeroKnobsDrawIdentical: with Dup and Reorder zero the injector draws
+// exactly the random stream the pre-knob implementation drew — a nonzero
+// ReorderDelay alone must change nothing — so existing seeded scenarios
+// replay identically.
+func TestZeroKnobsDrawIdentical(t *testing.T) {
+	run := func(model LinkModel) []time.Duration {
+		eng := NewEngine(7)
+		net := NewNetwork(eng, model)
+		net.Attach("a")
+		net.Attach("b")
+		c := &collector{eng: eng}
+		net.SetUp("a", true, nil)
+		net.SetUp("b", true, c)
+		for i := 0; i < 500; i++ {
+			net.Send("a", "b", testMsg("a"))
+		}
+		eng.RunFor(time.Minute)
+		return c.at
+	}
+	base := run(LinkModel{Loss: 0.3, MeanDelay: time.Millisecond})
+	knobbed := run(LinkModel{
+		Loss: 0.3, MeanDelay: time.Millisecond,
+		Dup: 0, Reorder: 0, ReorderDelay: 5 * time.Second,
+	})
+	if len(base) != len(knobbed) {
+		t.Fatalf("delivery counts differ: %d vs %d", len(base), len(knobbed))
+	}
+	for i := range base {
+		if base[i] != knobbed[i] {
+			t.Fatalf("delivery %d at %v with zero knobs, %v without", i, knobbed[i], base[i])
+		}
+	}
+}
+
+// TestSetPartition: cross-side links drop both ways while partitioned,
+// same-side links keep working, and healing restores delivery.
+func TestSetPartition(t *testing.T) {
+	eng := NewEngine(1)
+	net := NewNetwork(eng, LAN())
+	recv := make(map[id.Process]*collector)
+	for _, p := range []id.Process{"a", "b", "c", "d"} {
+		net.Attach(p)
+		c := &collector{eng: eng}
+		recv[p] = c
+		net.SetUp(p, true, c)
+	}
+	sideA := []id.Process{"a", "b"}
+	sideB := []id.Process{"c", "d"}
+	SetPartition(net, sideA, sideB, true)
+	net.Send("a", "c", testMsg("a")) // cross-side: dropped
+	net.Send("c", "a", testMsg("c")) // cross-side: dropped
+	net.Send("a", "b", testMsg("a")) // same-side: delivered
+	eng.RunFor(time.Second)
+	if len(recv["c"].msgs) != 0 || len(recv["a"].msgs) != 0 {
+		t.Fatalf("partitioned links delivered: c got %d, a got %d", len(recv["c"].msgs), len(recv["a"].msgs))
+	}
+	if len(recv["b"].msgs) != 1 {
+		t.Fatalf("same-side link delivered %d, want 1", len(recv["b"].msgs))
+	}
+	SetPartition(net, sideA, sideB, false)
+	net.Send("a", "c", testMsg("a"))
+	eng.RunFor(time.Second)
+	if len(recv["c"].msgs) != 1 {
+		t.Fatalf("healed link delivered %d, want 1", len(recv["c"].msgs))
+	}
+}
+
+// TestClockSkewShiftsTimestampsNotTimers: a skewed node reports shifted
+// wall time but its timers still fire on engine time.
+func TestClockSkewShiftsTimestampsNotTimers(t *testing.T) {
+	eng := NewEngine(1)
+	net := NewNetwork(eng, LAN())
+	net.Attach("a")
+	net.SetUp("a", true, nil)
+	rt := NewNodeRuntime(net, "a")
+	rt.SetSkew(2 * time.Second)
+	if got, want := rt.Now(), eng.Now().Add(2*time.Second); !got.Equal(want) {
+		t.Fatalf("skewed Now = %v, want %v", got, want)
+	}
+	var firedAt time.Duration
+	rt.AfterFunc(100*time.Millisecond, func() { firedAt = time.Duration(eng.NowNanos()) })
+	eng.RunFor(time.Second)
+	if firedAt != 100*time.Millisecond {
+		t.Fatalf("timer fired at engine time %v, want 100ms (skew must not move timers)", firedAt)
+	}
+}

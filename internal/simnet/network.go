@@ -19,12 +19,27 @@ type Handler interface {
 
 // LinkModel describes a directed communication link the way the paper's
 // injector does: an independent drop probability per message, and an
-// exponentially distributed delay for messages that are not dropped.
+// exponentially distributed delay for messages that are not dropped. The
+// Dup and Reorder knobs extend the injector beyond the paper's testbed;
+// both are gated on being nonzero, so every zero-knob scenario draws
+// exactly the random stream it always did and replays byte-identically.
 type LinkModel struct {
 	// Loss is the iid probability that a message is dropped.
 	Loss float64
 	// MeanDelay is the mean of the exponential delay distribution.
 	MeanDelay time.Duration
+	// Dup is the iid probability that a delivered datagram is delivered a
+	// second time. The copy draws its own independent delay, so it can
+	// arrive before the original — duplication doubles as reordering, as
+	// on a real multipathed network.
+	Dup float64
+	// Reorder is the iid probability that a datagram is held back an extra
+	// ReorderDelay before delivery, letting datagrams sent after it
+	// overtake it.
+	Reorder float64
+	// ReorderDelay is the hold-back for reordered datagrams; when zero,
+	// 4×MeanDelay is used.
+	ReorderDelay time.Duration
 }
 
 // LAN is the behaviour the paper measured on its real gigabit LAN:
@@ -191,6 +206,22 @@ func (n *Network) Send(from, to id.Process, m wire.Message) {
 		return
 	}
 	delay := time.Duration(stats.Exp(n.eng.Rand(), float64(l.model.MeanDelay)))
+	if l.model.Reorder > 0 && n.eng.Rand().Float64() < l.model.Reorder {
+		hold := l.model.ReorderDelay
+		if hold <= 0 {
+			hold = 4 * l.model.MeanDelay
+		}
+		delay += hold
+	}
+	n.deliver(to, m, msgs, size, delay)
+	if l.model.Dup > 0 && n.eng.Rand().Float64() < l.model.Dup {
+		n.deliver(to, m, msgs, size,
+			time.Duration(stats.Exp(n.eng.Rand(), float64(l.model.MeanDelay))))
+	}
+}
+
+// deliver schedules one copy of a datagram for arrival after delay.
+func (n *Network) deliver(to id.Process, m wire.Message, msgs, size int64, delay time.Duration) {
 	n.eng.After(delay, func() {
 		dst := n.endpoints[to]
 		if dst == nil || !dst.up || dst.handler == nil {
@@ -211,6 +242,7 @@ type NodeRuntime struct {
 	net  *Network
 	self id.Process
 	rng  *rand.Rand
+	skew time.Duration
 	dead bool
 }
 
@@ -225,8 +257,15 @@ func NewNodeRuntime(net *Network, self id.Process) *NodeRuntime {
 	}
 }
 
-// Now implements clock.Clock.
-func (r *NodeRuntime) Now() time.Time { return r.net.eng.Now() }
+// Now implements clock.Clock, offset by the node's clock skew.
+func (r *NodeRuntime) Now() time.Time { return r.net.eng.Now().Add(r.skew) }
+
+// SetSkew offsets this node's clock by d relative to virtual time: its
+// timestamps (accusation times, heartbeat send times) all shift by d while
+// timer durations stay exact — the way a skewed-but-stable workstation
+// clock behaves. Skew only changes what the node *reports*, never when
+// events run, so skewed runs stay deterministic.
+func (r *NodeRuntime) SetSkew(d time.Duration) { r.skew = d }
 
 // AfterFunc implements clock.Clock. Callbacks are suppressed once the
 // runtime is shut down or the endpoint is down (the process crashed).

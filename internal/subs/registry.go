@@ -61,6 +61,11 @@ type View struct {
 	Incarnation int64
 	Elected     bool
 	At          time.Time
+	// Successor, when set, names the member a departing leader handed the
+	// group to (the warm standby). Tombstone publications carry it so
+	// clients re-pin to the successor immediately instead of probing.
+	Successor    id.Process
+	SuccessorInc int64
 }
 
 // Config parameterises a Registry.
@@ -369,9 +374,34 @@ func (r *Registry) PublishTombstone(g id.Group, v View) {
 	r.clientScratch = id.AppendSortedMapKeys(r.clientScratch[:0], gp.subs)
 	for _, c := range r.clientScratch {
 		l := gp.subs[c]
+		if v.Successor != "" {
+			r.sendSuccessorHint(l, v)
+		}
 		r.sendTombstone(c, g, v, true)
 		r.dropLease(l)
 	}
+}
+
+// sendSuccessorHint emits the where-to-next half of a goodbye: the member
+// the departing leader handed the group to. It stages on the coalescing
+// path so the urgent tombstone that follows flushes both in one datagram,
+// hint first — a client that receives the pair fails over to the successor
+// with no stale window, and one that sees only a lone or reordered
+// tombstone (the hint's lower sequence is then rejected) degrades to the
+// plain probing failover.
+func (r *Registry) sendSuccessorHint(l *lease, v View) {
+	gp := r.groups[l.group]
+	gp.seq++
+	r.cfg.Send(l.sub.client, &wire.SuccessorHint{
+		Group:        l.group,
+		Sender:       r.cfg.Self,
+		Incarnation:  r.cfg.Incarnation,
+		Seq:          gp.seq,
+		Successor:    v.Successor,
+		SuccessorInc: v.SuccessorInc,
+		At:           viewAt(v),
+		Lease:        int64(l.ttl),
+	}, false)
 }
 
 // Stop halts the registry's timers without announcing anything (crash

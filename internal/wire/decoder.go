@@ -23,6 +23,9 @@ type Decoder struct {
 	unsubs     []*Unsubscribe
 	snapshots  []*LeaderSnapshot
 	renews     []*LeaseRenew
+	standbys   []*Standby
+	handovers  []*Handover
+	hints      []*SuccessorHint
 	batches    []*Batch
 
 	// unknown accumulates inner batch messages skipped for carrying an
@@ -154,6 +157,21 @@ func (d *Decoder) Release(m Message) {
 		if len(d.renews) < maxFree {
 			d.renews = append(d.renews, t)
 		}
+	case *Standby:
+		*t = Standby{}
+		if len(d.standbys) < maxFree {
+			d.standbys = append(d.standbys, t)
+		}
+	case *Handover:
+		*t = Handover{}
+		if len(d.handovers) < maxFree {
+			d.handovers = append(d.handovers, t)
+		}
+	case *SuccessorHint:
+		*t = SuccessorHint{}
+		if len(d.hints) < maxFree {
+			d.hints = append(d.hints, t)
+		}
 	case *Batch:
 		for _, inner := range t.Msgs {
 			d.Release(inner)
@@ -257,4 +275,31 @@ func (d *Decoder) getLeaseRenew() *LeaseRenew {
 		return t
 	}
 	return &LeaseRenew{}
+}
+
+func (d *Decoder) getStandby() *Standby {
+	if n := len(d.standbys); n > 0 {
+		t := d.standbys[n-1]
+		d.standbys = d.standbys[:n-1]
+		return t
+	}
+	return &Standby{}
+}
+
+func (d *Decoder) getHandover() *Handover {
+	if n := len(d.handovers); n > 0 {
+		t := d.handovers[n-1]
+		d.handovers = d.handovers[:n-1]
+		return t
+	}
+	return &Handover{}
+}
+
+func (d *Decoder) getSuccessorHint() *SuccessorHint {
+	if n := len(d.hints); n > 0 {
+		t := d.hints[n-1]
+		d.hints = d.hints[:n-1]
+		return t
+	}
+	return &SuccessorHint{}
 }

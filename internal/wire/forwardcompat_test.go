@@ -1,6 +1,7 @@
 package wire
 
 import (
+	"encoding/binary"
 	"errors"
 	"reflect"
 	"testing"
@@ -118,6 +119,94 @@ func TestBatchTruncatedUnknownStillErrors(t *testing.T) {
 	w.b = append(w.b, 1, 2, 3) // ...delivers 4
 	if _, err := Unmarshal(w.b); err == nil {
 		t.Fatal("truncated unknown inner message decoded without error")
+	}
+}
+
+// TestPrePR8PeersSkipStandbyKinds is the regression test for the warm-
+// standby wire kinds: a peer built before STANDBY/HANDOVER/SUCCESSOR_HINT
+// existed must skip them inside a batch (counting them as unknown) while
+// still decoding the heartbeats they ride with. A pre-PR decoder's skip
+// path reads ONLY the inner length prefix — never the body — so patching
+// each new kind byte to one this build does not know reproduces the old
+// peer's behaviour exactly on today's decoder.
+func TestPrePR8PeersSkipStandbyKinds(t *testing.T) {
+	alive := &Alive{Group: "g", Sender: "w01", Incarnation: 1, Seq: 9, AccTime: 7}
+	snap := &LeaderSnapshot{Group: "g", Sender: "w01", Incarnation: 1, Seq: 10, Tombstone: true}
+	newKinds := []Message{
+		&Standby{Group: "g", Sender: "w01", Incarnation: 1, Seq: 3, Standby: "w02", StandbyInc: 5},
+		&Handover{Group: "g", Sender: "w01", Incarnation: 1, Successor: "w02",
+			SuccessorInc: 5, GrantAcc: 6, At: 100},
+		&SuccessorHint{Group: "g", Sender: "w01", Incarnation: 1, Seq: 11,
+			Successor: "w02", SuccessorInc: 5, At: 100, Lease: int64(10e9)},
+	}
+	b := &Batch{Msgs: []Message{alive, newKinds[0], newKinds[1], newKinds[2], snap}}
+	raw := Marshal(b)
+
+	// Sanity: this build decodes all five.
+	all, err := UnmarshalBatch(raw)
+	if err != nil {
+		t.Fatalf("full decode: %v", err)
+	}
+	if len(all) != 5 {
+		t.Fatalf("full decode yielded %d messages, want 5", len(all))
+	}
+
+	// Walk the envelope item by item (uvarint length, then kind byte) and
+	// patch each standby-plane kind byte to a kind NO build knows — those
+	// are exactly the bytes a pre-PR skip path dispatches on.
+	patched := append([]byte(nil), raw...)
+	off := 2 // batch kind byte + version byte
+	count, n := binary.Uvarint(patched[off:])
+	if n <= 0 {
+		t.Fatal("malformed batch count")
+	}
+	off += n
+	swapped := 0
+	for i := uint64(0); i < count; i++ {
+		length, n := binary.Uvarint(patched[off:])
+		if n <= 0 {
+			t.Fatalf("malformed item length at offset %d", off)
+		}
+		off += n
+		switch Kind(patched[off]) {
+		case KindStandby, KindHandover, KindSuccessorHint:
+			patched[off] = byte(futureKind)
+			swapped++
+		}
+		off += int(length)
+	}
+	if swapped != 3 {
+		t.Fatalf("patched %d inner kind bytes, want 3", swapped)
+	}
+
+	dec := NewDecoder()
+	got, err := dec.DecodeAppend(nil, patched)
+	if err != nil {
+		t.Fatalf("pre-PR-peer decode: %v", err)
+	}
+	want := []Message{alive, snap}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("pre-PR peer decoded %+v, want just the heartbeat and snapshot %+v", got, want)
+	}
+	if u := dec.TakeUnknown(); u != 3 {
+		t.Fatalf("TakeUnknown() = %d, want 3 (the skipped standby-plane messages)", u)
+	}
+	for _, m := range got {
+		dec.Release(m)
+	}
+}
+
+// TestStandbyPlaneKindStrings pins the wire names of the standby plane.
+func TestStandbyPlaneKindStrings(t *testing.T) {
+	names := map[Kind]string{
+		KindStandby:       "STANDBY",
+		KindHandover:      "HANDOVER",
+		KindSuccessorHint: "SUCCESSOR_HINT",
+	}
+	for k, want := range names {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
 	}
 }
 

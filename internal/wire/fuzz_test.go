@@ -32,6 +32,20 @@ func FuzzUnmarshal(f *testing.F) {
 		&LeaseRenew{Group: "g3", Sender: "c1", Incarnation: 2, TTL: int64(10e9)},
 		&Unsubscribe{Group: "g4", Sender: "c1", Incarnation: 2},
 	}}))
+	// Warm-standby plane: a heartbeat batch carrying the piggybacked
+	// STANDBY nomination, a planned-handover batch, and the client-plane
+	// hint-before-tombstone goodbye pair.
+	f.Add(Marshal(&Batch{Msgs: []Message{
+		&Alive{Group: "g", Sender: "w01", Incarnation: 1, Seq: 12, AccTime: 7},
+		&Standby{Group: "g", Sender: "w01", Incarnation: 1, Seq: 3, Standby: "w02", StandbyInc: 5},
+	}}))
+	f.Add(Marshal(&Handover{Group: "g", Sender: "w01", Incarnation: 1,
+		Successor: "w02", SuccessorInc: 5, GrantAcc: 6, At: 100}))
+	f.Add(Marshal(&Batch{Msgs: []Message{
+		&SuccessorHint{Group: "g", Sender: "w01", Incarnation: 1, Seq: 8,
+			Successor: "w02", SuccessorInc: 5, At: 100, Lease: int64(10e9)},
+		&LeaderSnapshot{Group: "g", Sender: "w01", Incarnation: 1, Seq: 9, Tombstone: true},
+	}}))
 	f.Add(appendFutureItem(appendFutureItem([]byte{byte(KindBatch), BatchVersion, 2},
 		[]byte{0xde, 0xad}), nil))
 	f.Add([]byte{byte(KindBatch), BatchVersion, 1, 3, byte(futureKind), 0xff})

@@ -40,10 +40,23 @@
 //	LEASE_RENEW      a client extends its lease without provoking an
 //	                 immediate snapshot
 //
+// Three further kinds implement warm-standby leadership and planned
+// handover (the proactive-failover plane):
+//
+//	STANDBY         the leader's piggybacked nomination of its warm
+//	                standby, riding the coalesced heartbeat stream
+//	HANDOVER        the departing (or deposed) leader's urgent grant of
+//	                leadership to the standby, so the group re-elects
+//	                instantly instead of waiting out failure detection
+//	SUCCESSOR_HINT  the client-plane companion: sent just before a
+//	                tombstone so subscribed clients re-pin to the
+//	                successor without a stale window
+//
 // Inside a Batch envelope, message kinds this build does not know are
 // skipped (and counted), not treated as corruption: the length prefix makes
 // every inner message self-delimiting, so a newer peer can speak a newer
 // kind to an older one without poisoning the datagram's remaining traffic.
+// Pre-standby peers skip all three kinds above this way.
 //
 // Two codec surfaces exist: the convenient allocating one (Marshal,
 // Unmarshal, UnmarshalBatch) and the alloc-free one for hot paths
@@ -75,6 +88,9 @@ const (
 	KindUnsubscribe
 	KindLeaderSnapshot
 	KindLeaseRenew
+	KindStandby
+	KindHandover
+	KindSuccessorHint
 )
 
 // knownKind reports whether k names a message this build can decode (the
@@ -82,7 +98,7 @@ const (
 // batch are skipped, not errors — forward compatibility for mixed-version
 // deployments.
 func knownKind(k Kind) bool {
-	return k >= KindHello && k <= KindLeaseRenew && k != KindBatch
+	return k >= KindHello && k <= KindSuccessorHint && k != KindBatch
 }
 
 // String returns the conventional upper-case name of the kind.
@@ -110,6 +126,12 @@ func (k Kind) String() string {
 		return "LEADER_SNAPSHOT"
 	case KindLeaseRenew:
 		return "LEASE_RENEW"
+	case KindStandby:
+		return "STANDBY"
+	case KindHandover:
+		return "HANDOVER"
+	case KindSuccessorHint:
+		return "SUCCESSOR_HINT"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}
@@ -294,6 +316,62 @@ type LeaseRenew struct {
 	TTL         int64
 }
 
+// Standby is the leader's nomination of a warm standby for Group: the
+// member it considers the best-placed successor should it depart. It rides
+// the coalescing envelope alongside the leader's heartbeats (zero extra
+// steady-state datagrams) and is re-announced on change and to newcomers.
+// Followers track the nomination but act on it only through a HANDOVER —
+// a stale or spoofed nomination cannot move leadership by itself.
+type Standby struct {
+	Group       id.Group
+	Sender      id.Process // the nominating leader
+	Incarnation int64
+	// Seq orders nominations per (sender incarnation, group): a reordered
+	// datagram carrying an older nomination must not overwrite a newer one.
+	Seq uint64
+	// Standby names the nominated member (empty withdraws the nomination);
+	// StandbyInc is the nominee's incarnation.
+	Standby    id.Process
+	StandbyInc int64
+}
+
+// Handover is the planned-handover grant: the departing (graceful leave,
+// shutdown) or deposed leader urgently transfers leadership to Successor.
+// GrantAcc is the accusation time granted to the successor — strictly
+// smaller than every live member's, so the successor wins the (accusation
+// time, id) order immediately under Omega-l/Omega-lc. Receivers honour a
+// HANDOVER only from their current leader at a matching incarnation: a
+// duplicated, reordered or forged grant cannot move leadership.
+type Handover struct {
+	Group        id.Group
+	Sender       id.Process // the granting leader
+	Incarnation  int64
+	Successor    id.Process
+	SuccessorInc int64
+	GrantAcc     int64
+	// At is the grantor's clock (ns) when the handover was decided.
+	At int64
+}
+
+// SuccessorHint is the client-plane half of a planned handover: sent to
+// each subscriber immediately before the tombstone snapshot, it names the
+// member about to assume leadership so clients re-pin to it without a
+// stale window. Seq shares the LeaderSnapshot stream's ordering; Lease
+// bounds how long the hinted view may be served before the successor's own
+// snapshot must take over.
+type SuccessorHint struct {
+	Group        id.Group
+	Sender       id.Process // the service node saying goodbye
+	Incarnation  int64
+	Seq          uint64
+	Successor    id.Process
+	SuccessorInc int64
+	// At is the service node's clock (ns) when the handover was decided.
+	At int64
+	// Lease is how long (ns) the hinted view may be served as fresh.
+	Lease int64
+}
+
 // BatchVersion is the envelope version emitted by this build. Decoders
 // reject datagrams with a higher version rather than misparse them.
 const BatchVersion = 1
@@ -323,6 +401,9 @@ var (
 	_ Message = (*Unsubscribe)(nil)
 	_ Message = (*LeaderSnapshot)(nil)
 	_ Message = (*LeaseRenew)(nil)
+	_ Message = (*Standby)(nil)
+	_ Message = (*Handover)(nil)
+	_ Message = (*SuccessorHint)(nil)
 )
 
 // Kind implements Message.
@@ -358,6 +439,15 @@ func (*LeaderSnapshot) Kind() Kind { return KindLeaderSnapshot }
 // Kind implements Message.
 func (*LeaseRenew) Kind() Kind { return KindLeaseRenew }
 
+// Kind implements Message.
+func (*Standby) Kind() Kind { return KindStandby }
+
+// Kind implements Message.
+func (*Handover) Kind() Kind { return KindHandover }
+
+// Kind implements Message.
+func (*SuccessorHint) Kind() Kind { return KindSuccessorHint }
+
 // From implements Message.
 func (m *Hello) From() id.Process { return m.Sender }
 
@@ -387,6 +477,15 @@ func (m *LeaderSnapshot) From() id.Process { return m.Sender }
 
 // From implements Message.
 func (m *LeaseRenew) From() id.Process { return m.Sender }
+
+// From implements Message.
+func (m *Standby) From() id.Process { return m.Sender }
+
+// From implements Message.
+func (m *Handover) From() id.Process { return m.Sender }
+
+// From implements Message.
+func (m *SuccessorHint) From() id.Process { return m.Sender }
 
 // From implements Message: the first inner message's sender.
 func (m *Batch) From() id.Process {
@@ -425,6 +524,15 @@ func (m *LeaderSnapshot) GroupID() id.Group { return m.Group }
 
 // GroupID implements Message.
 func (m *LeaseRenew) GroupID() id.Group { return m.Group }
+
+// GroupID implements Message.
+func (m *Standby) GroupID() id.Group { return m.Group }
+
+// GroupID implements Message.
+func (m *Handover) GroupID() id.Group { return m.Group }
+
+// GroupID implements Message.
+func (m *SuccessorHint) GroupID() id.Group { return m.Group }
 
 // GroupID implements Message: the first inner message's group. A batch may
 // span groups; dispatch reads each inner message's own header.
@@ -497,6 +605,23 @@ func (m *LeaderSnapshot) WireSize() int {
 
 // WireSize implements Message.
 func (m *LeaseRenew) WireSize() int { return headerSize(m.Group, m.Sender) + 8 }
+
+// WireSize implements Message.
+func (m *Standby) WireSize() int {
+	return headerSize(m.Group, m.Sender) + uvarintLen(m.Seq) +
+		strSize(string(m.Standby)) + 8
+}
+
+// WireSize implements Message.
+func (m *Handover) WireSize() int {
+	return headerSize(m.Group, m.Sender) + strSize(string(m.Successor)) + 8 + 8 + 8
+}
+
+// WireSize implements Message.
+func (m *SuccessorHint) WireSize() int {
+	return headerSize(m.Group, m.Sender) + uvarintLen(m.Seq) +
+		strSize(string(m.Successor)) + 8 + 8 + 8
+}
 
 // WireSize implements Message.
 func (m *Batch) WireSize() int {
@@ -714,6 +839,24 @@ func MarshalAppend(dst []byte, m Message) []byte {
 	case *LeaseRenew:
 		w.i64(t.Incarnation)
 		w.i64(t.TTL)
+	case *Standby:
+		w.i64(t.Incarnation)
+		w.uvarint(t.Seq)
+		w.str(string(t.Standby))
+		w.i64(t.StandbyInc)
+	case *Handover:
+		w.i64(t.Incarnation)
+		w.str(string(t.Successor))
+		w.i64(t.SuccessorInc)
+		w.i64(t.GrantAcc)
+		w.i64(t.At)
+	case *SuccessorHint:
+		w.i64(t.Incarnation)
+		w.uvarint(t.Seq)
+		w.str(string(t.Successor))
+		w.i64(t.SuccessorInc)
+		w.i64(t.At)
+		w.i64(t.Lease)
 	default:
 		panic(fmt.Sprintf("wire: Marshal of unknown type %T", m))
 	}
@@ -906,6 +1049,30 @@ func unmarshalOne(r *reader) (Message, error) {
 		t := r.newLeaseRenew()
 		t.Group, t.Sender, t.Incarnation, t.TTL = group, sender, r.i64(), r.i64()
 		m = t
+	case KindStandby:
+		t := r.newStandby()
+		t.Group, t.Sender, t.Incarnation = group, sender, r.i64()
+		t.Seq = r.uvarint()
+		t.Standby = id.Process(r.str())
+		t.StandbyInc = r.i64()
+		m = t
+	case KindHandover:
+		t := r.newHandover()
+		t.Group, t.Sender, t.Incarnation = group, sender, r.i64()
+		t.Successor = id.Process(r.str())
+		t.SuccessorInc = r.i64()
+		t.GrantAcc = r.i64()
+		t.At = r.i64()
+		m = t
+	case KindSuccessorHint:
+		t := r.newSuccessorHint()
+		t.Group, t.Sender, t.Incarnation = group, sender, r.i64()
+		t.Seq = r.uvarint()
+		t.Successor = id.Process(r.str())
+		t.SuccessorInc = r.i64()
+		t.At = r.i64()
+		t.Lease = r.i64()
+		m = t
 	default:
 		if r.err != nil {
 			return nil, r.err
@@ -988,6 +1155,27 @@ func (r *reader) newLeaseRenew() *LeaseRenew {
 		return r.d.getLeaseRenew()
 	}
 	return &LeaseRenew{}
+}
+
+func (r *reader) newStandby() *Standby {
+	if r.d != nil {
+		return r.d.getStandby()
+	}
+	return &Standby{}
+}
+
+func (r *reader) newHandover() *Handover {
+	if r.d != nil {
+		return r.d.getHandover()
+	}
+	return &Handover{}
+}
+
+func (r *reader) newSuccessorHint() *SuccessorHint {
+	if r.d != nil {
+		return r.d.getSuccessorHint()
+	}
+	return &SuccessorHint{}
 }
 
 func (r *reader) newBatch(capacity int) *Batch {

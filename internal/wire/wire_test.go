@@ -42,6 +42,12 @@ func sampleMessages() []Message {
 		},
 		&LeaderSnapshot{Group: "g", Sender: "w01", Incarnation: 9, Seq: 3, Tombstone: true},
 		&LeaseRenew{Group: "g", Sender: "client-7", Incarnation: 42, TTL: int64(5e9)},
+		&Standby{Group: "g", Sender: "w01", Incarnation: 9, Seq: 17, Standby: "w03", StandbyInc: 77},
+		&Standby{Group: "g", Sender: "w01", Incarnation: 9, Seq: 18},
+		&Handover{Group: "g", Sender: "w01", Incarnation: 9, Successor: "w03",
+			SuccessorInc: 77, GrantAcc: 1709999999999999999, At: 1710000000000000000},
+		&SuccessorHint{Group: "g", Sender: "w01", Incarnation: 9, Seq: 1 << 21,
+			Successor: "w03", SuccessorInc: 77, At: 1710000000000000000, Lease: int64(10e9)},
 	}
 }
 

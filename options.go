@@ -109,6 +109,7 @@ type joinConfig struct {
 	helloInterval       time.Duration
 	gossipFanout        int
 	reconfigureInterval time.Duration
+	disableHandover     bool
 }
 
 // defaultJoinConfig is the paper's setting: a passive observer running
@@ -208,6 +209,18 @@ func WithReconfigureInterval(d time.Duration) JoinOption {
 	}
 }
 
+// WithoutHandover disables the warm-standby plane for this membership: no
+// standby is nominated or adopted, and graceful departures fail the group
+// over reactively (peers wait out failure detection; clients wait out
+// their leases). Exists for experiments measuring what planned handover
+// buys; production memberships should not use it.
+func WithoutHandover() JoinOption {
+	return func(c *joinConfig) error {
+		c.disableHandover = true
+		return nil
+	}
+}
+
 // queryConfig is the result of applying QueryOptions.
 type queryConfig struct {
 	sync bool
@@ -275,7 +288,7 @@ func WithEventFilter(kinds ...EventKind) WatchOption {
 		// rather than degrading to the match-all zero mask.
 		c.mask |= 1
 		for _, k := range kinds {
-			if k >= KindLeaderChanged && k <= KindQoSReconfigured {
+			if k >= KindLeaderChanged && k <= KindStandbyChanged {
 				c.mask |= 1 << uint(k)
 			}
 		}

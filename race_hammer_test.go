@@ -141,6 +141,155 @@ func TestReadPlaneRaceHammer(t *testing.T) {
 	}
 }
 
+// TestHandoverRaceHammer puts the planned-handover plane in front of the
+// race detector: concurrent Depose calls bounce leadership between two
+// multi-shard services while readers pound the Standby/Leader fast paths
+// and watch streams, and a third member cycles through graceful leaves
+// (handover + tombstone fan-out) and crashes. Assertions are light; the
+// job is racing the handover writers against every read surface at once.
+func TestHandoverRaceHammer(t *testing.T) {
+	if !raceEnabled {
+		t.Log("running without -race: this hammer only detects races under the race detector")
+	}
+	hub := transport.NewInproc(nil)
+	ctx := context.Background()
+	spec := qos.Spec{
+		DetectionTime:     250 * time.Millisecond,
+		MistakeRecurrence: 24 * time.Hour,
+		QueryAccuracy:     0.999,
+	}
+
+	const shards = 4
+	const groupCount = 4
+	gids := make([]id.Group, groupCount)
+	for i := range gids {
+		gids[i] = id.Group(fmt.Sprintf("ho%02d", i))
+	}
+	newMember := func(p id.Process, seed int64) (*stableleader.Service, []*stableleader.Group) {
+		svc, err := stableleader.New(p, hub.Endpoint(p),
+			stableleader.WithSeed(seed), stableleader.WithShards(shards),
+			stableleader.WithClientPlane())
+		if err != nil {
+			t.Fatal(err)
+		}
+		grps := make([]*stableleader.Group, groupCount)
+		for i, g := range gids {
+			grp, err := svc.Join(ctx, g,
+				stableleader.AsCandidate(),
+				stableleader.WithQoS(spec),
+				stableleader.WithSeeds("d1", "d2"),
+				stableleader.WithHelloInterval(50*time.Millisecond),
+			)
+			if err != nil {
+				t.Fatal(err)
+			}
+			grps[i] = grp
+		}
+		return svc, grps
+	}
+
+	svc1, grps1 := newMember("d1", 1)
+	svc2, grps2 := newMember("d2", 2)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// Readers: Standby and Leader fast paths plus watch streams, across
+	// both handles and every group.
+	for i := 0; i < 16; i++ {
+		i := i
+		grp := grps1[i%groupCount]
+		if i%2 == 1 {
+			grp = grps2[i%groupCount]
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				switch i % 3 {
+				case 0:
+					_, _, _, _ = grp.Standby(ctx)
+				case 1:
+					_, _ = grp.Leader(ctx)
+				case 2:
+					wctx, cancel := context.WithTimeout(ctx, 5*time.Millisecond)
+					for range grp.Watch(wctx, stableleader.WithInitialState()) {
+						break
+					}
+					cancel()
+				}
+			}
+		}()
+	}
+
+	// Deposers: whoever currently leads a group hands it over; the loser's
+	// call fails with ErrNotLeader/ErrNoStandby, both fine. Leadership
+	// ping-pongs between the services, so HANDOVER processing races the
+	// readers on every shard.
+	for i := 0; i < 2*groupCount; i++ {
+		i := i
+		grp := grps1[i%groupCount]
+		if i%2 == 1 {
+			grp = grps2[i%groupCount]
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				_ = grp.Depose(ctx) // ErrNotLeader/ErrNoStandby expected
+				time.Sleep(10 * time.Millisecond)
+			}
+		}()
+	}
+
+	// Churn: a third member joins every group, then leaves gracefully
+	// (planned handover + tombstone fan-out) or crashes.
+	for cycle := 0; cycle < 3; cycle++ {
+		svc3, grps3 := newMember(id.Process(fmt.Sprintf("d%d", 3+cycle)), int64(100+cycle))
+		time.Sleep(200 * time.Millisecond)
+		if cycle%2 == 0 {
+			for _, grp := range grps3 {
+				if err := grp.Leave(ctx); err != nil {
+					t.Error(err)
+				}
+			}
+			if err := svc3.Close(ctx); err != nil {
+				t.Error(err)
+			}
+		} else {
+			if err := svc3.Crash(); err != nil {
+				t.Error(err)
+			}
+		}
+	}
+
+	// Close both services under full handover load.
+	if err := svc1.Close(ctx); err != nil {
+		t.Error(err)
+	}
+	if err := svc2.Close(ctx); err != nil {
+		t.Error(err)
+	}
+	time.Sleep(20 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	// Post-shutdown: the standby fast path answers deterministically.
+	if _, _, _, err := grps1[0].Standby(ctx); err == nil {
+		t.Fatal("Standby on a closed service answered without error")
+	}
+}
+
 // TestCrossShardChurnRaceHammer is the sharded-runtime companion of the
 // read-plane hammer: on a multi-shard service, protocol churn (member
 // joins and crashes) hits the groups of one set of shards while readers

@@ -601,6 +601,7 @@ func (s *Service) Join(ctx context.Context, g id.Group, opts ...JoinOption) (*Gr
 			HelloInterval:       cfg.helloInterval,
 			GossipFanout:        cfg.gossipFanout,
 			ReconfigureInterval: cfg.reconfigureInterval,
+			DisableHandover:     cfg.disableHandover,
 			OnLeaderChange: func(li core.LeaderInfo) {
 				grp.publish(LeaderChanged{Info: publicInfo(li)})
 			},
@@ -632,6 +633,12 @@ func (s *Service) Join(ctx context.Context, g id.Group, opts ...JoinOption) (*Gr
 						Group: g, Member: p, Incarnation: inc, At: time.Now(),
 					})
 				}
+			},
+			OnStandbyChange: func(p id.Process, inc int64) {
+				grp.storeStandby(p, inc)
+				grp.publish(StandbyChanged{
+					Group: g, Standby: p, Incarnation: inc, At: time.Now(),
+				})
 			},
 			OnReconfigured: func(p id.Process, params qos.Params) {
 				grp.publish(QoSReconfigured{

@@ -1,0 +1,114 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	stableleader "stableleader"
+)
+
+// failoverBase is the common shape of the failover scenarios: a small group
+// on the paper's LAN, gracefully restarted one workstation at a time.
+func failoverBase(name string) Scenario {
+	return Scenario{
+		Name:      name,
+		N:         6,
+		Algorithm: stableleader.OmegaL,
+		Link:      LinkModel{MeanDelay: 25 * time.Microsecond},
+		Duration:  5 * time.Minute,
+		Warmup:    30 * time.Second,
+		Seed:      11,
+		RollingRestart: &RestartPlan{
+			Start:    40 * time.Second,
+			Every:    15 * time.Second,
+			Downtime: 5 * time.Second,
+			Rounds:   3,
+		},
+	}
+}
+
+// TestHandoverShrinksLeaderlessWindow is the PR's headline property: with
+// the warm standby, a graceful departure hands leadership off in about one
+// message delay, so the p99 leaderless window over a rolling restart of the
+// whole group is at least 10x shorter than the reactive baseline's (which
+// waits out the failure detector on every departure of the leader).
+func TestHandoverShrinksLeaderlessWindow(t *testing.T) {
+	with := failoverBase("failover/handover")
+	without := failoverBase("failover/reactive")
+	without.DisableHandover = true
+
+	resWith, err := Run(with)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resWithout, err := Run(without)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	p99With := resWith.Metrics.LeaderlessP99
+	p99Without := resWithout.Metrics.LeaderlessP99
+	t.Logf("handover: %d windows, p50=%v p99=%v", len(resWith.Metrics.Leaderless),
+		resWith.Metrics.LeaderlessP50, p99With)
+	t.Logf("reactive: %d windows, p50=%v p99=%v", len(resWithout.Metrics.Leaderless),
+		resWithout.Metrics.LeaderlessP50, p99Without)
+
+	if p99Without == 0 {
+		t.Fatal("reactive baseline recorded no leaderless windows; the rolling restart never displaced the leader")
+	}
+	if p99With != 0 && p99Without < 10*p99With {
+		t.Fatalf("planned handover p99 leaderless window %v not >=10x shorter than reactive %v",
+			p99With, p99Without)
+	}
+	// A planned departure must never demote a live leader by mistake.
+	if mph := resWith.Metrics.MistakesPerHour; mph != 0 {
+		t.Fatalf("handover run made %v mistakes/hour, want 0", mph)
+	}
+}
+
+// TestNoDualLeaderUnderPartitionHeal: severing the follower minority (no
+// candidates among them) and healing it must never yield an interval with
+// two simultaneous self-believed leaders.
+func TestNoDualLeaderUnderPartitionHeal(t *testing.T) {
+	sc := Scenario{
+		Name:       "failover/partition-heal",
+		N:          6,
+		Candidates: 4,
+		Algorithm:  stableleader.OmegaL,
+		Link:       LinkModel{MeanDelay: 25 * time.Microsecond},
+		Duration:   3 * time.Minute,
+		Warmup:     30 * time.Second,
+		Seed:       12,
+		Partition:  &PartitionPlan{At: 60 * time.Second, Heal: 2 * time.Minute, Minority: 2},
+	}
+	res, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.DualLeaderTime != 0 {
+		t.Fatalf("partition/heal run spent %v with two self-believed leaders, want 0",
+			res.Metrics.DualLeaderTime)
+	}
+}
+
+// TestNoDualLeaderUnderClockSkew: per-workstation clock skew shifts every
+// timestamp the protocol exchanges; the handover grant is ranked relative
+// to the departing leader's own accusation time, so skew must not open a
+// dual-leader interval during planned handovers.
+func TestNoDualLeaderUnderClockSkew(t *testing.T) {
+	sc := failoverBase("failover/clock-skew")
+	sc.Seed = 13
+	sc.ClockSkew = 300 * time.Millisecond
+	res, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.DualLeaderTime != 0 {
+		t.Fatalf("clock-skew run spent %v with two self-believed leaders, want 0",
+			res.Metrics.DualLeaderTime)
+	}
+	if res.Metrics.LeaderlessP99 > time.Second {
+		t.Fatalf("clock-skew handovers left a %v p99 leaderless window, want <=1s",
+			res.Metrics.LeaderlessP99)
+	}
+}

@@ -200,7 +200,7 @@ func TestExperimentDispatch(t *testing.T) {
 		t.Error("unknown figure id must error")
 	}
 	ids := Experiments()
-	if len(ids) != 9 {
+	if len(ids) != 10 {
 		t.Errorf("Experiments() = %v", ids)
 	}
 	// A tiny real dispatch: figure 8 with minuscule cells exercises the

@@ -49,6 +49,39 @@ type Faults struct {
 	MTTR time.Duration
 }
 
+// PartitionPlan cuts the group in two at a fixed virtual time and heals it
+// later: every link between the sides drops all traffic in both directions,
+// links within a side keep working. The minority side is the last Minority
+// workstations by id — pair it with Scenario.Candidates to control whether
+// any candidate is cut off.
+type PartitionPlan struct {
+	// At is when the partition starts, measured from the start of the run.
+	At time.Duration
+	// Heal is when the partition heals; zero (or ≤ At) makes it permanent.
+	Heal time.Duration
+	// Minority is how many workstations (the last by id) are isolated.
+	// Values outside [1, N-1] default to N/2.
+	Minority int
+}
+
+// RestartPlan gracefully restarts every workstation in turn: each process
+// leaves (planned handover first if it leads and the plane is on), stays
+// down for Downtime, and reboots with a fresh incarnation — a rolling
+// upgrade across the whole group.
+type RestartPlan struct {
+	// Start is when the first process leaves, measured from the start of
+	// the run.
+	Start time.Duration
+	// Every is the gap between consecutive departures.
+	Every time.Duration
+	// Downtime is how long each process stays down before rebooting.
+	Downtime time.Duration
+	// Rounds is how many full passes over the group to make (default 1).
+	// Each pass displaces the current leader at least once, so more rounds
+	// give the leaderless-window percentiles more samples.
+	Rounds int
+}
+
 // Scenario describes one experiment cell.
 type Scenario struct {
 	// Name labels the cell in reports.
@@ -104,6 +137,28 @@ type Scenario struct {
 	// the given exponential process — exercising server-side lease expiry
 	// and client restarts under load.
 	ClientChurn *Faults
+	// Dup and Reorder extend every link with the injector's duplication and
+	// hold-back knobs (see simnet.LinkModel); ReorderDelay tunes the
+	// hold-back. All zero by default, which replays byte-identically with
+	// pre-knob scenarios.
+	Dup          float64
+	Reorder      float64
+	ReorderDelay time.Duration
+	// ClockSkew, when nonzero, gives every workstation lifetime a fixed
+	// clock offset drawn uniformly from [-ClockSkew, +ClockSkew]: its
+	// timestamps (accusation times, heartbeat send times) shift while its
+	// timers stay exact. Exercises the protocol's independence from
+	// synchronized clocks.
+	ClockSkew time.Duration
+	// Partition, when non-nil, cuts the group in two and optionally heals.
+	Partition *PartitionPlan
+	// RollingRestart, when non-nil, gracefully restarts every workstation
+	// in turn.
+	RollingRestart *RestartPlan
+	// DisableHandover turns off the warm-standby/planned-handover plane:
+	// graceful departures fail over reactively (peers wait out the failure
+	// detector). The before/after baseline of the failover experiment.
+	DisableHandover bool
 }
 
 // withDefaults fills unset fields.
@@ -203,8 +258,11 @@ func Run(sc Scenario) (Result, error) {
 
 	eng := simnet.NewEngine(sc.Seed)
 	net := simnet.NewNetwork(eng, simnet.LinkModel{
-		Loss:      sc.Link.Loss,
-		MeanDelay: sc.Link.MeanDelay,
+		Loss:         sc.Link.Loss,
+		MeanDelay:    sc.Link.MeanDelay,
+		Dup:          sc.Dup,
+		Reorder:      sc.Reorder,
+		ReorderDelay: sc.ReorderDelay,
 	})
 
 	procs := make([]id.Process, sc.N)
@@ -216,6 +274,7 @@ func Run(sc Scenario) (Result, error) {
 	obs := metrics.NewObserver(groupID, simnet.Epoch().Add(sc.Warmup))
 	cl := &cluster{sc: sc, eng: eng, net: net, obs: obs, procs: procs,
 		runtimes:      make(map[id.Process]*simnet.NodeRuntime),
+		nodes:         make(map[id.Process]*core.Node),
 		crashed:       make(map[id.Process]bool),
 		clientRTs:     make(map[id.Process]*simnet.NodeRuntime),
 		clientCrashed: make(map[id.Process]bool)}
@@ -265,6 +324,28 @@ func Run(sc Scenario) (Result, error) {
 				func() { cl.crashClient(p) },
 				func() { cl.recoverClient(p) },
 			)
+		}
+	}
+	if pp := sc.Partition; pp != nil {
+		m := pp.Minority
+		if m <= 0 || m >= sc.N {
+			m = sc.N / 2
+		}
+		simnet.SchedulePartition(eng, net, procs[:sc.N-m], procs[sc.N-m:], pp.At, pp.Heal)
+	}
+	if rp := sc.RollingRestart; rp != nil {
+		rounds := rp.Rounds
+		if rounds <= 0 {
+			rounds = 1
+		}
+		for r := 0; r < rounds; r++ {
+			base := rp.Start + time.Duration(r*len(procs))*rp.Every
+			for i, p := range procs {
+				p := p
+				at := base + time.Duration(i)*rp.Every
+				eng.After(at, func() { cl.leave(p) })
+				eng.After(at+rp.Downtime, func() { cl.recover(p) })
+			}
 		}
 	}
 
@@ -319,6 +400,7 @@ type cluster struct {
 	obs      *metrics.Observer
 	procs    []id.Process
 	runtimes map[id.Process]*simnet.NodeRuntime
+	nodes    map[id.Process]*core.Node
 	crashed  map[id.Process]bool
 
 	clientRTs     map[id.Process]*simnet.NodeRuntime
@@ -333,11 +415,17 @@ func (cl *cluster) start(p id.Process, candidate bool) {
 	}
 	rt := simnet.NewNodeRuntime(cl.net, p)
 	cl.runtimes[p] = rt
+	if d := cl.sc.ClockSkew; d > 0 {
+		// Per-lifetime skew from the node-local stream: a skew of zero
+		// draws nothing, so skew-free scenarios replay byte-identically.
+		rt.SetSkew(time.Duration(rt.Rand().Int63n(int64(2*d)+1)) - d)
+	}
 	nodeOpts := []core.NodeOption{core.WithCoalescing(!cl.sc.DisableCoalescing)}
 	if cl.sc.Clients > 0 {
 		nodeOpts = append(nodeOpts, core.WithClientPlane(subs.Config{}))
 	}
 	node := core.NewNode(p, rt, nodeOpts...)
+	cl.nodes[p] = node
 	cl.net.SetUp(p, true, node)
 	cl.obs.NodeUp(cl.eng.Now(), p, node.Incarnation())
 	// A join is considered complete when the service first answers a
@@ -356,6 +444,7 @@ func (cl *cluster) start(p id.Process, candidate bool) {
 		Seeds:               cl.procs,
 		HelloInterval:       cl.sc.HelloInterval,
 		DisableStartupGrace: cl.sc.DisableStartupGrace,
+		DisableHandover:     cl.sc.DisableHandover,
 		OnLeaderChange: func(li core.LeaderInfo) {
 			cl.obs.LeaderView(cl.eng.Now(), p, li.Leader, li.Incarnation, li.Elected)
 		},
@@ -383,8 +472,32 @@ func (cl *cluster) crash(p id.Process) {
 		rt.Shutdown()
 		delete(cl.runtimes, p)
 	}
+	delete(cl.nodes, p)
 	cl.net.SetUp(p, false, nil)
 	cl.obs.NodeDown(cl.eng.Now(), p)
+}
+
+// leave shuts p down gracefully: every group is departed with a LEAVE —
+// preceded by a planned handover when p leads and the plane is on — before
+// the endpoint goes dark, so the farewell datagrams are already in flight.
+func (cl *cluster) leave(p id.Process) {
+	node := cl.nodes[p]
+	if cl.crashed[p] || node == nil {
+		return
+	}
+	cl.crashed[p] = true
+	for _, g := range cl.sc.allGroups() {
+		if err := node.Leave(g); err != nil {
+			panic(fmt.Sprintf("sim: leave %s failed for %s: %v", g, p, err))
+		}
+	}
+	if rt := cl.runtimes[p]; rt != nil {
+		rt.Shutdown()
+		delete(cl.runtimes, p)
+	}
+	delete(cl.nodes, p)
+	cl.net.SetUp(p, false, nil)
+	cl.obs.NodeLeft(cl.eng.Now(), p)
 }
 
 // recover restarts p with a new incarnation. Candidacy is preserved from
