@@ -20,6 +20,13 @@
 // leadership snapshots under renewable leases. Client addresses are
 // learned from their own traffic, so clients need no -peer entries.
 //
+// -metrics-addr exposes the observability plane on a TCP listener:
+// Prometheus metrics on /metrics, liveness and readiness probes on
+// /healthz and /readyz, the protocol flight recorder on /debug/flight,
+// and pprof under /debug/pprof/. Independent of it, SIGUSR1 dumps the
+// flight recorder to stderr, and -stats-every logs a one-line packet-
+// plane summary (rates and packets-per-syscall ratios) periodically.
+//
 // On SIGINT or SIGTERM the daemon leaves its group gracefully. If it holds
 // leadership, it first performs a planned handover: the continuously agreed
 // warm standby (nominated in the heartbeat stream at zero extra packets) is
@@ -35,6 +42,8 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -80,6 +89,8 @@ func main() {
 		shards    = flag.Int("shards", 0, "event-loop shards (0 = one per CPU); groups hash across them")
 		receivers = flag.Int("udp-receivers", 1, "parallel UDP receive sockets (needs SO_REUSEPORT; falls back to 1)")
 		udpBatch  = flag.Bool("udp-batch", true, "syscall-batched UDP packet plane (recvmmsg/sendmmsg+GSO where the kernel has them)")
+		metrics   = flag.String("metrics-addr", "", "TCP address for /metrics, /healthz, /readyz, /debug/flight and /debug/pprof (off when empty)")
+		statsEach = flag.Duration("stats-every", 0, "log a one-line packet-plane stats summary at this period (off when 0)")
 	)
 	flag.StringVar(algoName, "algo", *algoName, "alias for -algorithm")
 	flag.Var(peers, "peer", "peer address as id=host:port (repeatable)")
@@ -119,6 +130,58 @@ func main() {
 	// ctx ends on SIGINT/SIGTERM; everything blocking hangs off it.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *metrics != "" {
+		ln, err := net.Listen("tcp", *metrics)
+		if err != nil {
+			log.Fatalf("leaderd: metrics listener: %v", err)
+		}
+		defer ln.Close()
+		log.Printf("leaderd: observability on http://%s (/metrics /healthz /readyz /debug/flight /debug/pprof)", ln.Addr())
+		go func() {
+			// Serve until the listener closes at exit; the error then is
+			// the expected "use of closed network connection".
+			_ = http.Serve(ln, svc.ObsHandler())
+		}()
+	}
+
+	// SIGUSR1 dumps the protocol flight recorder to stderr — the last N
+	// protocol decisions per shard, for post-hoc election forensics
+	// without the HTTP plane.
+	usr1 := make(chan os.Signal, 1)
+	signal.Notify(usr1, syscall.SIGUSR1)
+	go func() {
+		for range usr1 {
+			dumpCtx, cancel := context.WithTimeout(context.Background(), shutdownTimeout)
+			if err := svc.DumpFlight(dumpCtx, os.Stderr); err != nil {
+				log.Printf("leaderd: flight dump: %v", err)
+			}
+			cancel()
+		}
+	}()
+
+	if *statsEach > 0 {
+		go func() {
+			prev := svc.PacketStats()
+			tick := time.NewTicker(*statsEach)
+			defer tick.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-tick.C:
+				}
+				cur := svc.PacketStats()
+				d := cur.Delta(prev)
+				prev = cur
+				r := d.RatesOver(*statsEach)
+				log.Printf("stats: out %.0f dgram/s %.0f msg/s %.0f B/s | in %.0f dgram/s %.0f msg/s %.0f B/s | pkts/syscall recv=%.2f send=%.2f",
+					r.DatagramsOutPerSec, r.MessagesOutPerSec, r.BytesOutPerSec,
+					r.DatagramsInPerSec, r.MessagesInPerSec, r.BytesInPerSec,
+					d.RecvPacketsPerSyscall(), d.SendPacketsPerSyscall())
+			}
+		}()
+	}
 
 	joinOpts := []stableleader.JoinOption{
 		stableleader.WithAlgorithm(algo),

@@ -63,6 +63,18 @@
 // on every request at any fan-in — with WithSyncRead for loop-serialised
 // reads.
 //
+// # Observability
+//
+// Service.ObsHandler serves the observability plane over HTTP: Prometheus
+// text metrics on /metrics (election, failure-detection, handover,
+// client-plane and packet-plane counters, all recorded shard-locally with
+// zero hot-path atomics or allocations), liveness and readiness probes on
+// /healthz and /readyz (ready once every joined group has an elected
+// leader), the protocol flight recorder on /debug/flight (the last ~1024
+// protocol decisions per shard as time-sorted JSON; also
+// Service.DumpFlight), and pprof under /debug/pprof/. cmd/leaderd exposes
+// it behind -metrics-addr.
+//
 // The experiments of the paper are reproduced in package stableleader/sim;
 // see DESIGN.md and EXPERIMENTS.md.
 //

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"stableleader/id"
+	"stableleader/internal/metrics"
 )
 
 // EventKind discriminates the concrete type of an Event without a type
@@ -274,6 +275,25 @@ type PacketStats struct {
 	// carries many datagrams, so the per-syscall ratios run above 1.
 	RecvSyscalls int64
 	SendSyscalls int64
+}
+
+// Delta returns the column-wise difference s - prev: the traffic between
+// two PacketStats snapshots of the same service. Periodic observers
+// difference successive snapshots with it instead of hand-subtracting
+// fields; the per-syscall ratio methods apply to a delta exactly as to
+// a cumulative snapshot, yielding interval ratios.
+func (s PacketStats) Delta(prev PacketStats) PacketStats {
+	return PacketStats(metrics.PacketStats(s).Delta(metrics.PacketStats(prev)))
+}
+
+// PacketRates is a PacketStats delta normalised to per-second rates over
+// a measurement interval; see PacketStats.RatesOver.
+type PacketRates = metrics.PacketRates
+
+// RatesOver converts the snapshot — normally a Delta — into per-second
+// rates over elapsed. A non-positive elapsed yields zero rates.
+func (s PacketStats) RatesOver(elapsed time.Duration) PacketRates {
+	return metrics.PacketStats(s).RatesOver(elapsed)
 }
 
 // RecvPacketsPerSyscall reports how many received datagrams each receive

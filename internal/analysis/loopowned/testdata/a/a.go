@@ -46,6 +46,48 @@ func newShard() *shard {
 //leadervet:runsOnLoop fn
 func (s *shard) enqueue(fn func()) { fn() }
 
+// sink mimics an obs.Shard: a whole struct of loop-owned slots written
+// through contract-annotated methods (the observability-plane pattern —
+// plain stores on the hot path, scraped via the loop).
+//
+//leadervet:loopOwned
+type sink struct {
+	counts [4]uint64
+	sum    uint64
+}
+
+// inc is the hot-path write: the annotation is the caller's promise.
+//
+//leadervet:onLoop
+func (k *sink) inc(i int) { k.counts[i]++ }
+
+// snapshot is also loop-entered — scrapes run as loop closures.
+//
+//leadervet:onLoop
+func (k *sink) snapshot() (out [4]uint64) {
+	out = k.counts
+	return
+}
+
+// drain is only called from loop(), via record — inferred on-loop
+// transitively through an unannotated intermediary.
+func (k *sink) drain() { k.sum = 0 }
+
+// record is called from loop below, so inference carries through it.
+func (k *sink) record(d uint64) {
+	k.sum += d
+	k.drain()
+}
+
+// scrapeRace is the bug the analyzer exists for: reading loop-owned
+// slots from an arbitrary goroutine instead of through the loop.
+func scrapeRace(k *sink) [4]uint64 {
+	return k.counts // want `field counts is //leadervet:loopOwned but scrapeRace does not run on the owning event loop`
+}
+
+//leadervet:onLoop
+func (k *sink) loop() { k.record(1) }
+
 // outside has no callers, so it is not on-loop.
 func outside(s *shard) {
 	s.seq++ // want `field seq is //leadervet:loopOwned but outside does not run on the owning event loop`

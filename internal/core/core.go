@@ -27,6 +27,7 @@ import (
 	"stableleader/internal/group"
 	"stableleader/internal/linkest"
 	"stableleader/internal/metrics"
+	"stableleader/internal/obs"
 	"stableleader/internal/outbound"
 	"stableleader/internal/subs"
 	"stableleader/internal/wire"
@@ -192,7 +193,11 @@ type Node struct {
 	pacers map[id.Process]*pacer
 	// subs is the client-plane subscriber registry; nil unless the node
 	// was built with WithClientPlane.
-	subs    *subs.Registry
+	subs *subs.Registry
+	// obs is the node's slice of the host's observability registry; nil
+	// when the host runs without one (the simulator). Every obs.Shard
+	// method is nil-safe, so instrumentation sites need no guards.
+	obs     *obs.Shard
 	stopped bool
 }
 
@@ -203,6 +208,7 @@ type nodeConfig struct {
 	clientPlane bool
 	clientCfg   subs.Config
 	incarnation int64
+	obs         *obs.Shard
 }
 
 // NodeOption configures a Node at construction.
@@ -245,6 +251,15 @@ func WithClientPlane(cfg subs.Config) NodeOption {
 	}
 }
 
+// WithObs installs the host's per-shard observability slot: protocol
+// counters, the leaderless-duration histogram and the flight recorder
+// all write through it on the node's event loop (plain stores — the
+// slot is owned by the loop like the rest of the node's state). A nil
+// slot (or omitting the option) disables instrumentation.
+func WithObs(sh *obs.Shard) NodeOption {
+	return func(c *nodeConfig) { c.obs = sh }
+}
+
 // NewNode creates a node for process self. The incarnation is the start
 // time in nanoseconds, strictly increasing across restarts of the same
 // process.
@@ -264,6 +279,7 @@ func NewNode(self id.Process, rt Runtime, opts ...NodeOption) *Node {
 		groups: make(map[id.Group]*groupState),
 		est:    make(map[id.Process]*estEntry),
 		pacers: make(map[id.Process]*pacer),
+		obs:    cfg.obs,
 	}
 	ocfg := outbound.Config{
 		Clock:    rt,
@@ -280,6 +296,7 @@ func NewNode(self id.Process, rt Runtime, opts ...NodeOption) *Node {
 		sc.Self = self
 		sc.Incarnation = n.inc
 		sc.Clock = rt
+		sc.Obs = cfg.obs
 		sc.Send = func(to id.Process, m wire.Message, urgent bool) {
 			if urgent {
 				n.sendNow(to, m)
@@ -317,6 +334,14 @@ func (n *Node) ClientStats() (st subs.Stats, ok bool) {
 	}
 	return n.subs.Stats(), true
 }
+
+// OutboundStaged reports the outbound scheduler's current staging
+// depth: messages waiting in coalescing envelopes, and across how many
+// destinations. Loop-owned like the scheduler itself — hosts read it
+// from the owning event loop at scrape time.
+//
+//leadervet:onLoop
+func (n *Node) OutboundStaged() (msgs, dests int) { return n.out.Staged() }
 
 // Self returns the local process id.
 func (n *Node) Self() id.Process { return n.self }

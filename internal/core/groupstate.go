@@ -8,6 +8,7 @@ import (
 	"stableleader/internal/election"
 	"stableleader/internal/fd"
 	"stableleader/internal/group"
+	"stableleader/internal/obs"
 	"stableleader/internal/wire"
 	"stableleader/qos"
 )
@@ -88,6 +89,12 @@ type groupState struct {
 	standbySeq     uint64     //leadervet:loopOwned
 	standbyFromInc int64      //leadervet:loopOwned
 	standbyFromSeq uint64     //leadervet:loopOwned
+
+	// leaderlessAt is when the current leaderless window opened (we held
+	// an elected view and lost it); zero while elected or before the
+	// first loss. It feeds the observability plane's leaderless-duration
+	// histogram on the re-election edge.
+	leaderlessAt time.Time //leadervet:loopOwned
 
 	// lastActive is the previous active membership view, kept so that
 	// membership changes can be reported as per-member deltas.
@@ -180,6 +187,10 @@ func (gs *groupState) Members() []group.Member {
 // (they close the window in which a demoted leader can flap back), so they
 // bypass coalescing and flush the peer's staged traffic with them.
 func (gs *groupState) SendAccuse(to id.Process, targetInc int64, phase uint32) {
+	// An accusation is the rank-change half of an election: it raises the
+	// target's accusation time everywhere it lands.
+	gs.n.obs.Inc(obs.CAccusationsOut)
+	gs.n.obs.Record(obs.KindRankChange, gs.gid, to, targetInc, int64(phase), gs.n.rt.Now())
 	gs.n.sendNow(to, &wire.Accuse{
 		Group:             gs.gid,
 		Sender:            gs.n.self,
@@ -346,6 +357,15 @@ func (gs *groupState) newMonitor(p id.Process, inc int64) *monitorEntry {
 			if gs.stopped {
 				return
 			}
+			// Recorded before the algorithm reacts, so a crash-driven
+			// election dumps as suspect → rank-change → leader-change.
+			if trusted {
+				gs.n.obs.Inc(obs.CTrustRestored)
+				gs.n.obs.Record(obs.KindTrust, gs.gid, p, entry.inc, 0, gs.n.rt.Now())
+			} else {
+				gs.n.obs.Inc(obs.CSuspicions)
+				gs.n.obs.Record(obs.KindSuspect, gs.gid, p, entry.inc, 0, gs.n.rt.Now())
+			}
 			if gs.opts.OnTrustChange != nil {
 				gs.opts.OnTrustChange(p, entry.inc, trusted)
 			}
@@ -377,8 +397,20 @@ func (gs *groupState) newMonitor(p id.Process, inc int64) *monitorEntry {
 			gs.publishStatus()
 		},
 		ReconfigureInterval: gs.opts.ReconfigureInterval,
+		Obs:                 gs.n.obs,
 	})
 	return entry
+}
+
+// ObserveDropout implements election.Observer: the core reports a
+// voluntary competition drop-out (ΩL's phase bump, which keeps the
+// suspicions our deliberate silence causes from raising our accusation
+// time). Runs on the loop like every Env callback.
+//
+//leadervet:onLoop
+func (gs *groupState) ObserveDropout(phase uint32) {
+	gs.n.obs.Inc(obs.CDropouts)
+	gs.n.obs.Record(obs.KindRankChange, gs.gid, gs.n.self, gs.n.inc, int64(phase), gs.n.rt.Now())
 }
 
 // --- group maintenance ---------------------------------------------------
@@ -555,6 +587,7 @@ func (gs *groupState) handleAlive(m *wire.Alive) {
 
 func (gs *groupState) handleAccuse(m *wire.Accuse) {
 	gs.noteHeard(m.Sender, m.Incarnation)
+	gs.n.obs.Inc(obs.CAccusationsIn)
 	gs.algo.HandleAccuse(m)
 	gs.afterEvent()
 }
@@ -613,6 +646,8 @@ func (gs *groupState) handleHandover(m *wire.Handover) {
 	if gs.opts.DisableHandover {
 		return
 	}
+	gs.n.obs.Inc(obs.CHandoversRecv)
+	gs.n.obs.Record(obs.KindHandover, gs.gid, m.Successor, m.SuccessorInc, 0, gs.n.rt.Now())
 	gs.algo.HandleHandover(m)
 	gs.afterEvent()
 }
@@ -720,7 +755,9 @@ func (gs *groupState) afterEvent() {
 		return
 	}
 	info.At = gs.n.rt.Now()
+	prev := gs.lastInfo
 	gs.lastInfo = info
+	gs.noteLeaderEdge(prev, info)
 	if gs.opts.OnLeaderChange != nil {
 		gs.opts.OnLeaderChange(info)
 	}
@@ -730,6 +767,37 @@ func (gs *groupState) afterEvent() {
 		gs.n.subs.PublishLeaderChange(gs.gid, clientView(info))
 	}
 	gs.onLeaderEdge(info)
+}
+
+// noteLeaderEdge feeds the observability plane at every leader-view
+// change: election counters, the flight record, and the leaderless-
+// duration histogram (a window opens when an elected view is lost and
+// closes when the next one is adopted — startup convergence does not
+// count, matching the accounting in internal/metrics).
+//
+//leadervet:onLoop
+func (gs *groupState) noteLeaderEdge(prev, info LeaderInfo) {
+	o := gs.n.obs
+	if o == nil {
+		return
+	}
+	if info.Elected {
+		o.Inc(obs.CLeaderChanges)
+		if info.Leader == gs.n.self {
+			o.Inc(obs.CElectionsWon)
+		}
+		if !gs.leaderlessAt.IsZero() {
+			o.ObserveLeaderless(info.At.Sub(gs.leaderlessAt))
+			gs.leaderlessAt = time.Time{}
+		}
+	} else {
+		o.Inc(obs.CElectionsStarted)
+		gs.leaderlessAt = info.At
+	}
+	if prev.Elected && prev.Leader == gs.n.self && (!info.Elected || info.Leader != gs.n.self) {
+		o.Inc(obs.CDemotions)
+	}
+	o.Record(obs.KindLeaderChange, gs.gid, info.Leader, info.Incarnation, 0, info.At)
 }
 
 // onLeaderEdge maintains the standby plane across leadership changes: a
@@ -758,6 +826,10 @@ func (gs *groupState) setStandby(p id.Process, inc int64) {
 		return
 	}
 	gs.standby, gs.standbyInc = p, inc
+	if p != "" {
+		gs.n.obs.Inc(obs.CStandbyNominations)
+	}
+	gs.n.obs.Record(obs.KindStandby, gs.gid, p, inc, 0, gs.n.rt.Now())
 	if gs.opts.OnStandbyChange != nil {
 		gs.opts.OnStandbyChange(p, inc)
 	}
@@ -887,6 +959,8 @@ func (gs *groupState) performHandover(urgent bool) (id.Process, int64, bool) {
 			gs.n.sendLazy(mem.ID, m)
 		}
 	}
+	gs.n.obs.Inc(obs.CHandoversSent)
+	gs.n.obs.Record(obs.KindHandover, gs.gid, succ, succInc, 1, gs.n.rt.Now())
 	gs.algo.HandleHandover(m)
 	gs.afterEvent()
 	return succ, succInc, true

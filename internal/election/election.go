@@ -87,6 +87,25 @@ type Env interface {
 	StartupGrace() time.Duration
 }
 
+// Observer is optionally implemented by an Env that exports protocol
+// telemetry. Algorithms report decision points that are invisible from
+// outside the core through it — today the voluntary competition
+// drop-out (the phase bump that keeps deliberate silence from raising
+// the local accusation time). Called on the node's event loop, like
+// every Env method.
+type Observer interface {
+	// ObserveDropout reports that the local process voluntarily dropped
+	// out of the competition; phase is the new competition phase.
+	ObserveDropout(phase uint32)
+}
+
+// noteDropout reports a voluntary drop-out to the env if it observes.
+func noteDropout(env Env, phase uint32) {
+	if o, ok := env.(Observer); ok {
+		o.ObserveDropout(phase)
+	}
+}
+
 // Algorithm is one election core. The host guarantees single-threaded
 // delivery and that HandleAlive is only invoked for messages whose sender
 // incarnation matches the membership table.

@@ -249,6 +249,7 @@ func (o *omegaL) recompute() {
 		// silence is about to cause cannot raise our accusation time.
 		o.competing = false
 		o.phase++
+		noteDropout(o.env, o.phase)
 		o.env.SetActive(false)
 	}
 }

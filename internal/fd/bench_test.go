@@ -11,6 +11,7 @@ import (
 
 	"stableleader/internal/clock"
 	"stableleader/internal/linkest"
+	"stableleader/internal/obs"
 	"stableleader/internal/timerwheel"
 	"stableleader/qos"
 )
@@ -61,10 +62,13 @@ func (t *wheelClockTimer) Stop() bool { return t.c.w.Stop(t.e) }
 // deadline extension, wheel re-arm, periodic wheel advance (which also
 // runs the reconfiguration ticks a real monitor pays). The allocs/op
 // column is the acceptance metric: 0 means no runtime timer — in fact no
-// allocation at all — per processed heartbeat.
+// allocation at all — per processed heartbeat. The obs shard is wired
+// exactly as the service runtime wires it, so this measures the
+// production (instrumented) path.
 func BenchmarkMonitorObserve(b *testing.B) {
 	c := newWheelClock()
-	m := NewMonitor(Config{Clock: c, Spec: qos.Default(), Estimator: linkest.New()})
+	sh := obs.NewRegistry(1, 0).Shard(0)
+	m := NewMonitor(Config{Clock: c, Spec: qos.Default(), Estimator: linkest.New(), Obs: sh})
 	defer m.Stop()
 	const interval = 100 * time.Millisecond
 	sendTime := c.now
@@ -116,6 +120,7 @@ func TestObserveAllocFree(t *testing.T) {
 		Spec:                qos.Default(),
 		Estimator:           linkest.New(),
 		ReconfigureInterval: 24 * time.Hour,
+		Obs:                 obs.NewRegistry(1, 0).Shard(0),
 	})
 	defer m.Stop()
 	const interval = 100 * time.Millisecond

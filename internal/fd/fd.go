@@ -18,6 +18,7 @@ import (
 
 	"stableleader/internal/clock"
 	"stableleader/internal/linkest"
+	"stableleader/internal/obs"
 	"stableleader/qos"
 )
 
@@ -51,6 +52,10 @@ type Config struct {
 	OnReconfigure func(params qos.Params)
 	// ReconfigureInterval overrides DefaultReconfigureInterval when positive.
 	ReconfigureInterval time.Duration
+	// Obs, when set, receives the monitor's counters (heartbeats
+	// observed, reconfigurations adopted) on the owning event loop.
+	// Every obs.Shard method is nil-safe, so the zero Config is fine.
+	Obs *obs.Shard
 }
 
 // Monitor is the per-(group, remote process) failure detector state.
@@ -126,6 +131,7 @@ func (m *Monitor) Observe(sendTime time.Time, interval time.Duration, now time.T
 	if m.stopped {
 		return
 	}
+	m.cfg.Obs.Inc(obs.CHeartbeats)
 	// Guard against a sender advertising an absurd interval.
 	if interval <= 0 {
 		interval = m.params.Interval
@@ -187,8 +193,11 @@ func (m *Monitor) reconfTick() {
 func (m *Monitor) reconfigure() {
 	prev := m.params
 	m.params = qos.Configure(m.cfg.Spec, statsOf(m.cfg.Estimator))
-	if m.params != prev && m.cfg.OnReconfigure != nil {
-		m.cfg.OnReconfigure(m.params)
+	if m.params != prev {
+		m.cfg.Obs.Inc(obs.CFDReconfigs)
+		if m.cfg.OnReconfigure != nil {
+			m.cfg.OnReconfigure(m.params)
+		}
 	}
 	want := m.params.Interval
 	if m.requested <= 0 {

@@ -263,3 +263,66 @@ func TestReportString(t *testing.T) {
 		t.Error("empty report string")
 	}
 }
+
+func TestLeaderlessPercentilesNoWindows(t *testing.T) {
+	// A run that never loses its leader reports an empty distribution and
+	// zero percentiles — not a phantom zero-length sample.
+	o := NewObserver("g", t0)
+	boot(o, at(0), "a", "a", 1)
+	boot(o, at(0), "b", "a", 1)
+	r := o.Finish(at(100))
+	if len(r.Leaderless) != 0 {
+		t.Fatalf("Leaderless = %v, want none", r.Leaderless)
+	}
+	if r.LeaderlessP50 != 0 || r.LeaderlessP99 != 0 {
+		t.Errorf("percentiles = %v/%v, want 0/0 with no samples",
+			r.LeaderlessP50, r.LeaderlessP99)
+	}
+}
+
+func TestLeaderlessPercentilesSingleSample(t *testing.T) {
+	// With exactly one window both percentiles collapse onto the sample.
+	o := NewObserver("g", t0)
+	boot(o, at(0), "a", "a", 1)
+	boot(o, at(0), "b", "a", 1)
+	o.NodeDown(at(40), "a")
+	o.LeaderView(at(43), "b", "b", 1, true)
+	r := o.Finish(at(100))
+	if len(r.Leaderless) != 1 {
+		t.Fatalf("Leaderless = %v, want one window", r.Leaderless)
+	}
+	if want := 3 * time.Second; r.LeaderlessP50 != want || r.LeaderlessP99 != want {
+		t.Errorf("percentiles = %v/%v, want %v for both",
+			r.LeaderlessP50, r.LeaderlessP99, want)
+	}
+}
+
+func TestLeaderlessWindowClippedAtAccountingStart(t *testing.T) {
+	// The group goes leaderless during warm-up and recovers after the
+	// accounting boundary: only the post-boundary share counts.
+	o := NewObserver("g", at(30))
+	boot(o, at(0), "a", "a", 1)
+	boot(o, at(0), "b", "a", 1)
+	o.NodeDown(at(25), "a") // leaderless from t=25, before accounting
+	o.LeaderView(at(34), "b", "b", 1, true)
+	r := o.Finish(at(130))
+	if len(r.Leaderless) != 1 {
+		t.Fatalf("Leaderless = %v, want one window", r.Leaderless)
+	}
+	if want := 4 * time.Second; r.Leaderless[0] != want {
+		t.Errorf("window = %v, want %v (clipped to the accounting start)",
+			r.Leaderless[0], want)
+	}
+}
+
+func TestLeaderlessWindowStillOpenAtFinish(t *testing.T) {
+	// A window that never closes is clipped at the observation end rather
+	// than dropped.
+	o := NewObserver("g", t0)
+	boot(o, at(0), "a", "a", 1)
+	o.NodeDown(at(90), "a")
+	r := o.Finish(at(100))
+	if len(r.Leaderless) != 1 || r.Leaderless[0] != 10*time.Second {
+		t.Fatalf("Leaderless = %v, want one 10s window", r.Leaderless)
+	}
+}

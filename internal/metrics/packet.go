@@ -1,6 +1,9 @@
 package metrics
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+	"time"
+)
 
 // PacketCounters instruments the outbound packet plane and its receive
 // mirror: how many datagrams actually hit the wire, how many protocol
@@ -63,6 +66,60 @@ type PacketStats struct {
 	// batched packet plane exists to raise above 1.
 	RecvSyscalls int64
 	SendSyscalls int64
+}
+
+// Delta returns the column-wise difference s - prev: the traffic between
+// two snapshots of the same counter set. Interval observers (periodic
+// stats logs, rate panels) difference snapshots instead of hand-
+// subtracting twelve fields; ratio computations (packets per syscall,
+// coalescing factor) apply to a delta exactly as to a cumulative
+// snapshot, yielding interval ratios.
+func (s PacketStats) Delta(prev PacketStats) PacketStats {
+	return PacketStats{
+		DatagramsOut: s.DatagramsOut - prev.DatagramsOut,
+		BatchesOut:   s.BatchesOut - prev.BatchesOut,
+		MessagesOut:  s.MessagesOut - prev.MessagesOut,
+		CoalescedOut: s.CoalescedOut - prev.CoalescedOut,
+		BytesOut:     s.BytesOut - prev.BytesOut,
+
+		DatagramsIn: s.DatagramsIn - prev.DatagramsIn,
+		BatchesIn:   s.BatchesIn - prev.BatchesIn,
+		MessagesIn:  s.MessagesIn - prev.MessagesIn,
+		BytesIn:     s.BytesIn - prev.BytesIn,
+
+		UnknownDropped: s.UnknownDropped - prev.UnknownDropped,
+
+		RecvSyscalls: s.RecvSyscalls - prev.RecvSyscalls,
+		SendSyscalls: s.SendSyscalls - prev.SendSyscalls,
+	}
+}
+
+// PacketRates is a PacketStats delta normalised to per-second rates over
+// a measurement interval.
+type PacketRates struct {
+	DatagramsOutPerSec float64
+	MessagesOutPerSec  float64
+	BytesOutPerSec     float64
+	DatagramsInPerSec  float64
+	MessagesInPerSec   float64
+	BytesInPerSec      float64
+}
+
+// RatesOver converts the snapshot — normally a Delta — into per-second
+// rates over elapsed. A non-positive elapsed yields zero rates.
+func (s PacketStats) RatesOver(elapsed time.Duration) PacketRates {
+	sec := elapsed.Seconds()
+	if sec <= 0 {
+		return PacketRates{}
+	}
+	return PacketRates{
+		DatagramsOutPerSec: float64(s.DatagramsOut) / sec,
+		MessagesOutPerSec:  float64(s.MessagesOut) / sec,
+		BytesOutPerSec:     float64(s.BytesOut) / sec,
+		DatagramsInPerSec:  float64(s.DatagramsIn) / sec,
+		MessagesInPerSec:   float64(s.MessagesIn) / sec,
+		BytesInPerSec:      float64(s.BytesIn) / sec,
+	}
 }
 
 // Snapshot reads every counter. The fields are read individually, so a

@@ -1,0 +1,158 @@
+package obs
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Exposition builds a Prometheus text-format (version 0.0.4) payload:
+// "# HELP"/"# TYPE" headers followed by samples. It is a scrape-time
+// tool — everything here runs off the event loops on snapshot copies,
+// so ordinary allocation is fine.
+//
+// The format is hand-rolled on purpose: the repo takes no dependencies,
+// and the subset a scraper needs (counters, gauges, one fixed-bucket
+// histogram, label escaping) is small and stable.
+type Exposition struct {
+	buf bytes.Buffer
+}
+
+// Counter emits a family header for a counter series.
+func (e *Exposition) Counter(name, help string) { e.header(name, help, "counter") }
+
+// Gauge emits a family header for a gauge series.
+func (e *Exposition) Gauge(name, help string) { e.header(name, help, "gauge") }
+
+func (e *Exposition) header(name, help, typ string) {
+	e.buf.WriteString("# HELP ")
+	e.buf.WriteString(name)
+	e.buf.WriteByte(' ')
+	e.buf.WriteString(escapeHelp(help))
+	e.buf.WriteString("\n# TYPE ")
+	e.buf.WriteString(name)
+	e.buf.WriteByte(' ')
+	e.buf.WriteString(typ)
+	e.buf.WriteByte('\n')
+}
+
+// Sample emits one sample line under the most recent family header.
+// labels are alternating key, value pairs.
+func (e *Exposition) Sample(name string, v float64, labels ...string) {
+	e.buf.WriteString(name)
+	e.writeLabels(labels)
+	e.buf.WriteByte(' ')
+	e.writeFloat(v)
+	e.buf.WriteByte('\n')
+}
+
+// Simple emits a complete single-sample family: header plus one
+// unlabelled sample.
+func (e *Exposition) Simple(name, help, typ string, v float64) {
+	e.header(name, help, typ)
+	e.Sample(name, v)
+}
+
+// Histogram emits a complete histogram family from a snapshot: one
+// cumulative _bucket series per bound plus +Inf, then _sum and _count.
+func (e *Exposition) Histogram(name, help string, bounds []float64, s HistogramSnapshot) {
+	e.header(name, help, "histogram")
+	cum := uint64(0)
+	for i, b := range bounds {
+		cum += s.Counts[i]
+		e.Sample(name+"_bucket", float64(cum), "le", formatBound(b))
+	}
+	cum += s.Counts[len(bounds)]
+	e.Sample(name+"_bucket", float64(cum), "le", "+Inf")
+	e.Sample(name+"_sum", float64(s.SumNS)/1e9)
+	e.Sample(name+"_count", float64(s.N))
+}
+
+// WriteTo writes the accumulated payload.
+func (e *Exposition) WriteTo(w io.Writer) (int64, error) {
+	n, err := w.Write(e.buf.Bytes())
+	return int64(n), err
+}
+
+// Bytes returns the accumulated payload (for tests).
+func (e *Exposition) Bytes() []byte { return e.buf.Bytes() }
+
+func (e *Exposition) writeLabels(labels []string) {
+	if len(labels) == 0 {
+		return
+	}
+	e.buf.WriteByte('{')
+	for i := 0; i+1 < len(labels); i += 2 {
+		if i > 0 {
+			e.buf.WriteByte(',')
+		}
+		e.buf.WriteString(labels[i])
+		e.buf.WriteString(`="`)
+		e.buf.WriteString(escapeLabel(labels[i+1]))
+		e.buf.WriteByte('"')
+	}
+	e.buf.WriteByte('}')
+}
+
+func (e *Exposition) writeFloat(v float64) {
+	switch {
+	case math.IsInf(v, 1):
+		e.buf.WriteString("+Inf")
+	case math.IsInf(v, -1):
+		e.buf.WriteString("-Inf")
+	case math.IsNaN(v):
+		e.buf.WriteString("NaN")
+	case v == math.Trunc(v) && math.Abs(v) < 1e15:
+		e.buf.WriteString(strconv.FormatInt(int64(v), 10))
+	default:
+		e.buf.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
+	}
+}
+
+// formatBound renders a histogram bound the way Prometheus expects
+// (shortest float form).
+func formatBound(b float64) string {
+	return strconv.FormatFloat(b, 'g', -1, 64)
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	var b strings.Builder
+	for _, r := range s {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// escapeHelp escapes a help string (backslash and newline only).
+func escapeHelp(s string) string {
+	if !strings.ContainsAny(s, "\\\n") {
+		return s
+	}
+	var b strings.Builder
+	for _, r := range s {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}

@@ -220,6 +220,20 @@ func (s *Scheduler) take(q *queue) (m wire.Message, ok bool) {
 	return m, true
 }
 
+// Staged reports the scheduler's current staging depth: the total number
+// of messages waiting for a coalescing window to close, and how many
+// destinations hold at least one. Called on the owning event loop
+// (scrape-time observability, not a hot path).
+func (s *Scheduler) Staged() (msgs, dests int) {
+	for _, q := range s.queues {
+		if n := len(q.msgs); n > 0 {
+			msgs += n
+			dests++
+		}
+	}
+	return msgs, dests
+}
+
 // flush emits q's staged messages as one datagram.
 func (s *Scheduler) flush(to id.Process, q *queue) {
 	if m, ok := s.take(q); ok {

@@ -39,6 +39,7 @@ import (
 
 	"stableleader/id"
 	"stableleader/internal/clock"
+	"stableleader/internal/obs"
 	"stableleader/internal/wire"
 )
 
@@ -91,6 +92,10 @@ type Config struct {
 	// TTL bounds: requested leases clamp into [MinTTL, MaxTTL]; zero
 	// requests get DefaultLease.
 	DefaultLease, MinTTL, MaxTTL time.Duration
+	// Obs, when set, receives the client-plane counters (subscribes,
+	// renews, fan-outs, lease expiries) on the host's event loop. Every
+	// obs.Shard method is nil-safe, so the field may stay unset.
+	Obs *obs.Shard
 }
 
 func (c Config) withDefaults() Config {
@@ -283,6 +288,7 @@ func (r *Registry) HandleSubscribe(m *wire.Subscribe) {
 	if r.stopped {
 		return
 	}
+	r.cfg.Obs.Inc(obs.CSubscribes)
 	view, ok := r.cfg.Leader(m.Group)
 	if !ok {
 		r.sendTombstone(m.Sender, m.Group, View{}, false)
@@ -308,6 +314,7 @@ func (r *Registry) HandleRenew(m *wire.LeaseRenew) {
 	if r.stopped {
 		return
 	}
+	r.cfg.Obs.Inc(obs.CRenews)
 	sh := r.shardFor(m.Sender)
 	cs := sh.clients[m.Sender]
 	if cs != nil && cs.inc == m.Incarnation {
@@ -330,6 +337,7 @@ func (r *Registry) HandleUnsubscribe(m *wire.Unsubscribe) {
 	if r.stopped {
 		return
 	}
+	r.cfg.Obs.Inc(obs.CUnsubscribes)
 	sh := r.shardFor(m.Sender)
 	cs := sh.clients[m.Sender]
 	if cs == nil || cs.inc != m.Incarnation {
@@ -536,6 +544,7 @@ func (r *Registry) expire() {
 			heap.Push(&r.expiry, leaseEntry{at: e.l.expires, l: e.l})
 			continue
 		}
+		r.cfg.Obs.Inc(obs.CLeaseExpiries)
 		r.dropLease(e.l)
 	}
 	if len(r.expiry) == 0 {
@@ -625,6 +634,7 @@ func viewAt(v View) int64 {
 // host recycles it the moment the bytes hit the wire (the view itself is
 // shared by value — only the lease stamp differs per subscriber).
 func (r *Registry) sendSnapshot(l *lease, seq uint64, v View) {
+	r.cfg.Obs.Inc(obs.CSnapshotsSent)
 	l.lastSnap = r.cfg.Clock.Now()
 	m := wire.GetLeaderSnapshot()
 	*m = wire.LeaderSnapshot{
@@ -650,6 +660,7 @@ func (r *Registry) sendSnapshot(l *lease, seq uint64, v View) {
 // subscribes for unique group names must not grow server state, and the
 // receiving client is necessarily on a fresh stream (no guard to pass).
 func (r *Registry) sendTombstone(to id.Process, g id.Group, v View, urgent bool) {
+	r.cfg.Obs.Inc(obs.CTombstones)
 	var seq uint64
 	if gp := r.groups[g]; gp != nil {
 		gp.seq++

@@ -7,6 +7,7 @@ import (
 
 	"stableleader/id"
 	"stableleader/internal/clock"
+	"stableleader/internal/obs"
 	"stableleader/internal/simnet"
 	"stableleader/internal/wire"
 )
@@ -364,7 +365,9 @@ func TestShardingSpreadsSweepLoad(t *testing.T) {
 // publication — the hot multiplier when a leader crashes under 10k
 // watchers. The Send sink releases each emitted snapshot exactly like the
 // real-time host does after marshalling, so the benchmark exercises the
-// send pool's steady state rather than its cold misses.
+// send pool's steady state rather than its cold misses. The obs shard is
+// wired as the service runtime wires it, so the per-snapshot counter
+// increment is part of the measured (production) path.
 func BenchmarkFanout(b *testing.B) {
 	eng := simnet.NewEngine(1)
 	var sink int
@@ -375,6 +378,7 @@ func BenchmarkFanout(b *testing.B) {
 			wire.ReleaseOutbound(m)
 		},
 		Leader: func(id.Group) (View, bool) { return View{Leader: "w01", Elected: true}, true },
+		Obs:    obs.NewRegistry(1, 0).Shard(0),
 	})
 	const subscribers = 1000
 	for i := 0; i < subscribers; i++ {
@@ -409,6 +413,7 @@ func TestFanoutAllocBudget(t *testing.T) {
 			wire.ReleaseOutbound(m)
 		},
 		Leader: func(id.Group) (View, bool) { return View{Leader: "w01", Elected: true}, true },
+		Obs:    obs.NewRegistry(1, 0).Shard(0),
 	})
 	const subscribers = 1000
 	for i := 0; i < subscribers; i++ {

@@ -49,6 +49,7 @@ type serviceConfig struct {
 	seed        int64
 	clientPlane bool
 	shards      int
+	flightDepth int
 }
 
 // Option configures a Service at construction (see New).
@@ -95,6 +96,22 @@ func WithShards(n int) Option {
 func WithClientPlane() Option {
 	return func(c *serviceConfig) error {
 		c.clientPlane = true
+		return nil
+	}
+}
+
+// WithFlightRecorderDepth sizes each shard's protocol flight recorder:
+// the fixed ring of per-shard decision records (suspicions, rank
+// changes, handovers, leader changes) DumpFlight and the /debug/flight
+// probe expose. The default keeps the last 1024 records per shard; a
+// larger ring extends the lookback window at a fixed memory cost of
+// ~64 B per record, decided once at construction.
+func WithFlightRecorderDepth(n int) Option {
+	return func(c *serviceConfig) error {
+		if n < 1 {
+			return errors.New("stableleader: flight recorder depth must be at least 1")
+		}
+		c.flightDepth = n
 		return nil
 	}
 }

@@ -17,6 +17,7 @@ import (
 	"stableleader/internal/election"
 	"stableleader/internal/group"
 	"stableleader/internal/metrics"
+	"stableleader/internal/obs"
 	"stableleader/internal/outbound"
 	"stableleader/internal/subs"
 	"stableleader/internal/timerwheel"
@@ -71,6 +72,11 @@ type Service struct {
 	// shards share one set without coordination.
 	counters metrics.PacketCounters
 
+	// obs is the sharded protocol observability registry: one plain-store
+	// slot per shard, written only by the owning loop, aggregated at
+	// scrape time through sh.call. Immutable after New.
+	obs *obs.Registry
+
 	// learner, when non-nil, is the SourceAware transport the client
 	// plane learns client addresses through (see onDatagramFrom).
 	learner transport.SourceAware
@@ -97,6 +103,9 @@ type serviceShard struct {
 	idx  int
 	node *core.Node
 	rt   *serviceRuntime
+	// obs is this shard's observability slot — loop-written counters,
+	// the leaderless-window histogram and the flight-recorder ring.
+	obs *obs.Shard
 
 	commands chan func()
 	// inbound is the shard's half of the steered inbound plane: a bounded
@@ -184,11 +193,13 @@ func New(self id.Process, tr transport.Transport, opts ...Option) (*Service, err
 	if ht, ok := tr.(transport.HintedSender); ok {
 		s.hintTr = ht
 	}
+	s.obs = obs.NewRegistry(nshards, cfg.flightDepth)
 	s.shards = make([]*serviceShard, nshards)
 	for i := range s.shards {
 		sh := &serviceShard{
 			svc:      s,
 			idx:      i,
+			obs:      s.obs.Shard(i),
 			commands: make(chan func(), 256),
 			inbound:  make(chan inboundPart, 256),
 			done:     make(chan struct{}),
@@ -202,6 +213,7 @@ func New(self id.Process, tr transport.Transport, opts ...Option) (*Service, err
 		nodeOpts := []core.NodeOption{
 			core.WithPacketCounters(&s.counters),
 			core.WithIncarnation(s.inc),
+			core.WithObs(sh.obs),
 		}
 		if cfg.clientPlane {
 			nodeOpts = append(nodeOpts, core.WithClientPlane(subs.Config{}))
@@ -338,6 +350,13 @@ func (sh *serviceShard) loop() {
 func (sh *serviceShard) handleInbound(p inboundPart) {
 	fl := p.fl
 	sh.svc.counters.CountInPart(p.hi-p.lo, fl.bytes, p.datagram, fl.batch)
+	sh.obs.Inc(obs.CInboundParts)
+	if !p.datagram {
+		// A continuation part of a datagram split across shards by the
+		// steering stage — the cross-shard coalescing the batch envelope
+		// induces, visible only here.
+		sh.obs.Inc(obs.CInboundSplitParts)
+	}
 	for _, m := range fl.msgs[p.lo:p.hi] {
 		sh.node.HandleMessage(m)
 	}
